@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ablation: the closed-loop, cycle-domain MEMCON.
+ *
+ * Unlike Figure 15/16 (which model MEMCON's refresh reduction as a
+ * configured tREFI stretch), this run lets the mechanism act on the
+ * simulator's real request stream: PRIL observes demand writes, test
+ * traffic is injected per candidate row, rows migrate between HI and
+ * LO-REF, and the controller's refresh cadence follows the measured
+ * LO-REF fraction. Quanta are time-compressed (cycle simulation
+ * covers milliseconds, not seconds); the control flow is the real
+ * one.
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/online_memcon.hh"
+#include "sim/system.hh"
+#include "trace/cpu_gen.hh"
+
+using namespace memcon;
+using namespace memcon::core;
+
+namespace
+{
+
+struct Outcome
+{
+    double ipc;
+    double refreshPerMs;
+    double loFraction;
+    double emergentReduction;
+    std::uint64_t tests;
+    std::uint64_t aborts;
+    std::uint64_t demotions;
+};
+
+Outcome
+runOne(const char *persona_name, bool with_memcon)
+{
+    dram::Geometry geom;
+    geom.rowsPerBank = 64; // 512 rows: testable within the window
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+
+    OnlineMemcon *slot = nullptr;
+    sim::ControllerConfig mc_cfg;
+    if (with_memcon)
+        OnlineMemcon::installObserver(mc_cfg, slot);
+    sim::MemoryController mc(geom, timing, mc_cfg);
+
+    OnlineMemconConfig om_cfg;
+    om_cfg.quantum = usToTicks(20.0);
+    om_cfg.testIdle = usToTicks(10.0);
+    om_cfg.retargetPeriod = usToTicks(10.0);
+    om_cfg.testEngine.slots = 16;
+    om_cfg.testEngine.wordsPerRow = 64;
+    std::unique_ptr<OnlineMemcon> om;
+    if (with_memcon) {
+        om = std::make_unique<OnlineMemcon>(geom, mc, om_cfg);
+        slot = om.get();
+    }
+
+    trace::CpuAccessStream stream(
+        trace::CpuPersona::byName(persona_name), 3);
+    sim::SimpleCore core(0, std::move(stream), mc, 0,
+                         geom.totalBlocks());
+    // Run for a fixed simulated duration so the closed loop has the
+    // same wall-clock opportunity under every workload.
+    Tick now = 0;
+    const Tick horizon = msToTicks(1.0);
+    while (now < horizon) {
+        now += timing.tCk;
+        mc.tick(now);
+        if (om)
+            om->tick(now);
+        for (unsigned k = 0; k < 5; ++k)
+            core.tick(now);
+    }
+
+    Outcome o;
+    o.ipc = core.ipc();
+    o.refreshPerMs = mc.stats().value("refresh") / ticksToMs(now);
+    o.loFraction = om ? om->loRefFraction() : 0.0;
+    o.emergentReduction = om ? om->emergentReduction() : 0.0;
+    o.tests = om ? om->testsStarted() : 0;
+    o.aborts = om ? om->testsAborted() : 0;
+    o.demotions = om ? om->demotions() : 0;
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: closed-loop MEMCON",
+                  "emergent refresh reduction from the live request "
+                  "stream");
+    note("512-row module, 20 us quanta (time-compressed), 1 ms of "
+         "simulated time per run. The reduction is measured, not "
+         "configured.");
+
+    TextTable t;
+    t.header({"workload", "config", "IPC", "REF/ms", "LO-REF rows",
+              "emergent reduction", "tests", "aborts", "demotions"});
+    for (const char *name : {"perlbench", "h264ref", "omnetpp"}) {
+        Outcome base = runOne(name, false);
+        Outcome mem = runOne(name, true);
+        t.row({name, "baseline 16ms", TextTable::num(base.ipc, 3),
+               TextTable::num(base.refreshPerMs, 1), "-", "-", "-", "-",
+               "-"});
+        t.row({name, "online MEMCON", TextTable::num(mem.ipc, 3),
+               TextTable::num(mem.refreshPerMs, 1),
+               TextTable::pct(mem.loFraction, 1),
+               TextTable::pct(mem.emergentReduction, 1),
+               std::to_string(mem.tests), std::to_string(mem.aborts),
+               std::to_string(mem.demotions)});
+    }
+    std::printf("%s", t.render().c_str());
+    note("Write-light workloads settle most rows at LO-REF and cut "
+         "the REF rate accordingly; write-heavy ones keep more rows "
+         "at HI-REF - the mechanism adapts by itself.");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table bench binaries. Every
+ * binary prints the rows/series of one paper artifact in a uniform
+ * layout: a banner naming the figure, the paper's reference numbers,
+ * and the regenerated measurements.
+ */
+
+#ifndef MEMCON_BENCH_BENCH_UTIL_HH
+#define MEMCON_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace memcon::bench
+{
+
+/** Print the figure banner. */
+inline void
+banner(const std::string &artifact, const std::string &caption)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s - %s\n", artifact.c_str(), caption.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Print a short note line (assumptions, paper reference values). */
+inline void
+note(const std::string &text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+} // namespace memcon::bench
+
+// The bench binaries are leaf translation units; pulling the helpers
+// into the global namespace keeps their main() bodies readable.
+using memcon::bench::banner; // NOLINT
+using memcon::bench::note;   // NOLINT
+
+#endif // MEMCON_BENCH_BENCH_UTIL_HH

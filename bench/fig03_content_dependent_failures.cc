@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Figure 3: DRAM cells failing with different data
+ * content. A simulated chip is tested with 100 data patterns at the
+ * 328 ms-equivalent refresh interval; each pattern exposes a
+ * different subset of the vulnerable cells, demonstrating that
+ * failures are conditional on memory content.
+ *
+ * The paper plots (failing cell ID, pattern ID) dots; we print the
+ * per-pattern failing-cell counts plus the overlap statistics that
+ * the dot plot conveys (how many cells fail under only some
+ * patterns).
+ */
+
+#include <map>
+#include <set>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "failure/model.hh"
+#include "failure/tester.hh"
+
+using namespace memcon;
+using namespace memcon::failure;
+
+int
+main()
+{
+    bench::banner("Figure 3", "DRAM cells failing with different data "
+                              "content (100-pattern sweep)");
+    note("Chip model: 16384 rows x 64Kb, scrambled + remapped, tested "
+         "at the 328 ms-equivalent interval (4 s @ 45C).");
+
+    FailureModelParams params;
+    params.nominalIntervalMs = 328.0;
+    params.seed = 2017;
+    FailureModel model(params, 1 << 14, 1 << 16);
+    DramTester tester(model);
+
+    auto battery = PatternContent::battery(100);
+    auto per_pattern = tester.perPatternFailingCells(battery, 328.0);
+
+    // Assign stable IDs to all observed failing cells, as the figure
+    // does for its x axis.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, unsigned> cell_id;
+    std::map<unsigned, unsigned> patterns_per_cell;
+    for (const auto &cells : per_pattern) {
+        for (const auto &cell : cells) {
+            auto [it, fresh] =
+                cell_id.emplace(cell, static_cast<unsigned>(cell_id.size()));
+            ++patterns_per_cell[it->second];
+        }
+    }
+
+    TextTable table;
+    table.header({"pattern-id", "pattern", "failing-cells",
+                  "new-cells-vs-prior"});
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    for (std::size_t i = 0; i < battery.size(); ++i) {
+        unsigned fresh = 0;
+        for (const auto &cell : per_pattern[i])
+            fresh += seen.insert(cell).second;
+        if (i < 12 || i + 1 == battery.size() ||
+            per_pattern[i].size() == 0) {
+            table.row({std::to_string(i), battery[i].name(),
+                       std::to_string(per_pattern[i].size()),
+                       std::to_string(fresh)});
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    note("(middle random patterns elided; every pattern was run)");
+
+    // The figure's message: cells fail conditionally.
+    unsigned total_cells = static_cast<unsigned>(cell_id.size());
+    unsigned always = 0, rare = 0;
+    for (const auto &[id, count] : patterns_per_cell) {
+        if (count == battery.size())
+            ++always;
+        if (count <= battery.size() / 10)
+            ++rare;
+    }
+    std::printf("\n");
+    note(strprintf("distinct failing cells across all patterns: %u",
+                   total_cells));
+    note(strprintf("cells failing under EVERY pattern: %u (%.1f%%)",
+                   always, 100.0 * always / total_cells));
+    note(strprintf("cells failing under <=10%% of patterns: %u (%.1f%%)",
+                   rare, 100.0 * rare / total_cells));
+    note("Paper: each vertical line in Fig 3 has gaps - a cell fails "
+         "only under some contents. The rare/conditional population "
+         "above reproduces that.");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Regenerates Figure 8: the Pareto fit of the write-interval
+ * survival function P(length > x) on the log-log scale for the three
+ * representative workloads, with the R^2 values the paper quotes
+ * (0.944, 0.937, 0.986).
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "trace/analyzer.hh"
+
+using namespace memcon;
+using namespace memcon::trace;
+
+int
+main()
+{
+    bench::banner("Figure 8",
+                  "Pareto distribution of write intervals (log-log fit)");
+    note("Paper R^2: ACBrotherhood 0.944, Netflix 0.937, SystemMgt "
+         "0.986. P(len > x) = k * x^-alpha.");
+
+    for (const char *name : {"ACBrotherHood", "Netflix", "SystemMgt"}) {
+        WriteIntervalAnalyzer a = analyzeApp(AppPersona::byName(name));
+
+        std::printf("\n-- %s\n", name);
+        TextTable table;
+        table.header({"x (ms)", "P(interval > x)"});
+        for (auto [x, p] : a.survivalCurve(32768.0))
+            table.row({TextTable::num(x, 0), strprintf("%.6f", p)});
+        std::printf("%s", table.render().c_str());
+
+        LineFit fit = a.paretoFit(1.0, 32768.0);
+        note(strprintf("fit: alpha = %.3f, k = 10^%.3f, R^2 = %.4f",
+                       -fit.slope, fit.intercept, fit.rSquared));
+    }
+    std::printf("\n");
+    note("All three survival curves track a straight line on log-log "
+         "axes with high R^2 - the Pareto behaviour PRIL exploits.");
+    return 0;
+}

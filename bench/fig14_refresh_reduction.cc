@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Regenerates Figure 14: MEMCON's reduction in refresh operation
+ * count versus the aggressive 16 ms baseline, for CIL (quantum) 512,
+ * 1024, and 2048 ms, with the 75% upper bound. Paper: 64.7%-74.5%,
+ * close to the bound and insensitive to the CIL choice.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/engine.hh"
+#include "trace/app_model.hh"
+
+using namespace memcon;
+using namespace memcon::core;
+
+int
+main()
+{
+    bench::banner("Figure 14", "reduction in refresh count with MEMCON");
+    note("HI-REF 16 ms / LO-REF 64 ms; upper bound 75%. Paper: "
+         "64.7%-74.5% across apps, stable across CIL 512-2048 ms.");
+
+    const double cils[] = {512.0, 1024.0, 2048.0};
+    TextTable table;
+    table.header({"application", "CIL 512", "CIL 1024", "CIL 2048",
+                  "upper-bound"});
+
+    double sums[3] = {0.0, 0.0, 0.0};
+    unsigned n = 0;
+    for (const trace::AppPersona &p : trace::AppPersona::table1Suite()) {
+        std::vector<std::string> row{p.name};
+        for (unsigned i = 0; i < 3; ++i) {
+            MemconConfig cfg;
+            cfg.quantumMs = cils[i];
+            MemconEngine engine(cfg);
+            double red = engine.runOnApp(p).reduction();
+            sums[i] += red;
+            row.push_back(TextTable::pct(red, 1));
+        }
+        row.push_back("75.0%");
+        table.row(std::move(row));
+        ++n;
+    }
+    table.row({"AVERAGE", TextTable::pct(sums[0] / n, 1),
+               TextTable::pct(sums[1] / n, 1),
+               TextTable::pct(sums[2] / n, 1), "75.0%"});
+    std::printf("%s", table.render().c_str());
+    note("The reduction approaches the 75% bound and varies little "
+         "with the quantum length, as in the paper.");
+    return 0;
+}

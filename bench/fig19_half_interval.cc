@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Figure 19: sensitivity to cache size. Halving every
+ * write interval (more last-level-cache pressure evicts dirty lines
+ * sooner) shifts the interval distribution left, but the
+ * P(RIL > 1024 ms | CIL) curve barely moves - so MEMCON's prediction
+ * quality is robust to cache effects.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "trace/analyzer.hh"
+
+using namespace memcon;
+using namespace memcon::trace;
+
+int
+main()
+{
+    bench::banner("Figure 19",
+                  "write-interval sensitivity to cache pressure "
+                  "(halved intervals)");
+
+    AppPersona persona = AppPersona::byName("ACBrotherHood");
+    WriteIntervalAnalyzer full = analyzeApp(persona);
+    WriteIntervalAnalyzer half = analyzeAppScaled(persona, 0.5);
+
+    std::printf("\n(a) interval distribution, %s\n", persona.name.c_str());
+    TextTable dist;
+    dist.header({"x (ms)", "P(>x) full", "P(>x) half"});
+    for (double x = 1.0; x <= 32768.0; x *= 4.0) {
+        dist.row({TextTable::num(x, 0),
+                  strprintf("%.5f", full.fractionWritesAtLeast(x)),
+                  strprintf("%.5f", half.fractionWritesAtLeast(x))});
+    }
+    std::printf("%s", dist.render().c_str());
+
+    std::printf("\n(b) P(RIL > 1024 ms) vs CIL\n");
+    TextTable prob;
+    prob.header({"CIL (ms)", "full", "half"});
+    for (double c : {512.0, 1024.0, 2048.0}) {
+        prob.row({TextTable::num(c, 0),
+                  strprintf("%.3f", full.probRemainingAtLeast(c, 1024.0)),
+                  strprintf("%.3f", half.probRemainingAtLeast(c, 1024.0))});
+    }
+    std::printf("%s", prob.render().c_str());
+    note("Paper conclusion: the distribution shifts slightly left but "
+         "P(RIL > 1024) does not change significantly - cache size "
+         "does not significantly impact MEMCON.");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hardware-modelled hot
+ * paths: PRIL write tracking and quantum turnover, failure-model row
+ * evaluation, the channel timing engine, and content generation.
+ * These bound the per-access software cost of the simulation
+ * substrate (not a paper artifact, but the basis for the §6.4
+ * "off the critical path" argument).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "core/pril.hh"
+#include "dram/channel.hh"
+#include "failure/content.hh"
+#include "failure/model.hh"
+
+using namespace memcon;
+
+namespace
+{
+
+void
+BM_PrilOnWrite(benchmark::State &state)
+{
+    core::PrilPredictor pril(1 << 20, 4000);
+    Rng rng(1);
+    std::vector<std::uint64_t> pages(4096);
+    for (auto &p : pages)
+        p = rng.uniformInt(1 << 20);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        pril.onWrite(pages[i++ & 4095]);
+        if ((i & 0xfff) == 0)
+            pril.endQuantum();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrilOnWrite);
+
+void
+BM_PrilQuantumTurnover(benchmark::State &state)
+{
+    const std::int64_t writes = state.range(0);
+    core::PrilPredictor pril(1 << 20, 8192);
+    Rng rng(2);
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (std::int64_t w = 0; w < writes; ++w)
+            pril.onWrite(rng.uniformInt(1 << 20));
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(pril.endQuantum());
+    }
+}
+BENCHMARK(BM_PrilQuantumTurnover)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_FailureModelRowEvaluation(benchmark::State &state)
+{
+    failure::FailureModelParams params;
+    failure::FailureModel model(params, 1 << 14, 1 << 16);
+    failure::ProgramContent content(
+        failure::ContentPersona::byName("gcc"), 0);
+    std::uint64_t row = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluatePhysicalRow(row, content, 64.0));
+        row = (row + 1) & ((1 << 14) - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailureModelRowEvaluation);
+
+void
+BM_ContentWordGeneration(benchmark::State &state)
+{
+    failure::ProgramContent content(
+        failure::ContentPersona::byName("astar"), 3);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(content.wordAt(i & 1023, i >> 10));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContentWordGeneration);
+
+void
+BM_ChannelCommandIssue(benchmark::State &state)
+{
+    dram::Geometry g;
+    g.rowsPerBank = 1 << 12;
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    dram::Channel chan(g, timing);
+    Tick now = 0;
+    std::uint64_t row = 0;
+    unsigned bank = 0;
+    for (auto _ : state) {
+        now = std::max(now + timing.tCk,
+                       chan.earliestIssueTick(dram::Command::Act, 0,
+                                              bank, row));
+        chan.issue(dram::Command::Act, 0, bank, row, now);
+        now = std::max(now + timing.tCk,
+                       chan.earliestIssueTick(dram::Command::RdA, 0,
+                                              bank, row));
+        chan.issue(dram::Command::RdA, 0, bank, row, now);
+        bank = (bank + 1) % g.banks;
+        row = (row + 1) & (g.rowsPerBank - 1);
+    }
+    state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_ChannelCommandIssue);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Failure explorer: an interactive-style tour of the failure
+ * substrate, the software stand-in for a SoftMC FPGA rig.
+ *
+ * Demonstrates:
+ *  - why system-level pattern testing misses failures (address
+ *    scrambling and column remapping),
+ *  - how failure counts grow with the refresh interval,
+ *  - temperature-equivalent test intervals,
+ *  - the content dependence that motivates MEMCON.
+ *
+ * Run: ./build/examples/failure_explorer
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "failure/content.hh"
+#include "failure/model.hh"
+#include "failure/tester.hh"
+
+using namespace memcon;
+using namespace memcon::failure;
+
+namespace
+{
+
+void
+section(const char *title)
+{
+    std::printf("\n### %s\n", title);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t rows = 1 << 13;
+
+    section("1. Scrambling defeats address-based neighbour tests");
+    {
+        FailureModelParams with, without;
+        with.seed = without.seed = 7;
+        without.scrambling = false;
+
+        FailureModel scrambled(with, rows, 1 << 16);
+        FailureModel exposed(without, rows, 1 << 16);
+
+        auto battery = PatternContent::battery(8);
+        double found_scrambled =
+            DramTester(scrambled)
+                .testWithPatternBattery(battery, 64.0)
+                .failingRowFraction();
+        double found_exposed =
+            DramTester(exposed)
+                .testWithPatternBattery(battery, 64.0)
+                .failingRowFraction();
+        double truth = DramTester(scrambled)
+                           .exhaustivePhysicalTest(64.0)
+                           .failingRowFraction();
+
+        std::printf("  classic 8-pattern battery finds:\n");
+        std::printf("    with vendor scrambling   : %5.2f%% of rows\n",
+                    found_scrambled * 100);
+        std::printf("    with internals exposed   : %5.2f%% of rows\n",
+                    found_exposed * 100);
+        std::printf("    physically exhaustive    : %5.2f%% of rows\n",
+                    truth * 100);
+        std::printf("  -> a checkerboard in the system address space "
+                    "is not a checkerboard in the array.\n");
+    }
+
+    section("2. Failures grow with the refresh interval");
+    {
+        FailureModelParams p;
+        p.seed = 8;
+        FailureModel model(p, rows, 1 << 16);
+        DramTester tester(model);
+        ProgramContent content(ContentPersona::byName("omnetpp"), 0);
+
+        TextTable t;
+        t.header({"refresh interval", "failing rows"});
+        for (double ms : {16.0, 32.0, 48.0, 64.0, 96.0, 128.0, 256.0}) {
+            double frac =
+                tester.testWithContent(content, ms).failingRowFraction();
+            t.row({strprintf("%.0f ms", ms), TextTable::pct(frac, 2)});
+        }
+        std::printf("%s", t.render().c_str());
+        std::printf("  -> HI-REF (16 ms) is failure-free; relaxing the "
+                    "rate exposes data-dependent cells.\n");
+    }
+
+    section("3. Temperature-equivalent test intervals");
+    {
+        std::printf("  testing at 45C needs %.0f ms to emulate 328 ms "
+                    "at 85C (paper: 4000 ms)\n",
+                    temperatureScaledInterval(328.0, 85.0, 45.0));
+        std::printf("  a 64 ms interval at 85C equals %.0f ms at 45C\n",
+                    temperatureScaledInterval(64.0, 85.0, 45.0));
+    }
+
+    section("4. Content decides which rows fail");
+    {
+        FailureModelParams p;
+        p.seed = 9;
+        FailureModel model(p, rows, 1 << 16);
+        DramTester tester(model);
+
+        TextTable t;
+        t.header({"content", "failing rows", "vs ALL FAIL"});
+        double all =
+            tester.exhaustivePhysicalTest(64.0).failingRowFraction();
+        for (const char *name :
+             {"perlbench", "gcc", "hmmer", "lbm", "astar"}) {
+            ProgramContent c(ContentPersona::byName(name), 0);
+            double frac =
+                tester.testWithContent(c, 64.0).failingRowFraction();
+            t.row({name, TextTable::pct(frac, 2),
+                   strprintf("%.1fx fewer", all / frac)});
+        }
+        t.row({"ALL FAIL (any content)", TextTable::pct(all, 2), "1x"});
+        std::printf("%s", t.render().c_str());
+        std::printf("  -> mitigating only the current content's "
+                    "failures is far cheaper than mitigating all of "
+                    "them. That is MEMCON's opening move.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+#include "common/linear_fit.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memcon
+{
+
+LineFit
+fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    panic_if(xs.size() != ys.size(), "fitLine input size mismatch");
+    LineFit fit;
+    fit.numPoints = xs.size();
+    if (xs.size() < 2)
+        return fit;
+
+    double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+
+    double denom = n * sxx - sx * sx;
+    if (denom == 0.0)
+        return fit;
+
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    double mean_y = sy / n;
+    double ss_tot = 0.0, ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double pred = fit.slope * xs[i] + fit.intercept;
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+    }
+    fit.rSquared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+    return fit;
+}
+
+LineFit
+fitParetoTail(const std::vector<double> &xs,
+              const std::vector<double> &survival)
+{
+    panic_if(xs.size() != survival.size(), "fitParetoTail size mismatch");
+    std::vector<double> lx, ly;
+    lx.reserve(xs.size());
+    ly.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i] > 0.0 && survival[i] > 0.0) {
+            lx.push_back(std::log10(xs[i]));
+            ly.push_back(std::log10(survival[i]));
+        }
+    }
+    return fitLine(lx, ly);
+}
+
+} // namespace memcon

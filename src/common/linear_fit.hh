@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ordinary least-squares line fitting, used to fit the Pareto tail of
+ * the write-interval distribution on the log-log scale (Figure 8) and
+ * report the R^2 goodness of fit the paper quotes (0.93-0.99).
+ */
+
+#ifndef MEMCON_COMMON_LINEAR_FIT_HH
+#define MEMCON_COMMON_LINEAR_FIT_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace memcon
+{
+
+/** Result of a least-squares line fit y = slope * x + intercept. */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double rSquared = 0.0;
+    std::size_t numPoints = 0;
+};
+
+/** Fit a line to (x, y) pairs; requires at least two distinct x. */
+LineFit fitLine(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Fit P(X > x) = k * x^-alpha on the log-log scale.
+ * Input points are (x, survival probability); zero/negative entries
+ * are skipped since the logarithm is undefined there.
+ *
+ * The returned fit has slope = -alpha and intercept = log10(k).
+ */
+LineFit fitParetoTail(const std::vector<double> &xs,
+                      const std::vector<double> &survival);
+
+} // namespace memcon
+
+#endif // MEMCON_COMMON_LINEAR_FIT_HH

@@ -1,0 +1,98 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace memcon
+{
+
+namespace
+{
+bool quietFlag = false;
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+std::string
+vstrprintf(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (len < 0)
+        return "<format error>";
+
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrprintf(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace memcon

@@ -1,0 +1,71 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace memcon
+{
+
+void
+StatGroup::inc(const std::string &stat, std::uint64_t delta)
+{
+    scalars[stat] += static_cast<double>(delta);
+}
+
+void
+StatGroup::set(const std::string &stat, double value)
+{
+    scalars[stat] = value;
+}
+
+void
+StatGroup::accum(const std::string &stat, double delta)
+{
+    scalars[stat] += delta;
+}
+
+void
+StatGroup::formula(const std::string &stat, std::function<double()> fn)
+{
+    formulas[stat] = std::move(fn);
+}
+
+double
+StatGroup::value(const std::string &stat) const
+{
+    auto fit = formulas.find(stat);
+    if (fit != formulas.end())
+        return fit->second();
+    auto sit = scalars.find(stat);
+    return sit == scalars.end() ? 0.0 : sit->second;
+}
+
+bool
+StatGroup::has(const std::string &stat) const
+{
+    return scalars.count(stat) || formulas.count(stat);
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : scalars)
+        kv.second = 0.0;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    std::string prefix = groupName.empty() ? "" : groupName + ".";
+    for (const auto &kv : scalars)
+        os << strprintf("%-48s %.6g\n", (prefix + kv.first).c_str(),
+                        kv.second);
+    for (const auto &kv : formulas)
+        os << strprintf("%-48s %.6g\n", (prefix + kv.first).c_str(),
+                        kv.second());
+    return os.str();
+}
+
+} // namespace memcon

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal named-statistics registry in the spirit of gem5's stats
+ * package: components register scalar counters and formulas under a
+ * dotted name, and a group can be dumped as text at the end of a run.
+ */
+
+#ifndef MEMCON_COMMON_STATS_HH
+#define MEMCON_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace memcon
+{
+
+/**
+ * A collection of named scalar statistics. Components hold a
+ * reference to a StatGroup and bump counters through it; formulas are
+ * evaluated lazily at dump time.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : groupName(std::move(name)) {}
+
+    /** Add delta to the named counter, creating it at zero. */
+    void inc(const std::string &stat, std::uint64_t delta = 1);
+
+    /** Overwrite the named scalar value. */
+    void set(const std::string &stat, double value);
+
+    /** Accumulate a floating-point quantity. */
+    void accum(const std::string &stat, double delta);
+
+    /** Register a formula evaluated at dump()/value() time. */
+    void formula(const std::string &stat, std::function<double()> fn);
+
+    /** @return the current value of the named stat (0 if absent). */
+    double value(const std::string &stat) const;
+
+    /** @return true if the stat exists. */
+    bool has(const std::string &stat) const;
+
+    /** Reset all counters and scalars to zero (formulas retained). */
+    void reset();
+
+    /** Render "name value" lines, sorted by name. */
+    std::string dump() const;
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    std::string groupName;
+    std::map<std::string, double> scalars;
+    std::map<std::string, std::function<double()>> formulas;
+};
+
+} // namespace memcon
+
+#endif // MEMCON_COMMON_STATS_HH

@@ -1,0 +1,75 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace memcon
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    return strprintf("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t cols = head.size();
+    for (const auto &r : rows)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    measure(head);
+    for (const auto &r : rows)
+        measure(r);
+
+    auto emit = [&](std::ostringstream &os,
+                    const std::vector<std::string> &r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            std::string cell = c < r.size() ? r[c] : "";
+            os << cell;
+            if (c + 1 < cols)
+                os << std::string(width[c] - cell.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    if (!head.empty()) {
+        emit(os, head);
+        std::size_t rule = 0;
+        for (std::size_t c = 0; c < cols; ++c)
+            rule += width[c] + (c + 1 < cols ? 2 : 0);
+        os << std::string(rule, '-') << "\n";
+    }
+    for (const auto &r : rows)
+        emit(os, r);
+    return os.str();
+}
+
+} // namespace memcon

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * An ASCII table builder used by the bench binaries to print the
+ * rows/series of each paper table and figure in a uniform format.
+ */
+
+#ifndef MEMCON_COMMON_TABLE_HH
+#define MEMCON_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace memcon
+{
+
+class TextTable
+{
+  public:
+    /** Set (or replace) the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; short rows are padded with empty cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format cells with printf-style specs. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with column alignment and a rule under the header. */
+    std::string render() const;
+
+    std::size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace memcon
+
+#endif // MEMCON_COMMON_TABLE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Time and size units shared across the library.
+ *
+ * The cycle-level simulator counts time in Ticks of one picosecond,
+ * which represents every JEDEC DDR3 timing parameter exactly
+ * (tCK = 1.25 ns = 1250 ticks). The write-interval machinery, which
+ * operates at millisecond scale over minutes of wall time, uses TimeMs
+ * (a double, in milliseconds) to avoid mixing the two regimes.
+ */
+
+#ifndef MEMCON_COMMON_UNITS_HH
+#define MEMCON_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace memcon
+{
+
+/** Simulator time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Coarse time in milliseconds (write-interval domain). */
+using TimeMs = double;
+
+/** Number of retired instructions. */
+using InstCount = std::uint64_t;
+
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+constexpr Tick tickPerSec = 1000 * tickPerMs;
+
+/** Convert nanoseconds (possibly fractional) to ticks, rounding. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(tickPerNs) + 0.5);
+}
+
+/** Convert microseconds to ticks, rounding. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(tickPerUs) + 0.5);
+}
+
+/** Convert milliseconds to ticks, rounding. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(tickPerMs) + 0.5);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerNs);
+}
+
+/** Convert ticks to (fractional) milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerMs);
+}
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/** Gigabit, the unit DRAM chip densities are quoted in. */
+constexpr std::uint64_t Gbit = GiB / 8;
+
+} // namespace memcon
+
+#endif // MEMCON_COMMON_UNITS_HH

@@ -1,0 +1,100 @@
+#include "core/cost_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memcon::core
+{
+
+std::string
+toString(TestMode mode)
+{
+    switch (mode) {
+      case TestMode::ReadAndCompare:
+        return "Read&Compare";
+      case TestMode::CopyAndCompare:
+        return "Copy&Compare";
+    }
+    panic("unknown test mode");
+}
+
+CostModel::CostModel(const CostModelConfig &config) : cfg(config)
+{
+    fatal_if(cfg.hiRefMs <= 0.0 || cfg.loRefMs <= 0.0,
+             "refresh intervals must be positive");
+    fatal_if(cfg.loRefMs <= cfg.hiRefMs,
+             "LO-REF interval must exceed HI-REF interval");
+}
+
+double
+CostModel::testCostNs(TestMode mode) const
+{
+    // Read&Compare streams the row twice; Copy&Compare additionally
+    // writes it once into the reserved region (appendix).
+    double stream = cfg.timings.rowStreamNs();
+    return mode == TestMode::ReadAndCompare ? 2.0 * stream : 3.0 * stream;
+}
+
+double
+CostModel::refreshOpNs() const
+{
+    return cfg.timings.refreshOpNs();
+}
+
+double
+CostModel::hiRefAccumulatedNs(TimeMs t_ms) const
+{
+    panic_if(t_ms < 0.0, "time must be non-negative");
+    // Refreshes at 0, hi, 2hi, ... <= t.
+    double count = std::floor(t_ms / cfg.hiRefMs) + 1.0;
+    return count * refreshOpNs();
+}
+
+double
+CostModel::memconAccumulatedNs(TestMode mode, TimeMs t_ms) const
+{
+    panic_if(t_ms < 0.0, "time must be non-negative");
+    // The test replaces the refresh at t = 0 (the row is fully
+    // charged by the test's own accesses); LO-REF refreshes follow
+    // at lo, 2lo, ... <= t.
+    double count = std::floor(t_ms / cfg.loRefMs);
+    return testCostNs(mode) + count * refreshOpNs();
+}
+
+TimeMs
+CostModel::minWriteIntervalMs(TestMode mode) const
+{
+    for (TimeMs t = cfg.hiRefMs;; t += cfg.hiRefMs) {
+        if (hiRefAccumulatedNs(t) >= memconAccumulatedNs(mode, t))
+            return t;
+        panic_if(t > 1e7, "MinWriteInterval search diverged");
+    }
+}
+
+std::vector<CostPoint>
+CostModel::curve(TimeMs horizon_ms) const
+{
+    std::vector<CostPoint> points;
+    for (TimeMs t = cfg.hiRefMs; t <= horizon_ms; t += cfg.hiRefMs) {
+        points.push_back({t, hiRefAccumulatedNs(t),
+                          memconAccumulatedNs(TestMode::ReadAndCompare, t),
+                          memconAccumulatedNs(TestMode::CopyAndCompare, t)});
+    }
+    return points;
+}
+
+double
+CostModel::averageCostNsPerMs(TestMode mode, TimeMs interval_ms) const
+{
+    panic_if(interval_ms <= 0.0, "interval must be positive");
+    return memconAccumulatedNs(mode, interval_ms) / interval_ms;
+}
+
+double
+CostModel::hiRefAverageNsPerMs() const
+{
+    return refreshOpNs() / cfg.hiRefMs;
+}
+
+} // namespace memcon::core

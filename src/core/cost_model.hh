@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The cost-benefit model of Section 3.3 and the appendix.
+ *
+ * Costs are latencies per row. The HI-REF configuration pays one
+ * refresh (tRAS + tRP = 39 ns) every hiRefMs, starting at t = 0.
+ * MEMCON pays the test cost up front (Read&Compare 1068 ns,
+ * Copy&Compare 1602 ns) and then one refresh every loRefMs (first
+ * at t = loRefMs). MinWriteInterval is the first HI-REF refresh
+ * point at which the accumulated HI-REF cost reaches MEMCON's -
+ * the minimum time the row must stay unwritten for testing to pay
+ * off. With the paper's DDR3-1600 parameters this model yields
+ * exactly the published 560/864 ms (64 ms LO-REF) and 480/448 ms
+ * (128/256 ms LO-REF, Read&Compare).
+ */
+
+#ifndef MEMCON_CORE_COST_MODEL_HH
+#define MEMCON_CORE_COST_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "dram/timing.hh"
+
+namespace memcon::core
+{
+
+/** Where in-test rows are buffered during the idle period (§3.3). */
+enum class TestMode
+{
+    ReadAndCompare, //!< row held in the memory controller
+    CopyAndCompare, //!< row copied to a reserved DRAM region
+};
+
+std::string toString(TestMode mode);
+
+struct CostModelConfig
+{
+    dram::CostTimings timings = dram::CostTimings::paperDdr3_1600();
+    double hiRefMs = 16.0;
+    double loRefMs = 64.0;
+};
+
+/** One point of the Figure 6 accumulated-cost curves. */
+struct CostPoint
+{
+    TimeMs timeMs;
+    double hiRefNs;         //!< accumulated HI-REF cost
+    double readCompareNs;   //!< accumulated MEMCON cost, R&C mode
+    double copyCompareNs;   //!< accumulated MEMCON cost, C&C mode
+};
+
+class CostModel
+{
+  public:
+    explicit CostModel(const CostModelConfig &config = {});
+
+    const CostModelConfig &config() const { return cfg; }
+
+    /** One-time test latency for the mode (1068 / 1602 ns). */
+    double testCostNs(TestMode mode) const;
+
+    /** Per-operation refresh latency (39 ns). */
+    double refreshOpNs() const;
+
+    /** Accumulated HI-REF cost at time t (refreshes at 0, hi, 2hi..). */
+    double hiRefAccumulatedNs(TimeMs t_ms) const;
+
+    /**
+     * Accumulated MEMCON cost at time t: the test up front, then
+     * refreshes at lo, 2*lo, ...
+     */
+    double memconAccumulatedNs(TestMode mode, TimeMs t_ms) const;
+
+    /**
+     * The minimum write interval that amortizes the test: the first
+     * multiple of hiRefMs where the HI-REF accumulated cost is at
+     * least MEMCON's.
+     */
+    TimeMs minWriteIntervalMs(TestMode mode) const;
+
+    /** Figure 6 curve samples at every hiRefMs step up to horizon. */
+    std::vector<CostPoint> curve(TimeMs horizon_ms) const;
+
+    /**
+     * Average cost per unit time over a write interval of the given
+     * length when the row is tested at its start (Figure 5's
+     * "average cost"): (test + refreshes) / interval.
+     */
+    double averageCostNsPerMs(TestMode mode, TimeMs interval_ms) const;
+
+    /** Average HI-REF cost per unit time (the no-testing policy). */
+    double hiRefAverageNsPerMs() const;
+
+  private:
+    CostModelConfig cfg;
+};
+
+} // namespace memcon::core
+
+#endif // MEMCON_CORE_COST_MODEL_HH

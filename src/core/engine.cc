@@ -1,0 +1,284 @@
+#include "core/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/pril.hh"
+
+namespace memcon::core
+{
+
+namespace
+{
+
+struct Event
+{
+    double time;
+    std::uint32_t page;
+};
+
+/** Refresh state of one modelled row/page. */
+struct PageState
+{
+    double stateSince = 0.0;
+    bool atLoRef = false;
+    std::uint64_t writeCount = 0;
+    double lastTestAt = -1.0;   //!< pending idle-length classification
+    double lastVerified = -1.0; //!< when content was last test-passed
+};
+
+} // namespace
+
+MemconEngine::MemconEngine(const MemconConfig &config) : cfg(config)
+{
+    fatal_if(cfg.hiRefMs <= 0.0 || cfg.loRefMs <= cfg.hiRefMs,
+             "need 0 < hiRefMs < loRefMs");
+    fatal_if(cfg.quantumMs <= 0.0, "quantum must be positive");
+    fatal_if(cfg.testSlotsPer64ms == 0, "test budget must be positive");
+    fatal_if(cfg.silentWriteFraction < 0.0 ||
+                 cfg.silentWriteFraction > 1.0,
+             "silent-write fraction must lie in [0, 1]");
+}
+
+MemconResult
+MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
+                  double duration_ms, const FailureOracle &oracle,
+                  const TransitionObserver &observer,
+                  const TimedFailureOracle &timed_oracle) const
+{
+    fatal_if(duration_ms <= 0.0, "duration must be positive");
+    fatal_if(page_writes.size() >= (std::uint64_t{1} << 32),
+             "too many pages");
+
+    MemconResult res;
+    res.durationMs = duration_ms;
+    res.pages = page_writes.size();
+
+    // Merge all write events into one ordered stream.
+    std::vector<Event> events;
+    for (std::uint32_t p = 0; p < page_writes.size(); ++p) {
+        for (double t : page_writes[p]) {
+            panic_if(t < 0.0, "negative write time");
+            if (t < duration_ms)
+                events.push_back({t, p});
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.time < b.time;
+                     });
+    res.writes = events.size();
+
+    CostModelConfig cm_cfg;
+    cm_cfg.timings = cfg.timings;
+    cm_cfg.hiRefMs = cfg.hiRefMs;
+    cm_cfg.loRefMs = cfg.loRefMs;
+    CostModel cost(cm_cfg);
+    const double min_write_interval = cost.minWriteIntervalMs(cfg.mode);
+    const double test_cost_ns = cost.testCostNs(cfg.mode);
+    const double refresh_op_ns = cost.refreshOpNs();
+
+    const std::uint64_t tests_per_quantum = static_cast<std::uint64_t>(
+        cfg.testSlotsPer64ms * (cfg.quantumMs / 64.0));
+
+    PrilPredictor pril(page_writes.size(), cfg.writeBufferCapacity);
+    std::vector<PageState> state(page_writes.size());
+
+    auto accrue = [&](PageState &ps, double until) {
+        double span = until - ps.stateSince;
+        panic_if(span < -1e-9, "time went backwards");
+        if (span <= 0.0)
+            return;
+        if (ps.atLoRef) {
+            res.loTimeMs += span;
+            res.refreshOpsMemcon += span / cfg.loRefMs;
+        } else {
+            res.hiTimeMs += span;
+            res.refreshOpsMemcon += span / cfg.hiRefMs;
+        }
+        ps.stateSince = until;
+    };
+
+    auto classify = [&](PageState &ps, double now) {
+        if (ps.lastTestAt < 0.0)
+            return;
+        if (now - ps.lastTestAt >= min_write_interval)
+            ++res.testsCorrect;
+        else
+            ++res.testsMispredicted;
+        ps.lastTestAt = -1.0;
+    };
+
+    double next_quantum_end = cfg.quantumMs;
+    std::size_t event_idx = 0;
+
+    // Read-only identification (§6.1): pages that never saw a write
+    // by the end of the second quantum are background-tested with
+    // leftover budget and, if clean, kept at LO-REF.
+    std::vector<std::uint64_t> ro_queue;
+    std::size_t ro_next = 0;
+    unsigned quanta_seen = 0;
+
+    auto test_fails = [&](std::uint64_t page, std::uint64_t wc,
+                          double when) {
+        if (timed_oracle)
+            return timed_oracle(page, wc, when);
+        return oracle ? oracle(page, wc) : false;
+    };
+
+    auto run_test = [&](std::uint64_t page, double tq) {
+        PageState &ps = state[page];
+        panic_if(ps.atLoRef, "tested page already at LO-REF");
+        ++res.testsRun;
+        res.testTimeNs += test_cost_ns;
+        ps.lastTestAt = tq;
+
+        bool fails = test_fails(page, ps.writeCount, tq);
+        if (fails) {
+            ++res.testsFailed;
+            // Data-dependent failure with this content: the row must
+            // keep the aggressive rate.
+            return;
+        }
+        ++res.testsPassed;
+        accrue(ps, tq);
+        ps.atLoRef = true;
+        ps.lastVerified = tq;
+        if (observer)
+            observer(page, tq, true, ps.writeCount);
+    };
+
+    auto process_quantum_end = [&](double tq) {
+        std::vector<std::uint64_t> candidates = pril.endQuantum();
+        std::uint64_t budget = tests_per_quantum;
+        for (std::uint64_t page : candidates) {
+            if (budget == 0) {
+                ++res.testsSkippedBudget;
+                continue;
+            }
+            --budget;
+            run_test(page, tq);
+        }
+
+        ++quanta_seen;
+        if (quanta_seen == 2) {
+            for (std::uint64_t p = 0; p < state.size(); ++p)
+                if (state[p].writeCount == 0)
+                    ro_queue.push_back(p);
+        }
+        while (budget > 0 && ro_next < ro_queue.size()) {
+            std::uint64_t page = ro_queue[ro_next++];
+            // A page written since enqueueing is no longer read-only;
+            // PRIL takes over for it.
+            if (state[page].writeCount > 0 || state[page].atLoRef)
+                continue;
+            --budget;
+            run_test(page, tq);
+        }
+
+        // Idle-row re-scrub: revalidate LO-REF rows whose verdict has
+        // aged past the scrub period (VRT protection). Demotions here
+        // are the mechanism catching cells that drifted leaky.
+        if (cfg.scrubPeriodMs > 0.0) {
+            for (std::uint64_t p = 0;
+                 p < state.size() && budget > 0; ++p) {
+                PageState &ps = state[p];
+                if (!ps.atLoRef ||
+                    tq - ps.lastVerified < cfg.scrubPeriodMs)
+                    continue;
+                --budget;
+                ++res.scrubTests;
+                res.testTimeNs += test_cost_ns;
+                if (test_fails(p, ps.writeCount, tq)) {
+                    ++res.scrubDemotions;
+                    accrue(ps, tq);
+                    ps.atLoRef = false;
+                    if (observer)
+                        observer(p, tq, false, ps.writeCount);
+                } else {
+                    ps.lastVerified = tq;
+                }
+            }
+        }
+    };
+
+    while (event_idx < events.size() || next_quantum_end < duration_ms) {
+        bool take_quantum =
+            next_quantum_end < duration_ms &&
+            (event_idx >= events.size() ||
+             next_quantum_end <= events[event_idx].time);
+        if (take_quantum) {
+            process_quantum_end(next_quantum_end);
+            next_quantum_end += cfg.quantumMs;
+            continue;
+        }
+        if (event_idx >= events.size())
+            break;
+
+        const Event &ev = events[event_idx++];
+        PageState &ps = state[ev.page];
+
+        // Silent-write detection (footnote 9): a write that stores
+        // the existing value leaves the content - and the validity
+        // of any prior test - intact.
+        if (cfg.detectSilentWrites && cfg.silentWriteFraction > 0.0) {
+            double u = static_cast<double>(
+                           hashMix64(ev.page * 0x9e3779b97f4a7c15ULL +
+                                     ps.writeCount) >>
+                           11) *
+                       0x1.0p-53;
+            if (u < cfg.silentWriteFraction) {
+                ++res.silentWritesSkipped;
+                continue;
+            }
+        }
+
+        classify(ps, ev.time);
+        accrue(ps, ev.time);
+        if (ps.atLoRef) {
+            // Content changes: protect until retested.
+            ps.atLoRef = false;
+            if (observer)
+                observer(ev.page, ev.time, false, ps.writeCount + 1);
+        }
+        ++ps.writeCount;
+        pril.onWrite(ev.page);
+    }
+
+    // Close out every page at the horizon. Tests with no later write
+    // inside the trace are censored, not mispredicted: the predicted
+    // idleness did hold for as long as we could observe.
+    for (PageState &ps : state) {
+        if (ps.lastTestAt >= 0.0) {
+            ++res.testsCorrect;
+            ps.lastTestAt = -1.0;
+        }
+        accrue(ps, duration_ms);
+    }
+
+    res.refreshOpsBaseline =
+        static_cast<double>(res.pages) * duration_ms / cfg.hiRefMs;
+    res.refreshTimeBaselineNs = res.refreshOpsBaseline * refresh_op_ns;
+    res.refreshTimeMemconNs = res.refreshOpsMemcon * refresh_op_ns;
+    res.bufferDrops = pril.bufferDrops();
+    res.trackerStorageBytes = pril.storageBytes();
+    return res;
+}
+
+MemconResult
+MemconEngine::runOnApp(const trace::AppPersona &persona,
+                       const FailureOracle &oracle,
+                       const TransitionObserver &observer) const
+{
+    std::vector<std::vector<TimeMs>> page_writes;
+    page_writes.reserve(persona.pages);
+    for (std::uint64_t p = 0; p < persona.pages; ++p) {
+        trace::PageWriteProcess proc(persona, p);
+        page_writes.push_back(proc.writeTimes());
+    }
+    return run(page_writes, persona.durationSec * 1000.0, oracle,
+               observer);
+}
+
+} // namespace memcon::core

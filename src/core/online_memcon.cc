@@ -1,0 +1,232 @@
+#include "core/online_memcon.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace memcon::core
+{
+
+namespace
+{
+
+/**
+ * Deterministic row content for the cycle-domain tests: stable
+ * across reads, so an undisturbed row always compares clean. A row
+ * the oracle condemns is perturbed in its first word at read-back,
+ * which makes the comparison (data or ECC signature) fail through
+ * the same machinery a real decayed cell would.
+ */
+std::uint64_t
+syntheticWord(std::uint64_t row, std::size_t word)
+{
+    return hashMix64(row * 0x9e3779b97f4a7c15ULL + word);
+}
+
+} // namespace
+
+OnlineMemcon::OnlineMemcon(const dram::Geometry &geometry,
+                           sim::MemoryController &controller,
+                           const OnlineMemconConfig &config,
+                           RowFailureOracle oracle_fn)
+    : geom(geometry), mc(controller), cfg(config),
+      oracle(std::move(oracle_fn)),
+      pril(geometry.totalRows(), config.writeBufferCapacity),
+      engine(config.testEngine), loRows(geometry.totalRows()),
+      everWritten(geometry.totalRows()),
+      nextQuantumEnd(config.quantum), nextRetarget(config.retargetPeriod)
+{
+    fatal_if(cfg.quantum == 0, "quantum must be positive");
+    fatal_if(cfg.testIdle == 0, "test idle period must be positive");
+    fatal_if(cfg.hiRefMs <= 0.0 || cfg.loRefMs <= cfg.hiRefMs,
+             "need 0 < hiRefMs < loRefMs");
+}
+
+void
+OnlineMemcon::installObserver(sim::ControllerConfig &cfg,
+                              OnlineMemcon *&slot)
+{
+    cfg.writeObserver = [&slot](std::uint64_t addr, Tick now) {
+        if (slot)
+            slot->observeWrite(addr, now);
+    };
+}
+
+std::uint64_t
+OnlineMemcon::rowOfAddr(std::uint64_t addr) const
+{
+    return geom.flatRowIndex(geom.decompose(addr));
+}
+
+void
+OnlineMemcon::observeWrite(std::uint64_t addr, Tick now)
+{
+    (void)now;
+    std::uint64_t row = rowOfAddr(addr);
+    ++writeCount;
+    everWritten.set(row);
+    pril.onWrite(row);
+
+    if (engine.onWrite(row)) {
+        // Abort the in-flight test: drop its traffic state too.
+        auto it = std::find_if(activeTests.begin(), activeTests.end(),
+                               [row](const ActiveTest &t) {
+                                   return t.row == row;
+                               });
+        panic_if(it == activeTests.end(),
+                 "engine had a session without traffic state");
+        activeTests.erase(it);
+    }
+    if (loRows.test(row)) {
+        loRows.clear(row);
+        --loCount;
+        ++demotionCount;
+    }
+}
+
+void
+OnlineMemcon::startCandidateTests(Tick now)
+{
+    while (!pendingCandidates.empty() && engine.freeSlots() > 0) {
+        std::uint64_t row = pendingCandidates.front();
+        pendingCandidates.pop_front();
+        // A write since candidacy disqualifies the row: PRIL would
+        // have evicted it, but it may already sit in our queue (a
+        // stale read-only candidate re-enters through PRIL later).
+        if (engine.isUnderTest(row) || loRows.test(row))
+            continue;
+        bool ok = engine.beginTest(row, [](std::uint64_t r,
+                                           std::size_t w) {
+            return syntheticWord(r, w);
+        });
+        if (!ok)
+            break; // reserve region exhausted (Copy&Compare)
+
+        ActiveTest test;
+        test.row = row;
+        test.readbackAt = now + cfg.testIdle;
+        test.requestsLeft = geom.columnsPerRow; // first read pass
+        if (cfg.testEngine.mode == TestMode::CopyAndCompare)
+            test.requestsLeft += geom.columnsPerRow; // copy writes
+        activeTests.push_back(test);
+    }
+}
+
+void
+OnlineMemcon::pumpTestTraffic(Tick now)
+{
+    if (activeTests.empty())
+        return;
+    // A few requests per tick at most: the controller's admission
+    // limit keeps headroom for demand traffic, so this bounds CPU
+    // work rather than bandwidth.
+    unsigned budget = 4;
+    for (ActiveTest &test : activeTests) {
+        if (budget == 0)
+            return;
+        bool readback_phase = now >= test.readbackAt;
+        if (test.requestsLeft == 0) {
+            if (!readback_phase)
+                continue; // idling until read-back time
+            // Schedule the read-back pass exactly once; `column`
+            // keeps counting total requests (it addresses modulo the
+            // row width), which is how completion detects that the
+            // read-back pass also drained.
+            test.requestsLeft = geom.columnsPerRow;
+        }
+
+        while (budget > 0 && test.requestsLeft > 0) {
+            dram::Coordinates c = geom.rowFromFlatIndex(test.row);
+            c.column = test.column % geom.columnsPerRow;
+            sim::Request req;
+            req.isTest = true;
+            req.coreId = -1;
+            req.addr = geom.compose(c);
+            bool copy_write =
+                cfg.testEngine.mode == TestMode::CopyAndCompare &&
+                !readback_phase &&
+                test.requestsLeft <= geom.columnsPerRow;
+            req.type = copy_write ? sim::Request::Type::Write
+                                  : sim::Request::Type::Read;
+            if (!mc.enqueue(std::move(req), now))
+                return; // queue at the test admission limit
+            --test.requestsLeft;
+            ++test.column;
+            --budget;
+        }
+    }
+}
+
+void
+OnlineMemcon::completeDueTests(Tick now)
+{
+    unsigned total_requests =
+        (cfg.testEngine.mode == TestMode::CopyAndCompare ? 3u : 2u) *
+        geom.columnsPerRow;
+    for (auto it = activeTests.begin(); it != activeTests.end();) {
+        bool ready = now >= it->readbackAt && it->requestsLeft == 0 &&
+                     it->column >= total_requests;
+        if (!ready) {
+            ++it;
+            continue;
+        }
+        std::uint64_t row = it->row;
+        bool decayed = oracle && oracle(row);
+        TestOutcome outcome = engine.completeTest(
+            row, [decayed](std::uint64_t r, std::size_t w) {
+                std::uint64_t word = syntheticWord(r, w);
+                // A condemned row reads back with a flipped cell.
+                if (decayed && w == 0)
+                    word ^= 1;
+                return word;
+            });
+        if (outcome == TestOutcome::Pass) {
+            loRows.set(row);
+            ++loCount;
+        }
+        it = activeTests.erase(it);
+    }
+}
+
+double
+OnlineMemcon::loRefFraction() const
+{
+    return static_cast<double>(loCount) /
+           static_cast<double>(geom.totalRows());
+}
+
+double
+OnlineMemcon::emergentReduction() const
+{
+    return loRefFraction() * (1.0 - cfg.hiRefMs / cfg.loRefMs);
+}
+
+void
+OnlineMemcon::tick(Tick now)
+{
+    if (now >= nextQuantumEnd) {
+        for (std::uint64_t row : pril.endQuantum())
+            pendingCandidates.push_back(row);
+        nextQuantumEnd += cfg.quantum;
+        ++quantaSeen;
+        if (quantaSeen == 2) {
+            // Read-only identification (Section 6.1): rows with no
+            // write so far are background-tested; the slot budget
+            // paces them behind PRIL's candidates.
+            for (std::uint64_t r = 0; r < geom.totalRows(); ++r)
+                if (!everWritten.test(r))
+                    pendingCandidates.push_back(r);
+        }
+    }
+    startCandidateTests(now);
+    pumpTestTraffic(now);
+    completeDueTests(now);
+
+    if (now >= nextRetarget) {
+        mc.setRefreshReduction(emergentReduction());
+        nextRetarget += cfg.retargetPeriod;
+    }
+}
+
+} // namespace memcon::core

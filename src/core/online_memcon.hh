@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The closed-loop, cycle-domain MEMCON integration.
+ *
+ * Where MemconEngine replays millisecond-scale write timelines
+ * analytically, OnlineMemcon plugs into the cycle simulator and runs
+ * the mechanism against the *actual* request stream:
+ *
+ *  - the memory controller's write observer feeds PRIL with every
+ *    demand write's row,
+ *  - at each quantum boundary PRIL's candidates enter the TestEngine
+ *    (slot-limited, Read&Compare or Copy&Compare) and the row's test
+ *    traffic (two full read passes, plus a write pass in C&C mode)
+ *    is injected as low-priority requests,
+ *  - after the in-test idle period elapses and the read-back traffic
+ *    has drained, the test completes: clean rows move to LO-REF,
+ *    failing rows stay at HI-REF,
+ *  - a demand write to an in-test row aborts the test; a write to a
+ *    LO-REF row demotes it,
+ *  - rows that have seen no write by the end of the second quantum
+ *    are identified as read-only and background-tested with the same
+ *    slot machinery (Section 6.1),
+ *  - the controller's refresh cadence is re-targeted continuously
+ *    from the measured LO-REF row fraction, so the refresh reduction
+ *    *emerges* from the mechanism instead of being configured.
+ *
+ * Because cycle simulation covers milliseconds while PRIL's natural
+ * quantum is ~1 s, the quantum and in-test idle period are
+ * configurable and typically time-compressed in experiments; the
+ * control flow is identical.
+ */
+
+#ifndef MEMCON_CORE_ONLINE_MEMCON_HH
+#define MEMCON_CORE_ONLINE_MEMCON_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "common/bitvector.hh"
+#include "core/pril.hh"
+#include "core/test_engine.hh"
+#include "sim/controller.hh"
+
+namespace memcon::core
+{
+
+struct OnlineMemconConfig
+{
+    /** PRIL quantum in ticks (time-compressed in experiments). */
+    Tick quantum = msToTicks(0.5);
+
+    /** In-test idle period before read-back (LO-REF interval in
+     * real hardware; compressed with the quantum here). */
+    Tick testIdle = msToTicks(0.25);
+
+    std::size_t writeBufferCapacity = 4000;
+
+    TestEngineConfig testEngine;
+
+    /** HI/LO refresh intervals, for the emergent reduction target. */
+    double hiRefMs = 16.0;
+    double loRefMs = 64.0;
+
+    /** Re-target the controller's refresh cadence this often. */
+    Tick retargetPeriod = msToTicks(0.25);
+};
+
+class OnlineMemcon
+{
+  public:
+    /** Decides whether a row's current content fails at LO-REF. */
+    using RowFailureOracle = std::function<bool(std::uint64_t row)>;
+
+    /**
+     * @param geometry    module geometry (page = row granularity)
+     * @param controller  the controller to observe and re-target;
+     *                    this object installs itself as the write
+     *                    observer via attach()
+     */
+    OnlineMemcon(const dram::Geometry &geometry,
+                 sim::MemoryController &controller,
+                 const OnlineMemconConfig &config,
+                 RowFailureOracle oracle = {});
+
+    /**
+     * Install the write observer into a controller config. Call
+     * before constructing the controller, then pass the controller
+     * to this class; split because the controller takes its config
+     * by value at construction.
+     */
+    static void installObserver(sim::ControllerConfig &cfg,
+                                OnlineMemcon *&slot);
+
+    /** Report a demand write (wired to the controller observer). */
+    void observeWrite(std::uint64_t addr, Tick now);
+
+    /** Advance; call once per DRAM tick after controller.tick(). */
+    void tick(Tick now);
+
+    /** Fraction of rows currently at LO-REF. */
+    double loRefFraction() const;
+
+    /** @return true if the row currently sits at LO-REF. */
+    bool isLoRef(std::uint64_t row) const { return loRows.test(row); }
+
+    /** The refresh reduction implied by the current LO fraction. */
+    double emergentReduction() const;
+
+    // Statistics.
+    std::uint64_t testsStarted() const { return engine.testsStarted(); }
+    std::uint64_t testsPassed() const { return engine.testsPassed(); }
+    std::uint64_t testsFailed() const { return engine.testsFailed(); }
+    std::uint64_t testsAborted() const { return engine.testsAborted(); }
+    std::uint64_t writesObserved() const { return writeCount; }
+    std::uint64_t demotions() const { return demotionCount; }
+
+  private:
+    struct ActiveTest
+    {
+        std::uint64_t row;
+        Tick readbackAt; //!< when the idle period ends
+        unsigned requestsLeft; //!< traffic not yet accepted
+        unsigned column = 0;
+    };
+
+    void startCandidateTests(Tick now);
+    void pumpTestTraffic(Tick now);
+    void completeDueTests(Tick now);
+    std::uint64_t rowOfAddr(std::uint64_t addr) const;
+
+    dram::Geometry geom;
+    sim::MemoryController &mc;
+    OnlineMemconConfig cfg;
+    RowFailureOracle oracle;
+
+    PrilPredictor pril;
+    TestEngine engine;
+    BitVector loRows;
+    BitVector everWritten;
+    std::uint64_t loCount = 0;
+    unsigned quantaSeen = 0;
+
+    std::deque<ActiveTest> activeTests;
+    std::deque<std::uint64_t> pendingCandidates;
+
+    Tick nextQuantumEnd;
+    Tick nextRetarget;
+    std::uint64_t writeCount = 0;
+    std::uint64_t demotionCount = 0;
+};
+
+} // namespace memcon::core
+
+#endif // MEMCON_CORE_ONLINE_MEMCON_HH

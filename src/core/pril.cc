@@ -1,0 +1,82 @@
+#include "core/pril.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memcon::core
+{
+
+PrilPredictor::PrilPredictor(std::uint64_t num_pages,
+                             std::size_t buffer_capacity)
+    : pages(num_pages), capacity(buffer_capacity)
+{
+    fatal_if(num_pages == 0, "tracker needs at least one page");
+    fatal_if(buffer_capacity == 0, "write buffer cannot be empty");
+    writeMap[0].resizeAndClear(num_pages);
+    writeMap[1].resizeAndClear(num_pages);
+}
+
+void
+PrilPredictor::onWrite(std::uint64_t page)
+{
+    panic_if(page >= pages, "page %llu out of range",
+             static_cast<unsigned long long>(page));
+
+    unsigned cur = current;
+    unsigned prev = 1 - current;
+
+    // A write in this quantum disqualifies any candidacy from the
+    // previous quantum (step 3 in Figure 13).
+    writeBuffer[prev].erase(page);
+
+    bool already_written = writeMap[cur].testAndSet(page);
+    if (!already_written) {
+        // First write this quantum (step 1): track it, unless full.
+        if (writeBuffer[cur].size() >= capacity) {
+            ++drops;
+            return;
+        }
+        writeBuffer[cur].insert(page);
+        peakOccupancy = std::max(peakOccupancy, writeBuffer[cur].size());
+    } else {
+        // Second or later write (step 2): interval below a quantum.
+        writeBuffer[cur].erase(page);
+    }
+}
+
+std::vector<std::uint64_t>
+PrilPredictor::endQuantum()
+{
+    unsigned prev = 1 - current;
+
+    // Pages surviving in the previous buffer had exactly one write
+    // in the quantum before last and none since (step 4).
+    std::vector<std::uint64_t> candidates(writeBuffer[prev].begin(),
+                                          writeBuffer[prev].end());
+    std::sort(candidates.begin(), candidates.end());
+
+    // Step 5: clear the previous structures and swap roles.
+    writeBuffer[prev].clear();
+    writeMap[prev].clearAll();
+    current = prev;
+    return candidates;
+}
+
+std::size_t
+PrilPredictor::storageBytes() const
+{
+    // Two bit-vector write-maps plus two write-buffers of page
+    // addresses (modelled at 34 bits, rounded to 5 bytes, per entry
+    // as in §6.4's 17 KB for 4000 entries).
+    return writeMap[0].storageBytes() + writeMap[1].storageBytes() +
+           2 * capacity * 5;
+}
+
+bool
+PrilPredictor::isTracked(std::uint64_t page) const
+{
+    return writeBuffer[0].count(page) || writeBuffer[1].count(page);
+}
+
+} // namespace memcon::core

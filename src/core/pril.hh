@@ -1,0 +1,90 @@
+/**
+ * @file
+ * PRIL - the probabilistic remaining-interval-length predictor
+ * (Section 4.2, Figure 13).
+ *
+ * PRIL divides time into fixed quanta and predicts that a page whose
+ * last write happened at least one full quantum ago will stay
+ * unwritten long enough to amortize a test. The hardware structures
+ * are two write-maps (one bit per page) and two bounded
+ * write-buffers (page addresses written exactly once in a quantum):
+ *
+ *  - on a write: if it is the page's first write this quantum, set
+ *    the map bit and insert into the current buffer; otherwise
+ *    remove it from the current buffer (interval < quantum). A write
+ *    also evicts the page from the *previous* buffer - it clearly
+ *    did not stay idle.
+ *  - at quantum end: every page still in the previous buffer had one
+ *    write in the quantum before last and none since - its current
+ *    interval length exceeds a full quantum, so it becomes a test
+ *    candidate. The previous map/buffer are cleared and the pair is
+ *    swapped.
+ *
+ * A full write-buffer drops the new page (footnote 10): MEMCON keeps
+ * it at HI-REF, losing opportunity but never correctness.
+ */
+
+#ifndef MEMCON_CORE_PRIL_HH
+#define MEMCON_CORE_PRIL_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/units.hh"
+
+namespace memcon::core
+{
+
+class PrilPredictor
+{
+  public:
+    /**
+     * @param num_pages        pages tracked (one write-map bit each)
+     * @param buffer_capacity  write-buffer entries (paper: 4000)
+     */
+    PrilPredictor(std::uint64_t num_pages, std::size_t buffer_capacity);
+
+    /** Record a write access to a page (Figure 13 left half). */
+    void onWrite(std::uint64_t page);
+
+    /**
+     * Close the current quantum (Figure 13 right half).
+     * @return pages predicted to have long remaining intervals -
+     *         MEMCON initiates tests on these.
+     */
+    std::vector<std::uint64_t> endQuantum();
+
+    std::uint64_t numPages() const { return pages; }
+    std::size_t bufferCapacity() const { return capacity; }
+
+    /** Pages dropped because the write-buffer was full. */
+    std::uint64_t bufferDrops() const { return drops; }
+
+    /** Peak simultaneous write-buffer occupancy observed. */
+    std::size_t peakBufferOccupancy() const { return peakOccupancy; }
+
+    /** SRAM footprint of maps + buffers, for the §6.4 accounting. */
+    std::size_t storageBytes() const;
+
+    /** @return true if the page currently sits in either buffer. */
+    bool isTracked(std::uint64_t page) const;
+
+  private:
+    std::uint64_t pages;
+    std::size_t capacity;
+
+    // Index 0/1 with `current` selecting the active pair; the other
+    // pair is the previous quantum's.
+    BitVector writeMap[2];
+    std::unordered_set<std::uint64_t> writeBuffer[2];
+    unsigned current = 0;
+
+    std::uint64_t drops = 0;
+    std::size_t peakOccupancy = 0;
+};
+
+} // namespace memcon::core
+
+#endif // MEMCON_CORE_PRIL_HH

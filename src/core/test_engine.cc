@@ -1,0 +1,179 @@
+#include "core/test_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memcon::core
+{
+
+TestEngine::TestEngine(const TestEngineConfig &config) : cfg(config)
+{
+    fatal_if(cfg.slots == 0, "test engine needs at least one slot");
+    fatal_if(cfg.wordsPerRow == 0, "rows must hold at least one word");
+    slotBusy.assign(cfg.slots, false);
+
+    if (cfg.mode == TestMode::CopyAndCompare) {
+        fatal_if(cfg.reserveRowsPerBank == 0 || cfg.banks == 0,
+                 "Copy&Compare needs a reserve region");
+        std::uint64_t total = cfg.reserveRowsPerBank * cfg.banks;
+        freeReserveRows.reserve(total);
+        // Reserve rows are identified by negative-space ids counted
+        // from the top of the row address space; the concrete
+        // placement does not matter to the engine.
+        for (std::uint64_t i = 0; i < total; ++i)
+            freeReserveRows.push_back(~std::uint64_t{0} - i);
+    }
+}
+
+std::size_t
+TestEngine::freeSlots() const
+{
+    std::size_t busy = sessions.size();
+    return cfg.slots - busy;
+}
+
+bool
+TestEngine::isUnderTest(std::uint64_t row) const
+{
+    return sessions.count(row) != 0;
+}
+
+bool
+TestEngine::beginTest(std::uint64_t row, const RowReader &reader)
+{
+    panic_if(isUnderTest(row), "row is already under test");
+    if (sessions.size() >= cfg.slots)
+        return false;
+    if (cfg.mode == TestMode::CopyAndCompare && freeReserveRows.empty())
+        return false;
+
+    Session session;
+    auto slot_it = std::find(slotBusy.begin(), slotBusy.end(), false);
+    panic_if(slot_it == slotBusy.end(), "slot accounting out of sync");
+    session.slot = static_cast<std::size_t>(slot_it - slotBusy.begin());
+    *slot_it = true;
+
+    if (cfg.mode == TestMode::ReadAndCompare) {
+        // Buffer the whole row in the controller.
+        session.reserveRow = 0;
+        session.bufferedData.reserve(cfg.wordsPerRow);
+        for (std::size_t w = 0; w < cfg.wordsPerRow; ++w)
+            session.bufferedData.push_back(reader(row, w));
+    } else {
+        // Copy to the reserve region; retain only the signature.
+        session.reserveRow = freeReserveRows.back();
+        freeReserveRows.pop_back();
+        std::vector<std::uint64_t> words;
+        words.reserve(cfg.wordsPerRow);
+        for (std::size_t w = 0; w < cfg.wordsPerRow; ++w)
+            words.push_back(reader(row, w));
+        session.signature = dram::Secded64::rowSignature(words);
+    }
+
+    sessions.emplace(row, std::move(session));
+    ++started;
+    return true;
+}
+
+std::optional<Redirection>
+TestEngine::redirect(std::uint64_t row) const
+{
+    auto it = sessions.find(row);
+    if (it == sessions.end())
+        return std::nullopt;
+    ++redirects;
+    Redirection r;
+    if (cfg.mode == TestMode::ReadAndCompare) {
+        r.inController = true;
+    } else {
+        r.inController = false;
+        r.reserveRow = it->second.reserveRow;
+    }
+    return r;
+}
+
+void
+TestEngine::releaseSession(const Session &session)
+{
+    panic_if(!slotBusy[session.slot], "slot accounting out of sync");
+    slotBusy[session.slot] = false;
+    if (cfg.mode == TestMode::CopyAndCompare)
+        freeReserveRows.push_back(session.reserveRow);
+}
+
+bool
+TestEngine::onWrite(std::uint64_t row)
+{
+    auto it = sessions.find(row);
+    if (it == sessions.end())
+        return false;
+    releaseSession(it->second);
+    sessions.erase(it);
+    ++aborted;
+    return true;
+}
+
+TestOutcome
+TestEngine::completeTest(std::uint64_t row, const RowReader &reader)
+{
+    auto it = sessions.find(row);
+    panic_if(it == sessions.end(), "completing a test that never began");
+    const Session &session = it->second;
+
+    bool clean = true;
+    if (cfg.mode == TestMode::ReadAndCompare) {
+        for (std::size_t w = 0; w < cfg.wordsPerRow && clean; ++w)
+            clean = reader(row, w) == session.bufferedData[w];
+    } else {
+        std::vector<std::uint64_t> words;
+        words.reserve(cfg.wordsPerRow);
+        for (std::size_t w = 0; w < cfg.wordsPerRow; ++w)
+            words.push_back(reader(row, w));
+        clean = dram::Secded64::compareSignature(words,
+                                                 session.signature)
+                    .empty();
+    }
+
+    releaseSession(session);
+    sessions.erase(it);
+    if (clean)
+        ++passed;
+    else
+        ++failed;
+    return clean ? TestOutcome::Pass : TestOutcome::Fail;
+}
+
+std::vector<std::uint64_t>
+TestEngine::rowsUnderTest() const
+{
+    std::vector<std::uint64_t> rows;
+    rows.reserve(sessions.size());
+    for (const auto &kv : sessions)
+        rows.push_back(kv.first);
+    std::sort(rows.begin(), rows.end());
+    return rows;
+}
+
+std::size_t
+TestEngine::controllerStorageBytes() const
+{
+    if (cfg.mode == TestMode::ReadAndCompare) {
+        // Full row data per slot.
+        return cfg.slots * cfg.wordsPerRow * sizeof(std::uint64_t);
+    }
+    // One check byte per word per slot.
+    return cfg.slots * cfg.wordsPerRow;
+}
+
+double
+TestEngine::reserveCapacityFraction(std::uint64_t module_rows) const
+{
+    if (cfg.mode == TestMode::ReadAndCompare)
+        return 0.0;
+    fatal_if(module_rows == 0, "module must have rows");
+    return static_cast<double>(cfg.reserveRowsPerBank) * cfg.banks /
+           static_cast<double>(module_rows);
+}
+
+} // namespace memcon::core

@@ -1,0 +1,268 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memcon::dram
+{
+
+std::string
+toString(Command cmd)
+{
+    switch (cmd) {
+      case Command::Act:
+        return "ACT";
+      case Command::Pre:
+        return "PRE";
+      case Command::PreA:
+        return "PREA";
+      case Command::Rd:
+        return "RD";
+      case Command::RdA:
+        return "RDA";
+      case Command::Wr:
+        return "WR";
+      case Command::WrA:
+        return "WRA";
+      case Command::Ref:
+        return "REF";
+    }
+    panic("unknown command");
+}
+
+Channel::Channel(const Geometry &geometry, const TimingParams &timing)
+    : geom(geometry), params(timing)
+{
+    geom.validate();
+    rankState.resize(geom.ranks);
+    bankState.resize(std::size_t{geom.ranks} * geom.banks);
+}
+
+void
+Channel::checkIds(unsigned rank, unsigned bank_idx) const
+{
+    panic_if(rank >= geom.ranks, "rank %u out of range", rank);
+    panic_if(bank_idx >= geom.banks, "bank %u out of range", bank_idx);
+}
+
+const BankState &
+Channel::bank(unsigned rank, unsigned bank_idx) const
+{
+    checkIds(rank, bank_idx);
+    return bankState[std::size_t{rank} * geom.banks + bank_idx];
+}
+
+BankState &
+Channel::bank(unsigned rank, unsigned bank_idx)
+{
+    checkIds(rank, bank_idx);
+    return bankState[std::size_t{rank} * geom.banks + bank_idx];
+}
+
+bool
+Channel::isRowOpen(unsigned rank, unsigned bank_idx) const
+{
+    return bank(rank, bank_idx).rowOpen;
+}
+
+std::uint64_t
+Channel::openRow(unsigned rank, unsigned bank_idx) const
+{
+    const BankState &b = bank(rank, bank_idx);
+    panic_if(!b.rowOpen, "openRow queried on a precharged bank");
+    return b.openRow;
+}
+
+bool
+Channel::allBanksPrecharged(unsigned rank) const
+{
+    for (unsigned b = 0; b < geom.banks; ++b)
+        if (bank(rank, b).rowOpen)
+            return false;
+    return true;
+}
+
+Tick
+Channel::earliestIssueTick(Command cmd, unsigned rank, unsigned bank_idx,
+                           std::uint64_t row) const
+{
+    checkIds(rank, bank_idx);
+    const BankState &b = bank(rank, bank_idx);
+    const RankState &r = rankState[rank];
+    Tick earliest = 0;
+
+    switch (cmd) {
+      case Command::Act: {
+        panic_if(b.rowOpen, "ACT to a bank with an open row");
+        earliest = std::max({b.nextAct, r.nextAct, r.nextRefOk});
+        // tFAW: at most four ACTs per rank in a rolling window.
+        if (r.actTimes.size() >= 4) {
+            Tick window_open = r.actTimes.front() + params.cyc(params.tFAW);
+            earliest = std::max(earliest, window_open);
+        }
+        break;
+      }
+      case Command::Pre:
+        earliest = std::max(b.nextPre, r.nextRefOk);
+        break;
+      case Command::PreA: {
+        earliest = r.nextRefOk;
+        for (unsigned bi = 0; bi < geom.banks; ++bi)
+            earliest = std::max(earliest, bank(rank, bi).nextPre);
+        break;
+      }
+      case Command::Rd:
+      case Command::RdA:
+        panic_if(!b.rowOpen || b.openRow != row,
+                 "column read to a row that is not open");
+        earliest = std::max({b.nextRead, nextReadGlobal, r.nextRefOk});
+        break;
+      case Command::Wr:
+      case Command::WrA:
+        panic_if(!b.rowOpen || b.openRow != row,
+                 "column write to a row that is not open");
+        earliest = std::max({b.nextWrite, nextWriteGlobal, r.nextRefOk});
+        break;
+      case Command::Ref: {
+        panic_if(!allBanksPrecharged(rank),
+                 "REF requires all banks precharged");
+        earliest = r.nextRefOk;
+        for (unsigned bi = 0; bi < geom.banks; ++bi)
+            earliest = std::max(earliest, bank(rank, bi).nextAct);
+        break;
+      }
+    }
+    return earliest;
+}
+
+bool
+Channel::canIssue(Command cmd, unsigned rank, unsigned bank_idx,
+                  std::uint64_t row, Tick now) const
+{
+    // State preconditions first; earliestIssueTick panics on them, so
+    // screen here to give callers a boolean answer.
+    const BankState &b = bank(rank, bank_idx);
+    switch (cmd) {
+      case Command::Act:
+        if (b.rowOpen)
+            return false;
+        break;
+      case Command::Rd:
+      case Command::RdA:
+      case Command::Wr:
+      case Command::WrA:
+        if (!b.rowOpen || b.openRow != row)
+            return false;
+        break;
+      case Command::Ref:
+        if (!allBanksPrecharged(rank))
+            return false;
+        break;
+      case Command::Pre:
+      case Command::PreA:
+        break;
+    }
+    return earliestIssueTick(cmd, rank, bank_idx, row) <= now;
+}
+
+Tick
+Channel::issue(Command cmd, unsigned rank, unsigned bank_idx,
+               std::uint64_t row, Tick now)
+{
+    Tick earliest = earliestIssueTick(cmd, rank, bank_idx, row);
+    panic_if(now < earliest,
+             "%s issued at tick %llu, legal only from %llu",
+             toString(cmd).c_str(), static_cast<unsigned long long>(now),
+             static_cast<unsigned long long>(earliest));
+
+    BankState &b = bank(rank, bank_idx);
+    RankState &r = rankState[rank];
+    statGroup.inc("cmd." + toString(cmd));
+
+    auto cyc = [this](unsigned c) { return params.cyc(c); };
+
+    switch (cmd) {
+      case Command::Act: {
+        b.rowOpen = true;
+        b.openRow = row;
+        b.rowHitStreak = 0;
+        b.nextRead = now + cyc(params.tRCD);
+        b.nextWrite = now + cyc(params.tRCD);
+        b.nextPre = now + cyc(params.tRAS);
+        b.nextAct = now + cyc(params.tRC);
+        r.nextAct = std::max(r.nextAct, now + cyc(params.tRRD));
+        r.actTimes.push_back(now);
+        while (r.actTimes.size() > 4)
+            r.actTimes.pop_front();
+        return now + cyc(params.tRCD);
+      }
+      case Command::Pre: {
+        b.rowOpen = false;
+        b.nextAct = std::max(b.nextAct, now + cyc(params.tRP));
+        return now + cyc(params.tRP);
+      }
+      case Command::PreA: {
+        Tick done = now;
+        for (unsigned bi = 0; bi < geom.banks; ++bi) {
+            BankState &bb = bank(rank, bi);
+            if (bb.rowOpen) {
+                panic_if(now < bb.nextPre, "PREA before a bank's tRAS/tWR");
+                bb.rowOpen = false;
+            }
+            bb.nextAct = std::max(bb.nextAct, now + cyc(params.tRP));
+            done = std::max(done, bb.nextAct);
+        }
+        return done;
+      }
+      case Command::Rd:
+      case Command::RdA: {
+        Tick data_done = now + cyc(params.tCL + params.tBL);
+        b.rowHitStreak++;
+        // Next column command anywhere on the bus.
+        nextReadGlobal = std::max(nextReadGlobal, now + cyc(params.tCCD));
+        nextWriteGlobal =
+            std::max(nextWriteGlobal, now + cyc(params.readToWrite()));
+        b.nextRead = std::max(b.nextRead, now + cyc(params.tCCD));
+        b.nextWrite = std::max(b.nextWrite, now + cyc(params.readToWrite()));
+        b.nextPre = std::max(b.nextPre, now + cyc(params.tRTP));
+        if (cmd == Command::RdA) {
+            b.rowOpen = false;
+            Tick pre_at = std::max(b.nextPre, now + cyc(params.tRTP));
+            b.nextAct = std::max(b.nextAct, pre_at + cyc(params.tRP));
+        }
+        return data_done;
+      }
+      case Command::Wr:
+      case Command::WrA: {
+        Tick data_done = now + cyc(params.tCWL + params.tBL);
+        b.rowHitStreak++;
+        nextWriteGlobal = std::max(nextWriteGlobal, now + cyc(params.tCCD));
+        // Write-to-read turnaround applies rank-wide; model it on the
+        // shared bus horizon, which is conservative across ranks.
+        nextReadGlobal =
+            std::max(nextReadGlobal, now + cyc(params.writeToRead()));
+        b.nextWrite = std::max(b.nextWrite, now + cyc(params.tCCD));
+        b.nextRead = std::max(b.nextRead, now + cyc(params.writeToRead()));
+        b.nextPre = std::max(b.nextPre, now + cyc(params.writeToPre()));
+        if (cmd == Command::WrA) {
+            b.rowOpen = false;
+            Tick pre_at = now + cyc(params.writeToPre());
+            b.nextAct = std::max(b.nextAct, pre_at + cyc(params.tRP));
+        }
+        return data_done;
+      }
+      case Command::Ref: {
+        Tick done = now + cyc(params.tRFC);
+        r.nextRefOk = done;
+        for (unsigned bi = 0; bi < geom.banks; ++bi) {
+            BankState &bb = bank(rank, bi);
+            bb.nextAct = std::max(bb.nextAct, done);
+        }
+        return done;
+      }
+    }
+    panic("unknown command");
+}
+
+} // namespace memcon::dram

@@ -1,0 +1,115 @@
+#include "failure/tester.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memcon::failure
+{
+
+double
+temperatureScaledInterval(double interval_ms, double from_celsius,
+                          double to_celsius)
+{
+    // k fitted to the paper's equivalence 4 s @ 45°C == 328 ms @ 85°C:
+    // k = ln(4000 / 328) / 40 per °C.
+    static const double k = std::log(4000.0 / 328.0) / 40.0;
+    return interval_ms * std::exp(-k * (to_celsius - from_celsius));
+}
+
+DramTester::DramTester(const FailureModel &model_ref) : model(model_ref) {}
+
+std::uint64_t
+DramTester::rowLimitOrAll(std::uint64_t row_limit) const
+{
+    std::uint64_t limit = row_limit == 0 ? model.numRows() : row_limit;
+    fatal_if(limit > model.numRows(),
+             "row limit %llu exceeds module rows %llu",
+             static_cast<unsigned long long>(limit),
+             static_cast<unsigned long long>(model.numRows()));
+    return limit;
+}
+
+TestResult
+DramTester::testWithContent(const ContentProvider &content,
+                            double interval_ms,
+                            std::uint64_t row_limit) const
+{
+    std::uint64_t limit = rowLimitOrAll(row_limit);
+    TestResult result;
+    result.rowsTested = limit;
+    for (std::uint64_t r = 0; r < limit; ++r) {
+        auto fails = model.evaluatePhysicalRow(r, content, interval_ms);
+        if (!fails.empty()) {
+            ++result.rowsFailing;
+            result.failures.insert(result.failures.end(), fails.begin(),
+                                   fails.end());
+        }
+    }
+    return result;
+}
+
+TestResult
+DramTester::testWithPatternBattery(
+    const std::vector<PatternContent> &battery, double interval_ms,
+    std::uint64_t row_limit) const
+{
+    std::uint64_t limit = rowLimitOrAll(row_limit);
+    TestResult result;
+    result.rowsTested = limit;
+
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    std::vector<bool> row_failed(limit, false);
+    for (const PatternContent &pattern : battery) {
+        for (std::uint64_t r = 0; r < limit; ++r) {
+            auto fails =
+                model.evaluatePhysicalRow(r, pattern, interval_ms);
+            for (const CellFailure &f : fails) {
+                if (seen.insert({f.physicalRow, f.column}).second)
+                    result.failures.push_back(f);
+                row_failed[r] = true;
+            }
+        }
+    }
+    for (bool failed : row_failed)
+        if (failed)
+            ++result.rowsFailing;
+    return result;
+}
+
+TestResult
+DramTester::exhaustivePhysicalTest(double interval_ms,
+                                   std::uint64_t row_limit) const
+{
+    std::uint64_t limit = rowLimitOrAll(row_limit);
+    TestResult result;
+    result.rowsTested = limit;
+    for (std::uint64_t r = 0; r < limit; ++r) {
+        if (model.physicalRowCanFail(r, interval_ms))
+            ++result.rowsFailing;
+    }
+    return result;
+}
+
+std::vector<std::set<std::pair<std::uint64_t, std::uint64_t>>>
+DramTester::perPatternFailingCells(
+    const std::vector<PatternContent> &battery, double interval_ms,
+    std::uint64_t row_limit) const
+{
+    std::uint64_t limit = rowLimitOrAll(row_limit);
+    std::vector<std::set<std::pair<std::uint64_t, std::uint64_t>>> out;
+    out.reserve(battery.size());
+    for (const PatternContent &pattern : battery) {
+        std::set<std::pair<std::uint64_t, std::uint64_t>> cells;
+        for (std::uint64_t r = 0; r < limit; ++r) {
+            for (const CellFailure &f :
+                 model.evaluatePhysicalRow(r, pattern, interval_ms)) {
+                cells.insert({f.physicalRow, f.column});
+            }
+        }
+        out.push_back(std::move(cells));
+    }
+    return out;
+}
+
+} // namespace memcon::failure

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Memory requests exchanged between cores and the memory controller.
+ */
+
+#ifndef MEMCON_SIM_REQUEST_HH
+#define MEMCON_SIM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hh"
+#include "dram/organization.hh"
+
+namespace memcon::sim
+{
+
+struct Request
+{
+    enum class Type
+    {
+        Read,
+        Write,
+    };
+
+    Type type = Type::Read;
+    std::uint64_t addr = 0; //!< block-aligned byte address
+    dram::Coordinates coords;
+    Tick arrival = 0;
+    int coreId = -1;   //!< -1 for controller-generated traffic
+    bool isTest = false; //!< MEMCON test traffic (lowest priority)
+
+    /** Invoked when read data is available (reads only). */
+    std::function<void(const Request &)> onComplete;
+};
+
+} // namespace memcon::sim
+
+#endif // MEMCON_SIM_REQUEST_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The full simulated system of Table 2: N simple cores (4 GHz,
+ * 4-wide, 128-entry window) over one DDR3-1600 channel, with
+ * configurable refresh cadence and optional MEMCON test-traffic
+ * injection.
+ *
+ * The system advances on the DRAM bus clock (800 MHz); each DRAM
+ * tick runs cpuGHz/0.8 CPU cycles per core. Runs follow the standard
+ * multiprogrammed methodology: every core keeps executing (to keep
+ * pressure on memory) until all cores have retired the target
+ * instruction count; each core's IPC is measured at the moment it
+ * reaches the target.
+ */
+
+#ifndef MEMCON_SIM_SYSTEM_HH
+#define MEMCON_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dram/organization.hh"
+#include "dram/timing.hh"
+#include "sim/controller.hh"
+#include "sim/core.hh"
+#include "trace/cpu_gen.hh"
+
+namespace memcon::sim
+{
+
+/**
+ * Paced injector for MEMCON's online-test memory traffic. The paper
+ * models 256-1024 concurrent tests per 64 ms window (Table 3); each
+ * test reads its row twice (Read&Compare) and additionally writes it
+ * once to the reserved region (Copy&Compare). The injector issues
+ * that traffic at the equivalent steady rate, tagged isTest so the
+ * controller deprioritises it below demand requests.
+ */
+class TestTrafficSource
+{
+  public:
+    /**
+     * @param tests_per_window tests per 64 ms
+     * @param copy_mode        true for Copy&Compare (adds the row
+     *                         write)
+     */
+    TestTrafficSource(const dram::Geometry &geometry,
+                      MemoryController &controller,
+                      unsigned tests_per_window, bool copy_mode,
+                      std::uint64_t seed);
+
+    void tick(Tick now);
+
+    std::uint64_t testsStarted() const { return started; }
+
+  private:
+    void startTest();
+
+    const dram::Geometry geom;
+    MemoryController &mc;
+    bool copyMode;
+    Tick interTestGap; //!< ticks between test starts
+    Tick nextTestAt = 0;
+    std::uint64_t started = 0;
+
+    // Remaining accesses of the in-progress test.
+    std::uint64_t currentRowBase = 0;
+    unsigned readsLeft = 0;
+    unsigned writesLeft = 0;
+    unsigned nextColumn = 0;
+    Rng rng;
+};
+
+struct SystemConfig
+{
+    unsigned cores = 1;
+    double cpuGHz = 4.0;
+    unsigned issueWidth = 4;
+    unsigned windowSize = 128;
+
+    dram::Geometry geometry = dram::Geometry::dimm8GB();
+    dram::Density density = dram::Density::Gb8;
+
+    /** Full-device refresh period the baseline REF stream covers. */
+    double refreshIntervalMs = 16.0;
+
+    /** Fraction of refresh operations eliminated (MEMCON/RAIDR). */
+    double refreshReduction = 0.0;
+
+    bool refreshEnabled = true;
+
+    /** MEMCON test traffic: tests per 64 ms window (0 = none). */
+    unsigned concurrentTests = 0;
+    bool copyMode = false;
+
+    std::uint64_t seed = 1;
+};
+
+struct RunResult
+{
+    std::vector<double> ipc;        //!< per core, at its finish point
+    std::vector<InstCount> retired; //!< per core, total at run end
+    Tick totalTicks = 0;
+    std::uint64_t refreshCount = 0;
+    std::uint64_t testsStarted = 0;
+
+    /** Sum of per-core IPCs (throughput metric for mixes). */
+    double ipcSum() const;
+};
+
+class System
+{
+  public:
+    System(const SystemConfig &config,
+           const std::vector<trace::CpuPersona> &mix);
+
+    /**
+     * Run until every core retires at least insts_per_core
+     * instructions (hard-capped at max_ticks as a safety net).
+     */
+    RunResult run(InstCount insts_per_core,
+                  Tick max_ticks = 400ULL * 1000 * 1000 * 1000);
+
+    MemoryController &controller() { return *mc; }
+
+  private:
+    SystemConfig cfg;
+    dram::TimingParams timing;
+    std::unique_ptr<MemoryController> mc;
+    std::vector<std::unique_ptr<SimpleCore>> cores;
+    std::unique_ptr<TestTrafficSource> testSource;
+    unsigned cpuCyclesPerDramTick;
+};
+
+} // namespace memcon::sim
+
+#endif // MEMCON_SIM_SYSTEM_HH

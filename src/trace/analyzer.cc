@@ -1,0 +1,152 @@
+#include "trace/analyzer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memcon::trace
+{
+
+WriteIntervalAnalyzer::WriteIntervalAnalyzer() : hist(26)
+{
+    // 26 exponents cover 1 ms .. 2^25 ms (~9.3 hours), far beyond any
+    // Table 1 trace.
+}
+
+void
+WriteIntervalAnalyzer::addInterval(TimeMs interval_ms)
+{
+    panic_if(interval_ms < 0.0, "negative write interval");
+    intervals.push_back(interval_ms);
+    totalTime += interval_ms;
+    hist.add(interval_ms, interval_ms);
+    sorted = false;
+}
+
+void
+WriteIntervalAnalyzer::addPageWriteTimes(const std::vector<TimeMs> &times)
+{
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        panic_if(times[i] < times[i - 1], "write times must be ordered");
+        addInterval(times[i] - times[i - 1]);
+    }
+}
+
+void
+WriteIntervalAnalyzer::finalize() const
+{
+    if (sorted)
+        return;
+    std::sort(intervals.begin(), intervals.end());
+    suffixSum.assign(intervals.size() + 1, 0.0);
+    for (std::size_t i = intervals.size(); i-- > 0;)
+        suffixSum[i] = suffixSum[i + 1] + intervals[i];
+    sorted = true;
+}
+
+double
+WriteIntervalAnalyzer::fractionWritesBelow(TimeMs ms) const
+{
+    if (intervals.empty())
+        return 0.0;
+    finalize();
+    auto it = std::lower_bound(intervals.begin(), intervals.end(), ms);
+    return static_cast<double>(it - intervals.begin()) /
+           static_cast<double>(intervals.size());
+}
+
+double
+WriteIntervalAnalyzer::fractionWritesAtLeast(TimeMs ms) const
+{
+    if (intervals.empty())
+        return 0.0;
+    return 1.0 - fractionWritesBelow(ms);
+}
+
+double
+WriteIntervalAnalyzer::timeFractionAtLeast(TimeMs ms) const
+{
+    if (intervals.empty() || totalTime <= 0.0)
+        return 0.0;
+    finalize();
+    auto it = std::lower_bound(intervals.begin(), intervals.end(), ms);
+    std::size_t idx = static_cast<std::size_t>(it - intervals.begin());
+    return suffixSum[idx] / totalTime;
+}
+
+std::vector<std::pair<double, double>>
+WriteIntervalAnalyzer::survivalCurve(TimeMs max_x_ms) const
+{
+    std::vector<std::pair<double, double>> points;
+    for (double x = 1.0; x <= max_x_ms; x *= 2.0)
+        points.emplace_back(x, fractionWritesAtLeast(x));
+    return points;
+}
+
+LineFit
+WriteIntervalAnalyzer::paretoFit(TimeMs min_x_ms, TimeMs max_x_ms) const
+{
+    std::vector<double> xs, survival;
+    for (auto [x, p] : survivalCurve(max_x_ms)) {
+        if (x >= min_x_ms && p > 0.0) {
+            xs.push_back(x);
+            survival.push_back(p);
+        }
+    }
+    return fitParetoTail(xs, survival);
+}
+
+double
+WriteIntervalAnalyzer::probRemainingAtLeast(TimeMs cil, TimeMs ril) const
+{
+    double surviving = fractionWritesAtLeast(cil);
+    if (surviving <= 0.0)
+        return 0.0;
+    return fractionWritesAtLeast(cil + ril) / surviving;
+}
+
+double
+WriteIntervalAnalyzer::coverageAtCil(TimeMs cil, TimeMs ril) const
+{
+    if (intervals.empty() || totalTime <= 0.0)
+        return 0.0;
+    finalize();
+    double threshold = cil + ril;
+    auto it =
+        std::lower_bound(intervals.begin(), intervals.end(), threshold);
+    std::size_t idx = static_cast<std::size_t>(it - intervals.begin());
+    std::size_t n_long = intervals.size() - idx;
+    double exploitable =
+        suffixSum[idx] - cil * static_cast<double>(n_long);
+    return exploitable / totalTime;
+}
+
+WriteIntervalAnalyzer
+analyzeApp(const AppPersona &persona)
+{
+    return analyzeAppScaled(persona, 1.0);
+}
+
+WriteIntervalAnalyzer
+analyzeAppScaled(const AppPersona &persona, double interval_scale)
+{
+    fatal_if(interval_scale <= 0.0, "interval scale must be positive");
+    WriteIntervalAnalyzer analyzer;
+    for (std::uint64_t page = 0; page < persona.pages; ++page) {
+        PageWriteProcess process(persona, page);
+        std::vector<TimeMs> times = process.writeTimes();
+        if (interval_scale != 1.0) {
+            double prev_original = times.empty() ? 0.0 : times[0];
+            for (std::size_t i = 1; i < times.size(); ++i) {
+                double interval = times[i] - prev_original;
+                prev_original = times[i];
+                times[i] = times[i - 1] + interval * interval_scale;
+            }
+        }
+        analyzer.addPageWriteTimes(times);
+    }
+    return analyzer;
+}
+
+} // namespace memcon::trace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Write-interval analysis (Sections 4.1 and 6.4).
+ *
+ * Consumes per-page inter-write intervals and answers every question
+ * the paper asks of its traces:
+ *
+ *  - the interval distribution itself (Figure 7),
+ *  - the Pareto tail fit on the log-log survival curve (Figure 8),
+ *  - the fraction of write-interval time held by long intervals
+ *    (Figure 9),
+ *  - P(remaining interval > R | current interval >= c) - the
+ *    decreasing-hazard-rate curve PRIL builds on (Figure 11),
+ *  - prediction coverage as a function of the observed current
+ *    interval length (Figure 12).
+ */
+
+#ifndef MEMCON_TRACE_ANALYZER_HH
+#define MEMCON_TRACE_ANALYZER_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/linear_fit.hh"
+#include "common/units.hh"
+#include "trace/app_model.hh"
+
+namespace memcon::trace
+{
+
+class WriteIntervalAnalyzer
+{
+  public:
+    WriteIntervalAnalyzer();
+
+    /** Add one inter-write interval (ms). */
+    void addInterval(TimeMs interval_ms);
+
+    /** Add all consecutive intervals of one page's write times. */
+    void addPageWriteTimes(const std::vector<TimeMs> &times);
+
+    std::uint64_t numIntervals() const { return intervals.size(); }
+    double totalIntervalTimeMs() const { return totalTime; }
+
+    /** Power-of-two-bucketed distribution (Figure 7). */
+    const LogHistogram &histogram() const { return hist; }
+
+    /** Fraction of intervals strictly below the threshold. */
+    double fractionWritesBelow(TimeMs ms) const;
+
+    /** Fraction of intervals >= the threshold. */
+    double fractionWritesAtLeast(TimeMs ms) const;
+
+    /** Fraction of interval *time* spent in intervals >= threshold. */
+    double timeFractionAtLeast(TimeMs ms) const;
+
+    /**
+     * Survival points (x, P(interval > x)) at power-of-two x from
+     * 1 ms up to max_x_ms (Figure 8 input).
+     */
+    std::vector<std::pair<double, double>>
+    survivalCurve(TimeMs max_x_ms = 32768.0) const;
+
+    /** Log-log least-squares fit of the survival curve (Figure 8). */
+    LineFit paretoFit(TimeMs min_x_ms = 1.0,
+                      TimeMs max_x_ms = 32768.0) const;
+
+    /**
+     * P(remaining length > ril | elapsed length >= cil): of the
+     * intervals that survive past cil, the fraction that also
+     * survive past cil + ril (Figure 11).
+     */
+    double probRemainingAtLeast(TimeMs cil, TimeMs ril) const;
+
+    /**
+     * Prediction coverage at a given CIL: the fraction of total
+     * write-interval time that lies in correctly-predicted intervals
+     * *after* the CIL observation window, i.e.
+     * sum over intervals X > cil + ril of (X - cil), divided by the
+     * total interval time (Figure 12).
+     */
+    double coverageAtCil(TimeMs cil, TimeMs ril) const;
+
+  private:
+    void finalize() const;
+
+    mutable std::vector<double> intervals;
+    mutable std::vector<double> suffixSum; //!< suffixSum[i] = sum of [i..)
+    mutable bool sorted = false;
+    double totalTime = 0.0;
+    LogHistogram hist;
+};
+
+/** Analyze every page of one Table 1 application persona. */
+WriteIntervalAnalyzer analyzeApp(const AppPersona &persona);
+
+/**
+ * Analyze a persona with all long gaps scaled by the given factor -
+ * the cache-pressure sensitivity study of Figure 19 uses 0.5.
+ */
+WriteIntervalAnalyzer analyzeAppScaled(const AppPersona &persona,
+                                       double interval_scale);
+
+} // namespace memcon::trace
+
+#endif // MEMCON_TRACE_ANALYZER_HH

@@ -1,0 +1,167 @@
+#include "trace/app_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memcon::trace
+{
+
+std::vector<AppPersona>
+AppPersona::table1Suite()
+{
+    // Name, type, duration, footprint and threads come from Table 1.
+    // The generator parameters vary per application to span the
+    // spread visible in Figures 7-12 and 14: playback/streaming apps
+    // leave pages idle longest (heavy cold tails, small hot sets);
+    // games and system management churn more pages at shorter
+    // intervals.
+    //
+    //   name            type                dur     GB  th  pages
+    //   roFr hotFr burstLen gapMs medXm medAl hotTail coldXm alpha seed
+    auto mk = [](std::string name, std::string type, double dur, double gb,
+                 unsigned th, std::uint64_t pages, double rofr,
+                 double hotfr, double blen, double gap, double medxm,
+                 double medal, double httail, double coldxm, double alpha,
+                 std::uint64_t seed) {
+        AppPersona p;
+        p.name = std::move(name);
+        p.type = std::move(type);
+        p.durationSec = dur;
+        p.footprintGB = gb;
+        p.threads = th;
+        p.pages = pages;
+        p.readOnlyFraction = rofr;
+        p.hotFraction = hotfr;
+        p.burstLenMean = blen;
+        p.burstGapMeanMs = gap;
+        p.mediumXmMs = medxm;
+        p.mediumAlpha = medal;
+        p.hotTailShare = httail;
+        p.coldXmMs = coldxm;
+        p.tailAlpha = alpha;
+        p.seed = seed;
+        return p;
+    };
+
+    return {
+        mk("ACBrotherHood", "Game", 209.1, 2.8, 8, 2048,
+           0.42, 0.030, 30.0, 0.10, 12.0, 1.25, 0.010, 600.0, 0.32, 3001),
+        mk("AdobePhotoshop", "Photo editing", 149.2, 3.0, 4, 2048,
+           0.40, 0.028, 28.0, 0.10, 14.0, 1.25, 0.010, 650.0, 0.31, 3002),
+        mk("AllSysMark", "Media creation", 2064.0, 3.4, 4, 1024,
+           0.55, 0.018, 30.0, 0.15, 16.0, 1.20, 0.008, 900.0, 0.24, 3003),
+        mk("AVCHD", "Video playback", 217.3, 5.2, 2, 2048,
+           0.52, 0.022, 30.0, 0.08, 14.0, 1.22, 0.008, 700.0, 0.28, 3004),
+        mk("BlurMotion", "Image processing", 93.4, 0.2, 2, 2048,
+           0.32, 0.042, 32.0, 0.20, 10.0, 1.30, 0.012, 500.0, 0.36, 3005),
+        mk("FinalCutPro", "Video editing", 76.9, 3.0, 2, 2048,
+           0.35, 0.034, 28.0, 0.10, 11.0, 1.28, 0.010, 550.0, 0.34, 3006),
+        mk("FinalMaster", "Movie display", 248.1, 2.0, 2, 2048,
+           0.50, 0.020, 28.0, 0.08, 15.0, 1.20, 0.008, 800.0, 0.26, 3007),
+        mk("AdobePremiere", "Video editing", 298.8, 5.0, 2, 2048,
+           0.44, 0.028, 30.0, 0.12, 13.0, 1.24, 0.010, 650.0, 0.30, 3008),
+        mk("MotionPlayBack", "Video processing", 233.9, 5.6, 2, 2048,
+           0.50, 0.022, 30.0, 0.10, 14.0, 1.22, 0.008, 700.0, 0.28, 3009),
+        mk("Netflix", "Video streaming", 229.4, 4.6, 2, 2048,
+           0.56, 0.018, 28.0, 0.06, 16.0, 1.18, 0.008, 850.0, 0.25, 3010),
+        mk("SystemMgt", "Win 7 managing", 466.2, 7.6, 2, 1024,
+           0.36, 0.036, 32.0, 0.18, 10.0, 1.30, 0.012, 480.0, 0.35, 3011),
+        mk("VideoEncode", "Video encoding", 299.1, 7.3, 4, 2048,
+           0.40, 0.030, 30.0, 0.15, 12.0, 1.26, 0.010, 600.0, 0.32, 3012),
+    };
+}
+
+AppPersona
+AppPersona::byName(const std::string &name)
+{
+    for (const auto &p : table1Suite())
+        if (p.name == name)
+            return p;
+    fatal("unknown application persona '%s'", name.c_str());
+}
+
+PageWriteProcess::PageWriteProcess(const AppPersona &persona_desc,
+                                   std::uint64_t page_id)
+    : persona(persona_desc),
+      rng(hashMix64(persona_desc.seed * 0x9e3779b97f4a7c15ULL ^
+                    (page_id + 0xbeef)))
+{
+    fatal_if(persona.burstLenMean < 1.0, "burst length mean must be >= 1");
+    fatal_if(persona.hotFraction < 0.0 || persona.hotFraction > 1.0,
+             "hot fraction must lie in [0, 1]");
+    fatal_if(persona.hotTailShare < 0.0 || persona.hotTailShare > 1.0,
+             "hot tail share must lie in [0, 1]");
+    fatal_if(persona.tailAlpha <= 0.0, "tail alpha must be positive");
+    fatal_if(persona.coldXmMs <= 0.0, "cold gap minimum must be > 0");
+    fatal_if(persona.mediumXmMs <= 0.0 || persona.mediumAlpha <= 1.0,
+             "medium gaps need xm > 0 and alpha > 1");
+
+    fatal_if(persona.readOnlyFraction < 0.0 ||
+                 persona.readOnlyFraction + persona.hotFraction > 1.0,
+             "page-class fractions must fit in [0, 1]");
+
+    // Class membership is a deterministic function of the page id.
+    double u = rng.uniform();
+    if (u < persona.readOnlyFraction)
+        cls = Class::ReadOnly;
+    else if (u < persona.readOnlyFraction + persona.hotFraction)
+        cls = Class::Hot;
+    else
+        cls = Class::Cold;
+}
+
+TimeMs
+PageWriteProcess::truncatedParetoMs(double x_min, double alpha)
+{
+    double duration_ms = persona.durationSec * 1000.0;
+    if (x_min >= duration_ms)
+        return duration_ms;
+    for (;;) {
+        double x = rng.pareto(x_min, alpha);
+        if (x <= duration_ms)
+            return x;
+    }
+}
+
+TimeMs
+PageWriteProcess::nextIntervalMs()
+{
+    panic_if(cls == Class::ReadOnly, "read-only pages have no intervals");
+    if (cls == Class::Cold) {
+        // Cold pages: isolated writes separated by heavy-tailed gaps.
+        return truncatedParetoMs(persona.coldXmMs, persona.tailAlpha);
+    }
+
+    if (burstRemaining == 0) {
+        double p = 1.0 / persona.burstLenMean;
+        double u = 1.0 - rng.uniform();
+        burstRemaining = 1 + static_cast<std::uint64_t>(
+                                 std::log(u) / std::log(1.0 - p));
+        if (rng.uniform() < persona.hotTailShare)
+            return truncatedParetoMs(persona.coldXmMs, persona.tailAlpha);
+        return truncatedParetoMs(persona.mediumXmMs, persona.mediumAlpha);
+    }
+    --burstRemaining;
+    return rng.exponential(persona.burstGapMeanMs);
+}
+
+std::vector<TimeMs>
+PageWriteProcess::writeTimes()
+{
+    double duration_ms = persona.durationSec * 1000.0;
+    std::vector<TimeMs> times;
+    if (cls == Class::ReadOnly)
+        return times;
+    // Random phase so pages do not start synchronized; cold pages may
+    // phase in anywhere in their first long gap.
+    TimeMs t = isHot() ? rng.uniform(0.0, 2000.0)
+                       : rng.uniform(0.0, persona.coldXmMs * 4.0);
+    while (t < duration_ms) {
+        times.push_back(t);
+        t += nextIntervalMs();
+    }
+    return times;
+}
+
+} // namespace memcon::trace

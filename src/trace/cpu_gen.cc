@@ -1,0 +1,109 @@
+#include "trace/cpu_gen.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memcon::trace
+{
+
+std::vector<CpuPersona>
+CpuPersona::benchmarkPool()
+{
+    // Intensities follow the published LLC-MPKI ordering of the
+    // suites: mcf/lbm/libquantum/GemsFDTD are memory bound,
+    // perlbench/h264ref/namd nearly compute bound, TPC workloads in
+    // between, STREAM fully bandwidth bound with unit-stride runs.
+    //    name          mpki  wr    footprint(blocks) seq   zipf  seed
+    return {
+        {"mcf",         68.0, 0.28, 6 * 1024 * 1024, 1.2, 0.55, 4001},
+        {"lbm",         32.0, 0.45, 7 * 1024 * 1024, 4.0, 0.20, 4002},
+        {"libquantum",  26.0, 0.33, 2 * 1024 * 1024, 8.0, 0.10, 4003},
+        {"GemsFDTD",    18.0, 0.40, 6 * 1024 * 1024, 3.0, 0.25, 4004},
+        {"milc",        16.0, 0.38, 4 * 1024 * 1024, 2.5, 0.30, 4005},
+        {"soplex",      14.0, 0.25, 3 * 1024 * 1024, 2.0, 0.45, 4006},
+        {"omnetpp",     10.0, 0.30, 2 * 1024 * 1024, 1.3, 0.70, 4007},
+        {"astar",        5.0, 0.22, 1 * 1024 * 1024, 1.4, 0.60, 4008},
+        {"h264ref",      1.6, 0.20, 512 * 1024,      2.2, 0.50, 4009},
+        {"namd",         1.2, 0.15, 768 * 1024,      2.0, 0.40, 4010},
+        {"perlbench",    0.8, 0.25, 512 * 1024,      1.5, 0.65, 4011},
+        {"tpcc",        12.0, 0.35, 8 * 1024 * 1024, 1.2, 0.75, 4012},
+        {"tpch",         9.0, 0.15, 12 * 1024 * 1024, 6.0, 0.30, 4013},
+        {"stream",      48.0, 0.33, 8 * 1024 * 1024, 16.0, 0.00, 4014},
+    };
+}
+
+CpuPersona
+CpuPersona::byName(const std::string &name)
+{
+    for (const auto &p : benchmarkPool())
+        if (p.name == name)
+            return p;
+    fatal("unknown CPU persona '%s'", name.c_str());
+}
+
+std::vector<std::vector<CpuPersona>>
+CpuPersona::randomMixes(unsigned num_mixes, unsigned cores_per_mix,
+                        std::uint64_t seed)
+{
+    auto pool = benchmarkPool();
+    Rng rng(hashMix64(seed ^ 0x33aa55));
+    std::vector<std::vector<CpuPersona>> mixes;
+    mixes.reserve(num_mixes);
+    for (unsigned m = 0; m < num_mixes; ++m) {
+        std::vector<CpuPersona> mix;
+        for (unsigned c = 0; c < cores_per_mix; ++c)
+            mix.push_back(pool[rng.uniformInt(pool.size())]);
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+CpuAccessStream::CpuAccessStream(const CpuPersona &persona,
+                                 std::uint64_t stream_seed)
+    : personaDesc(persona),
+      rng(hashMix64(persona.seed * 0x9e3779b97f4a7c15ULL ^
+                    (stream_seed + 0xfeed)))
+{
+    fatal_if(personaDesc.mpki <= 0.0, "mpki must be positive");
+    fatal_if(personaDesc.footprintBlocks == 0, "footprint must be > 0");
+    fatal_if(personaDesc.seqRunMean < 1.0,
+             "sequential run mean must be >= 1");
+    currentBlock = rng.uniformInt(personaDesc.footprintBlocks);
+}
+
+MemAccess
+CpuAccessStream::next()
+{
+    MemAccess acc;
+    // Instructions between DRAM accesses: geometric with mean
+    // 1000/mpki.
+    double mean_gap = 1000.0 / personaDesc.mpki;
+    acc.bubbleInsts =
+        static_cast<std::uint64_t>(rng.exponential(mean_gap));
+
+    if (seqRemaining > 0) {
+        --seqRemaining;
+        currentBlock =
+            (currentBlock + 1) % personaDesc.footprintBlocks;
+    } else {
+        // New reuse point drawn with Zipf skew, then a fresh
+        // sequential run.
+        currentBlock =
+            rng.zipf(personaDesc.footprintBlocks, personaDesc.zipfS);
+        // Spread Zipf ranks across the footprint so hot blocks are
+        // not all physically clustered at low addresses.
+        currentBlock = hashMix64(currentBlock * 0x9e3779b97f4a7c15ULL) %
+                       personaDesc.footprintBlocks;
+        double p = 1.0 / personaDesc.seqRunMean;
+        double u = 1.0 - rng.uniform();
+        seqRemaining = static_cast<std::uint64_t>(std::log(u) /
+                                                  std::log(1.0 - p));
+    }
+
+    acc.blockIndex = currentBlock;
+    acc.isWrite = rng.chance(personaDesc.writeFraction);
+    return acc;
+}
+
+} // namespace memcon::trace

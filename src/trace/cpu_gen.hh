@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CPU access-trace generation for the cycle-level simulator.
+ *
+ * Stands in for the paper's Pin-driven SPEC CPU2006 / TPC-C / TPC-H
+ * traces (Section 5). Each persona fixes the properties that
+ * determine refresh sensitivity: DRAM accesses per kilo-instruction,
+ * read/write mix, footprint, and row-buffer locality (sequential run
+ * length and a Zipf reuse skew). The stream format matches
+ * Ramulator's CPU traces: a bubble of non-memory instructions
+ * followed by one memory access.
+ */
+
+#ifndef MEMCON_TRACE_CPU_GEN_HH
+#define MEMCON_TRACE_CPU_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/units.hh"
+
+namespace memcon::trace
+{
+
+/** One instruction-stream event: run `bubble` instructions, then the
+ * memory access. */
+struct MemAccess
+{
+    std::uint64_t bubbleInsts; //!< non-memory instructions preceding
+    std::uint64_t blockIndex;  //!< cache-block index inside footprint
+    bool isWrite;
+};
+
+/** Benchmark characteristics for trace synthesis. */
+struct CpuPersona
+{
+    std::string name;
+    double mpki;            //!< DRAM accesses per kilo-instruction
+    double writeFraction;   //!< of accesses that are writebacks
+    std::uint64_t footprintBlocks;
+    double seqRunMean;      //!< mean sequential-run length (row hits)
+    double zipfS;           //!< reuse skew across the footprint
+    std::uint64_t seed;
+
+    /**
+     * The mixed SPEC CPU2006 / TPC / STREAM persona pool the paper
+     * draws its 30 random multiprogrammed mixes from.
+     */
+    static std::vector<CpuPersona> benchmarkPool();
+
+    /** Look up a persona by name; fatal if unknown. */
+    static CpuPersona byName(const std::string &name);
+
+    /**
+     * The 30 multiprogrammed mixes of Section 5: each mix is
+     * cores_per_mix personas drawn (with replacement) from the pool.
+     */
+    static std::vector<std::vector<CpuPersona>>
+    randomMixes(unsigned num_mixes, unsigned cores_per_mix,
+                std::uint64_t seed);
+};
+
+/** An endless, deterministic stream of accesses for one persona. */
+class CpuAccessStream
+{
+  public:
+    /**
+     * @param persona      benchmark characteristics
+     * @param stream_seed  extra seed so the same persona can appear
+     *                     in one mix more than once with decorrelated
+     *                     streams
+     */
+    explicit CpuAccessStream(const CpuPersona &persona,
+                             std::uint64_t stream_seed = 0);
+
+    /** Generate the next access. */
+    MemAccess next();
+
+    const CpuPersona &persona() const { return personaDesc; }
+
+  private:
+    CpuPersona personaDesc;
+    Rng rng;
+    std::uint64_t currentBlock = 0;
+    std::uint64_t seqRemaining = 0;
+};
+
+} // namespace memcon::trace
+
+#endif // MEMCON_TRACE_CPU_GEN_HH

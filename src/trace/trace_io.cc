@@ -1,0 +1,145 @@
+#include "trace/trace_io.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "trace/app_model.hh"
+
+namespace memcon::trace
+{
+
+namespace
+{
+
+/** Next content line, skipping blanks and # comments. */
+bool
+nextLine(std::istream &is, std::string &line)
+{
+    while (std::getline(is, line)) {
+        std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos)
+            continue;
+        if (line[start] == '#')
+            continue;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+writeWriteTrace(std::ostream &os, const WriteTrace &trace)
+{
+    os << "# MEMCON write-interval trace\n";
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "wtrace v1 " << trace.pageWrites.size() << ' '
+       << trace.durationMs << '\n';
+    for (std::size_t p = 0; p < trace.pageWrites.size(); ++p)
+        for (double t : trace.pageWrites[p])
+            os << p << ' ' << t << '\n';
+}
+
+WriteTrace
+readWriteTrace(std::istream &is)
+{
+    std::string line;
+    fatal_if(!nextLine(is, line), "empty write trace");
+
+    std::istringstream header(line);
+    std::string magic, version;
+    std::size_t pages = 0;
+    double duration = 0.0;
+    header >> magic >> version >> pages >> duration;
+    fatal_if(magic != "wtrace" || version != "v1",
+             "bad write-trace header: '%s'", line.c_str());
+    fatal_if(pages == 0 || duration <= 0.0,
+             "write-trace header needs pages > 0 and duration > 0");
+
+    WriteTrace trace;
+    trace.durationMs = duration;
+    trace.pageWrites.resize(pages);
+    while (nextLine(is, line)) {
+        std::istringstream row(line);
+        std::size_t page;
+        double t;
+        fatal_if(!(row >> page >> t), "bad write-trace line: '%s'",
+                 line.c_str());
+        fatal_if(page >= pages, "page %zu out of range in trace", page);
+        fatal_if(t < 0.0 || t >= duration,
+                 "write time %f outside [0, %f)", t, duration);
+        trace.pageWrites[page].push_back(t);
+    }
+    for (auto &writes : trace.pageWrites)
+        std::sort(writes.begin(), writes.end());
+    return trace;
+}
+
+WriteTrace
+traceFromPersona(const AppPersona &persona)
+{
+    WriteTrace trace;
+    trace.durationMs = persona.durationSec * 1000.0;
+    trace.pageWrites.reserve(persona.pages);
+    for (std::uint64_t p = 0; p < persona.pages; ++p) {
+        PageWriteProcess proc(persona, p);
+        trace.pageWrites.push_back(proc.writeTimes());
+    }
+    return trace;
+}
+
+void
+writeCpuTrace(std::ostream &os, const std::vector<MemAccess> &trace)
+{
+    os << "# MEMCON CPU access trace\n";
+    os << "ctrace v1\n";
+    for (const MemAccess &a : trace) {
+        os << a.bubbleInsts << ' ' << a.blockIndex << ' '
+           << (a.isWrite ? 'W' : 'R') << '\n';
+    }
+}
+
+std::vector<MemAccess>
+readCpuTrace(std::istream &is)
+{
+    std::string line;
+    fatal_if(!nextLine(is, line), "empty CPU trace");
+    std::istringstream header(line);
+    std::string magic, version;
+    header >> magic >> version;
+    fatal_if(magic != "ctrace" || version != "v1",
+             "bad CPU-trace header: '%s'", line.c_str());
+
+    std::vector<MemAccess> out;
+    while (nextLine(is, line)) {
+        std::istringstream row(line);
+        MemAccess a;
+        char rw = 0;
+        fatal_if(!(row >> a.bubbleInsts >> a.blockIndex >> rw),
+                 "bad CPU-trace line: '%s'", line.c_str());
+        fatal_if(rw != 'R' && rw != 'W',
+                 "CPU-trace access type must be R or W, got '%c'", rw);
+        a.isWrite = rw == 'W';
+        out.push_back(a);
+    }
+    return out;
+}
+
+std::vector<MemAccess>
+captureCpuTrace(const CpuPersona &persona, std::size_t n,
+                std::uint64_t stream_seed)
+{
+    CpuAccessStream stream(persona, stream_seed);
+    std::vector<MemAccess> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(stream.next());
+    return out;
+}
+
+} // namespace memcon::trace

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Text trace formats, so externally collected traces (e.g. from a
+ * real HMTT-style tracer or a Pin tool) can drive the library in
+ * place of the synthetic generators.
+ *
+ * Write-interval traces ("wtrace v1"):
+ *   # comments and blank lines ignored
+ *   wtrace v1 <num-pages> <duration-ms>
+ *   <page-id> <time-ms>          one write event per line, any order
+ *
+ * CPU access traces ("ctrace v1", Ramulator-compatible shape):
+ *   ctrace v1
+ *   <bubble-insts> <block-index> R|W
+ */
+
+#ifndef MEMCON_TRACE_TRACE_IO_HH
+#define MEMCON_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "trace/app_model.hh"
+#include "trace/cpu_gen.hh"
+
+namespace memcon::trace
+{
+
+/** A parsed write-interval trace. */
+struct WriteTrace
+{
+    double durationMs = 0.0;
+    std::vector<std::vector<TimeMs>> pageWrites; //!< sorted per page
+
+    std::uint64_t
+    totalWrites() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &p : pageWrites)
+            n += p.size();
+        return n;
+    }
+};
+
+/** Serialize a write trace (events emitted page-major, sorted). */
+void writeWriteTrace(std::ostream &os, const WriteTrace &trace);
+
+/** Parse a write trace; fatal on malformed input. */
+WriteTrace readWriteTrace(std::istream &is);
+
+/** Materialize a persona into a WriteTrace (for export). */
+WriteTrace traceFromPersona(const AppPersona &persona);
+
+/** Serialize a finite CPU access trace. */
+void writeCpuTrace(std::ostream &os, const std::vector<MemAccess> &trace);
+
+/** Parse a CPU access trace; fatal on malformed input. */
+std::vector<MemAccess> readCpuTrace(std::istream &is);
+
+/** Capture n accesses from a persona stream (for export). */
+std::vector<MemAccess> captureCpuTrace(const CpuPersona &persona,
+                                       std::size_t n,
+                                       std::uint64_t stream_seed = 0);
+
+} // namespace memcon::trace
+
+#endif // MEMCON_TRACE_TRACE_IO_HH

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Unit and property tests for the common substrate: logging helpers,
+ * the deterministic RNG and its samplers, BitVector, LogHistogram,
+ * least-squares fitting, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitvector.hh"
+#include "common/histogram.hh"
+#include "common/linear_fit.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace memcon
+{
+namespace
+{
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("a=%d b=%s", 7, "x"), "a=7 b=x");
+    EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Logging, QuietSuppressesOutput)
+{
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    warn("this warning must not appear");
+    inform("this info must not appear");
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_EQ(nsToTicks(1.25), 1250u);
+    EXPECT_EQ(usToTicks(1.95), 1950000u);
+    EXPECT_EQ(msToTicks(64.0), 64ull * 1000 * 1000 * 1000);
+    EXPECT_DOUBLE_EQ(ticksToNs(1250), 1.25);
+    EXPECT_DOUBLE_EQ(ticksToMs(msToTicks(16.0)), 16.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsProduceDistinctStreams)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(3.0, 5.0);
+        ASSERT_GE(u, 3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t v = rng.uniformInt(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(5);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+/** Pareto sampler parameter sweep: the empirical tail must recover
+ * the configured alpha. */
+class ParetoRecovery : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ParetoRecovery, TailIndexRecovered)
+{
+    double alpha = GetParam();
+    Rng rng(123);
+    const int n = 200000;
+    // Estimate alpha with the Hill-type MLE: alpha =
+    // n / sum(ln(x_i / x_min)).
+    double sum_log = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.pareto(2.0, alpha);
+        ASSERT_GE(x, 2.0);
+        sum_log += std::log(x / 2.0);
+    }
+    double alpha_hat = n / sum_log;
+    EXPECT_NEAR(alpha_hat, alpha, alpha * 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ParetoRecovery,
+                         ::testing::Values(0.25, 0.5, 1.0, 1.5, 2.5));
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian(10.0, 3.0);
+        sum += g;
+        sq += g * g;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+/** Poisson sweep across both sampler regimes (Knuth and normal). */
+class PoissonMean : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PoissonMean, MeanMatchesRate)
+{
+    double lambda = GetParam();
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.poisson(lambda));
+    EXPECT_NEAR(sum / n, lambda, std::max(0.05, lambda * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PoissonMean,
+                         ::testing::Values(0.1, 0.5, 2.0, 10.0, 100.0));
+
+TEST(Rng, PoissonZeroRate)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ZipfSkewAndBounds)
+{
+    Rng rng(21);
+    const std::uint64_t n = 1000;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < 100000; ++i) {
+        std::uint64_t r = rng.zipf(n, 1.0);
+        ASSERT_LT(r, n);
+        ++counts[r];
+    }
+    // Rank 0 must be much hotter than rank 100.
+    EXPECT_GT(counts[0], counts[100] * 5);
+    // s = 0 degenerates to uniform.
+    std::vector<int> flat(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++flat[rng.zipf(10, 0.0)];
+    for (int c : flat)
+        EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(HashMix, DeterministicAndSpreading)
+{
+    EXPECT_EQ(hashMix64(123), hashMix64(123));
+    std::set<std::uint64_t> outs;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        outs.insert(hashMix64(i));
+    EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(BitVector, SetTestClear)
+{
+    BitVector bv(200);
+    EXPECT_EQ(bv.size(), 200u);
+    EXPECT_FALSE(bv.test(63));
+    bv.set(63);
+    bv.set(64);
+    bv.set(199);
+    EXPECT_TRUE(bv.test(63));
+    EXPECT_TRUE(bv.test(64));
+    EXPECT_TRUE(bv.test(199));
+    EXPECT_EQ(bv.count(), 3u);
+    bv.clear(64);
+    EXPECT_FALSE(bv.test(64));
+    EXPECT_EQ(bv.count(), 2u);
+}
+
+TEST(BitVector, TestAndSetReportsPriorState)
+{
+    BitVector bv(10);
+    EXPECT_FALSE(bv.testAndSet(5));
+    EXPECT_TRUE(bv.testAndSet(5));
+    EXPECT_TRUE(bv.test(5));
+}
+
+TEST(BitVector, ClearAllAndSetBits)
+{
+    BitVector bv(130);
+    bv.set(0);
+    bv.set(129);
+    bv.set(64);
+    auto bits = bv.setBits();
+    ASSERT_EQ(bits.size(), 3u);
+    EXPECT_EQ(bits[0], 0u);
+    EXPECT_EQ(bits[1], 64u);
+    EXPECT_EQ(bits[2], 129u);
+    bv.clearAll();
+    EXPECT_EQ(bv.count(), 0u);
+    EXPECT_TRUE(bv.setBits().empty());
+}
+
+TEST(BitVector, StorageMatchesWordCount)
+{
+    BitVector bv(65);
+    EXPECT_EQ(bv.storageBytes(), 2 * sizeof(std::uint64_t));
+}
+
+/** Property: BitVector agrees with a std::set reference model under
+ * random operation sequences. */
+class BitVectorModel : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BitVectorModel, MatchesReference)
+{
+    Rng rng(GetParam());
+    const std::size_t size = 500;
+    BitVector bv(size);
+    std::set<std::size_t> model;
+    for (int step = 0; step < 5000; ++step) {
+        std::size_t idx = rng.uniformInt(size);
+        switch (rng.uniformInt(4)) {
+          case 0:
+            bv.set(idx);
+            model.insert(idx);
+            break;
+          case 1:
+            bv.clear(idx);
+            model.erase(idx);
+            break;
+          case 2:
+            ASSERT_EQ(bv.testAndSet(idx), model.count(idx) != 0);
+            model.insert(idx);
+            break;
+          default:
+            ASSERT_EQ(bv.test(idx), model.count(idx) != 0);
+        }
+    }
+    ASSERT_EQ(bv.count(), model.size());
+    std::vector<std::size_t> expected(model.begin(), model.end());
+    ASSERT_EQ(bv.setBits(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorModel,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(LogHistogram, BucketEdges)
+{
+    LogHistogram h(10);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(5), 16.0);
+    EXPECT_TRUE(std::isinf(h.bucketHigh(h.numBuckets() - 1)));
+}
+
+TEST(LogHistogram, CountsLandInRightBuckets)
+{
+    LogHistogram h(10);
+    h.add(0.5);  // bucket 0
+    h.add(1.0);  // bucket 1: [1,2)
+    h.add(3.0);  // bucket 2: [2,4)
+    h.add(3.9);
+    h.add(1024.0); // bucket 11 exists? max_exponent 10 -> overflow
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 2u);
+    EXPECT_EQ(h.count(h.numBuckets() - 1), 1u);
+    EXPECT_EQ(h.totalCount(), 5u);
+}
+
+TEST(LogHistogram, FractionAtLeastExactAtEdges)
+{
+    LogHistogram h(20);
+    for (int i = 0; i < 90; ++i)
+        h.add(0.5);
+    for (int i = 0; i < 10; ++i)
+        h.add(4096.0);
+    EXPECT_NEAR(h.fractionCountAtLeast(1.0), 0.10, 1e-12);
+    EXPECT_NEAR(h.fractionCountAtLeast(4096.0), 0.10, 1e-12);
+    EXPECT_NEAR(h.fractionCountAtLeast(8192.0), 0.0, 1e-12);
+}
+
+TEST(LogHistogram, WeightTracking)
+{
+    LogHistogram h(20);
+    h.add(10.0, 10.0);
+    h.add(2000.0, 2000.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 2010.0);
+    EXPECT_NEAR(h.fractionWeightAtLeast(1024.0), 2000.0 / 2010.0, 1e-12);
+}
+
+TEST(LogHistogram, MeanAndReset)
+{
+    LogHistogram h(10);
+    h.add(2.0);
+    h.add(4.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    h.reset();
+    EXPECT_EQ(h.totalCount(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, FormatListsNonEmptyBuckets)
+{
+    LogHistogram h(10);
+    h.add(3.0);
+    std::string s = h.format("ms");
+    EXPECT_NE(s.find("ms"), std::string::npos);
+    EXPECT_NE(s.find("n="), std::string::npos);
+}
+
+TEST(LinearFit, ExactLineRecovered)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.0 * i - 7.0);
+    }
+    LineFit fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+    EXPECT_NEAR(fit.rSquared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, DegenerateInputs)
+{
+    LineFit fit = fitLine({1.0}, {2.0});
+    EXPECT_EQ(fit.numPoints, 1u);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    // All-equal x has no defined slope.
+    fit = fitLine({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(LinearFit, ParetoTailRecoversAlpha)
+{
+    // Survival of a perfect Pareto: P(X > x) = (xm/x)^alpha.
+    double alpha = 0.7, xm = 1.0;
+    std::vector<double> xs, surv;
+    for (double x = 1.0; x <= 32768.0; x *= 2.0) {
+        xs.push_back(x);
+        surv.push_back(std::pow(xm / x, alpha));
+    }
+    LineFit fit = fitParetoTail(xs, surv);
+    EXPECT_NEAR(-fit.slope, alpha, 1e-9);
+    EXPECT_NEAR(fit.rSquared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, ParetoTailSkipsNonPositive)
+{
+    LineFit fit = fitParetoTail({1.0, 2.0, 4.0, 8.0},
+                                {0.5, 0.25, 0.0, 0.0});
+    EXPECT_EQ(fit.numPoints, 2u);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    // Columns align: "value" and "1" start at the same offset.
+    auto line_start = [&](int n) {
+        std::size_t pos = 0;
+        for (int i = 0; i < n; ++i)
+            pos = s.find('\n', pos) + 1;
+        return pos;
+    };
+    std::size_t col_hdr = s.find("value") - line_start(0);
+    std::size_t col_row = s.find("1", line_start(2)) - line_start(2);
+    EXPECT_EQ(col_hdr, col_row);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"x"});
+    EXPECT_NO_THROW(t.render());
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::pct(0.756, 1), "75.6%");
+}
+
+} // namespace
+} // namespace memcon

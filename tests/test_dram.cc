@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Unit and property tests for the DRAM substrate: timing derivation,
+ * geometry/address mapping, and the bank/rank/channel timing-
+ * legality engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "dram/channel.hh"
+#include "dram/organization.hh"
+#include "dram/timing.hh"
+
+namespace memcon::dram
+{
+namespace
+{
+
+TEST(Timing, Ddr3SpeedBin)
+{
+    TimingParams t = TimingParams::ddr3_1600(Density::Gb8, 16.0);
+    EXPECT_EQ(t.tCk, nsToTicks(1.25));
+    EXPECT_EQ(t.tCL, 11u);
+    EXPECT_EQ(t.tRCD, 11u);
+    EXPECT_EQ(t.tRP, 11u);
+    EXPECT_EQ(t.tRC, t.tRAS + t.tRP);
+    // Table 2: baseline tREFI 1.95 us at a 16 ms refresh interval.
+    EXPECT_NEAR(ticksToNs(t.cyc(t.tREFI)), 1953.0, 2.0);
+    // Table 2: baseline tRFC 350 ns.
+    EXPECT_NEAR(ticksToNs(t.cyc(t.tRFC)), 350.0, 1.25);
+}
+
+TEST(Timing, TrefiScalesWithRefreshInterval)
+{
+    TimingParams t16 = TimingParams::ddr3_1600(Density::Gb8, 16.0);
+    TimingParams t64 = TimingParams::ddr3_1600(Density::Gb8, 64.0);
+    EXPECT_NEAR(static_cast<double>(t64.tREFI) / t16.tREFI, 4.0, 0.01);
+    // 64 ms corresponds to the standard 7.8 us tREFI.
+    EXPECT_NEAR(ticksToNs(t64.cyc(t64.tREFI)), 7812.0, 8.0);
+}
+
+/** Table 2's density-dependent tRFC scaling. */
+class TrfcByDensity
+    : public ::testing::TestWithParam<std::pair<Density, double>>
+{
+};
+
+TEST_P(TrfcByDensity, MatchesTable2)
+{
+    auto [density, expected_ns] = GetParam();
+    EXPECT_DOUBLE_EQ(densityTrfcNs(density), expected_ns);
+    TimingParams t = TimingParams::ddr3_1600(density, 16.0);
+    EXPECT_NEAR(ticksToNs(t.cyc(t.tRFC)), expected_ns, 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, TrfcByDensity,
+    ::testing::Values(std::pair{Density::Gb8, 350.0},
+                      std::pair{Density::Gb16, 530.0},
+                      std::pair{Density::Gb32, 890.0},
+                      std::pair{Density::Gb64, 1600.0}));
+
+TEST(Timing, DensityNamesAndBits)
+{
+    EXPECT_EQ(toString(Density::Gb8), "8Gb");
+    EXPECT_EQ(toString(Density::Gb64), "64Gb");
+    EXPECT_EQ(densityBits(Density::Gb16), 16ull * Gbit * 8);
+}
+
+TEST(Timing, CostTimingsReproduceAppendix)
+{
+    CostTimings ct = CostTimings::paperDdr3_1600();
+    EXPECT_DOUBLE_EQ(ct.rowStreamNs(), 534.0);
+    EXPECT_DOUBLE_EQ(2.0 * ct.rowStreamNs(), 1068.0); // Read&Compare
+    EXPECT_DOUBLE_EQ(3.0 * ct.rowStreamNs(), 1602.0); // Copy&Compare
+    EXPECT_DOUBLE_EQ(ct.refreshOpNs(), 39.0);         // tRAS + tRP
+}
+
+TEST(Geometry, CapacityMath)
+{
+    Geometry g = Geometry::dimm8GB();
+    g.validate();
+    EXPECT_EQ(g.rowBytes(), 8u * 1024);
+    EXPECT_EQ(g.capacityBytes(), 8ull * GiB);
+    EXPECT_EQ(g.totalRows(), 8ull * 131072);
+
+    Geometry m = Geometry::module2GB();
+    EXPECT_EQ(m.capacityBytes(), 2ull * GiB);
+    EXPECT_EQ(m.totalRows(), 262144u); // appendix: 262144 rows
+}
+
+TEST(Geometry, DecomposeKnownAddress)
+{
+    Geometry g = Geometry::dimm8GB(); // RoBaRaCoCh, 1 ch, 1 rank
+    Coordinates c = g.decompose(0);
+    EXPECT_EQ(c.row, 0u);
+    EXPECT_EQ(c.bank, 0u);
+    EXPECT_EQ(c.column, 0u);
+    // Next block goes to the next column (single channel).
+    c = g.decompose(64);
+    EXPECT_EQ(c.column, 1u);
+    EXPECT_EQ(c.row, 0u);
+    // One full row of columns later, the bank advances.
+    c = g.decompose(g.rowBytes());
+    EXPECT_EQ(c.column, 0u);
+    EXPECT_EQ(c.bank, 1u);
+}
+
+/** Round-trip property across all mappings and random addresses. */
+class MappingRoundTrip : public ::testing::TestWithParam<AddressMapping>
+{
+};
+
+TEST_P(MappingRoundTrip, ComposeInvertsDecompose)
+{
+    Geometry g;
+    g.channels = 2;
+    g.ranks = 2;
+    g.banks = 8;
+    g.rowsPerBank = 1 << 12;
+    g.columnsPerRow = 128;
+    g.mapping = GetParam();
+    g.validate();
+
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t addr =
+            (rng.uniformInt(g.totalBlocks())) * g.blockBytes;
+        Coordinates c = g.decompose(addr);
+        EXPECT_LT(c.channel, g.channels);
+        EXPECT_LT(c.rank, g.ranks);
+        EXPECT_LT(c.bank, g.banks);
+        EXPECT_LT(c.row, g.rowsPerBank);
+        EXPECT_LT(c.column, g.columnsPerRow);
+        ASSERT_EQ(g.compose(c), addr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mappings, MappingRoundTrip,
+                         ::testing::Values(AddressMapping::RoBaRaCoCh,
+                                           AddressMapping::RoRaBaCoCh,
+                                           AddressMapping::RoCoBaRaCh));
+
+TEST(Geometry, FlatRowIndexRoundTrip)
+{
+    Geometry g;
+    g.channels = 2;
+    g.ranks = 2;
+    g.banks = 4;
+    g.rowsPerBank = 256;
+    g.validate();
+    for (std::uint64_t i = 0; i < g.totalRows(); i += 7) {
+        Coordinates c = g.rowFromFlatIndex(i);
+        ASSERT_EQ(g.flatRowIndex(c), i);
+    }
+}
+
+TEST(Geometry, MappingNames)
+{
+    EXPECT_EQ(toString(AddressMapping::RoBaRaCoCh), "RoBaRaCoCh");
+    EXPECT_EQ(toString(AddressMapping::RoCoBaRaCh), "RoCoBaRaCh");
+}
+
+class ChannelTest : public ::testing::Test
+{
+  protected:
+    ChannelTest()
+        : geom(smallGeom()),
+          timing(TimingParams::ddr3_1600(Density::Gb8, 16.0)),
+          chan(geom, timing)
+    {
+    }
+
+    static Geometry smallGeom()
+    {
+        Geometry g;
+        g.channels = 1;
+        g.ranks = 1;
+        g.banks = 8;
+        g.rowsPerBank = 1 << 12;
+        return g;
+    }
+
+    Tick cyc(unsigned c) const { return timing.cyc(c); }
+
+    Geometry geom;
+    TimingParams timing;
+    Channel chan;
+};
+
+TEST_F(ChannelTest, ActThenReadRespectsTrcd)
+{
+    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 0, 5, 0));
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    EXPECT_TRUE(chan.isRowOpen(0, 0));
+    EXPECT_EQ(chan.openRow(0, 0), 5u);
+
+    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, 5, cyc(timing.tRCD) - 1));
+    EXPECT_TRUE(chan.canIssue(Command::Rd, 0, 0, 5, cyc(timing.tRCD)));
+}
+
+TEST_F(ChannelTest, ReadDataReturnTime)
+{
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    Tick t = cyc(timing.tRCD);
+    Tick done = chan.issue(Command::Rd, 0, 0, 5, t);
+    EXPECT_EQ(done, t + cyc(timing.tCL + timing.tBL));
+}
+
+TEST_F(ChannelTest, PrechargeRespectsTras)
+{
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    EXPECT_FALSE(chan.canIssue(Command::Pre, 0, 0, 0, cyc(timing.tRAS) - 1));
+    EXPECT_TRUE(chan.canIssue(Command::Pre, 0, 0, 0, cyc(timing.tRAS)));
+    chan.issue(Command::Pre, 0, 0, 0, cyc(timing.tRAS));
+    EXPECT_FALSE(chan.isRowOpen(0, 0));
+}
+
+TEST_F(ChannelTest, ActToActSameBankRespectsTrc)
+{
+    chan.issue(Command::Act, 0, 0, 1, 0);
+    chan.issue(Command::Pre, 0, 0, 0, cyc(timing.tRAS));
+    // tRC from the first ACT, tRP from the PRE - both must hold.
+    Tick pre_done = cyc(timing.tRAS) + cyc(timing.tRP);
+    Tick trc_done = cyc(timing.tRC);
+    Tick earliest = std::max(pre_done, trc_done);
+    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 0, 2, earliest - 1));
+    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 0, 2, earliest));
+}
+
+TEST_F(ChannelTest, ColumnCommandNeedsMatchingOpenRow)
+{
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    // Wrong row: not issuable.
+    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, 6, cyc(timing.tRCD)));
+    // Closed bank: not issuable.
+    EXPECT_FALSE(chan.canIssue(Command::Wr, 0, 1, 5, cyc(timing.tRCD)));
+}
+
+TEST_F(ChannelTest, ConsecutiveReadsRespectTccd)
+{
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    Tick t = cyc(timing.tRCD);
+    chan.issue(Command::Rd, 0, 0, 5, t);
+    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, 5, t + cyc(timing.tCCD) - 1));
+    EXPECT_TRUE(chan.canIssue(Command::Rd, 0, 0, 5, t + cyc(timing.tCCD)));
+}
+
+TEST_F(ChannelTest, ActToActDifferentBanksRespectsTrrd)
+{
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 1, 5, cyc(timing.tRRD) - 1));
+    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 1, 5, cyc(timing.tRRD)));
+}
+
+TEST_F(ChannelTest, FawLimitsActivationBursts)
+{
+    // Four back-to-back ACTs at tRRD spacing, then the fifth must
+    // wait for the tFAW window.
+    Tick t = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+        chan.issue(Command::Act, 0, b, 1, t);
+        t += cyc(timing.tRRD);
+    }
+    Tick faw_open = cyc(timing.tFAW); // window from the first ACT
+    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 4, 1, faw_open - 1));
+    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 4, 1, faw_open));
+}
+
+TEST_F(ChannelTest, WriteToReadTurnaround)
+{
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    Tick t = cyc(timing.tRCD);
+    chan.issue(Command::Wr, 0, 0, 5, t);
+    Tick wtr_done = t + cyc(timing.writeToRead());
+    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, 5, wtr_done - 1));
+    EXPECT_TRUE(chan.canIssue(Command::Rd, 0, 0, 5, wtr_done));
+}
+
+TEST_F(ChannelTest, WriteToPrechargeRespectsTwr)
+{
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    Tick t = cyc(timing.tRCD);
+    chan.issue(Command::Wr, 0, 0, 5, t);
+    Tick twr_done = t + cyc(timing.writeToPre());
+    // tRAS may also bind; take the later of the two.
+    Tick earliest = std::max(twr_done, cyc(timing.tRAS));
+    EXPECT_FALSE(chan.canIssue(Command::Pre, 0, 0, 0, earliest - 1));
+    EXPECT_TRUE(chan.canIssue(Command::Pre, 0, 0, 0, earliest));
+}
+
+TEST_F(ChannelTest, RefreshRequiresAllBanksPrecharged)
+{
+    chan.issue(Command::Act, 0, 3, 5, 0);
+    EXPECT_FALSE(chan.canIssue(Command::Ref, 0, 0, 0, cyc(100)));
+    chan.issue(Command::Pre, 0, 3, 0, cyc(timing.tRAS));
+    Tick ready = cyc(timing.tRAS) + cyc(timing.tRP);
+    EXPECT_TRUE(chan.allBanksPrecharged(0));
+    EXPECT_TRUE(chan.canIssue(Command::Ref, 0, 0, 0, ready));
+}
+
+TEST_F(ChannelTest, RefreshBlocksRankForTrfc)
+{
+    Tick done = chan.issue(Command::Ref, 0, 0, 0, 0);
+    EXPECT_EQ(done, cyc(timing.tRFC));
+    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 0, 1, done - 1));
+    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 0, 1, done));
+}
+
+TEST_F(ChannelTest, ReadWithAutoPrecharge)
+{
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    Tick t = cyc(timing.tRCD);
+    chan.issue(Command::RdA, 0, 0, 5, t);
+    EXPECT_FALSE(chan.isRowOpen(0, 0));
+}
+
+TEST_F(ChannelTest, IllegalIssuePanics)
+{
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    // Reading before tRCD is a controller bug -> panic (abort).
+    EXPECT_DEATH(chan.issue(Command::Rd, 0, 0, 5, 1), "legal only from");
+    // ACT on an open bank is a state violation.
+    EXPECT_DEATH(chan.issue(Command::Act, 0, 0, 6, cyc(1000)),
+                 "open row");
+}
+
+TEST_F(ChannelTest, StatsCountCommands)
+{
+    chan.issue(Command::Act, 0, 0, 5, 0);
+    chan.issue(Command::Rd, 0, 0, 5, cyc(timing.tRCD));
+    EXPECT_EQ(chan.stats().value("cmd.ACT"), 1.0);
+    EXPECT_EQ(chan.stats().value("cmd.RD"), 1.0);
+}
+
+/**
+ * Property: a driver that always asks earliestIssueTick() and issues
+ * at that time never trips a timing panic, across random command
+ * sequences (the channel self-checks every constraint).
+ */
+class ChannelFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ChannelFuzz, LegalDriverNeverPanics)
+{
+    Geometry g;
+    g.channels = 1;
+    g.ranks = 2;
+    g.banks = 4;
+    g.rowsPerBank = 64;
+    TimingParams timing = TimingParams::ddr3_1600(Density::Gb8, 16.0);
+    Channel chan(g, timing);
+    Rng rng(GetParam());
+
+    Tick now = 0;
+    for (int step = 0; step < 3000; ++step) {
+        unsigned rank = rng.uniformInt(g.ranks);
+        unsigned bank = rng.uniformInt(g.banks);
+        std::uint64_t row = rng.uniformInt(g.rowsPerBank);
+
+        Command cmd;
+        if (chan.isRowOpen(rank, bank)) {
+            switch (rng.uniformInt(4)) {
+              case 0:
+                cmd = Command::Rd;
+                row = chan.openRow(rank, bank);
+                break;
+              case 1:
+                cmd = Command::Wr;
+                row = chan.openRow(rank, bank);
+                break;
+              case 2:
+                cmd = Command::RdA;
+                row = chan.openRow(rank, bank);
+                break;
+              default:
+                cmd = Command::Pre;
+            }
+        } else if (chan.allBanksPrecharged(rank) &&
+                   rng.uniformInt(8) == 0) {
+            cmd = Command::Ref;
+        } else {
+            cmd = Command::Act;
+        }
+
+        Tick earliest = chan.earliestIssueTick(cmd, rank, bank, row);
+        now = std::max(now, earliest);
+        // Issuing exactly at the earliest legal tick must not panic,
+        // and issuing later must also be fine.
+        now += timing.tCk * rng.uniformInt(3);
+        ASSERT_NO_FATAL_FAILURE(chan.issue(cmd, rank, bank, row, now));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelFuzz,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+} // namespace
+} // namespace memcon::dram

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Unit and property tests for the trace substrate: the Table 1
+ * application write-interval generator, the interval analyzer that
+ * backs Figures 7-9/11/12, and the CPU access-trace generator that
+ * feeds the cycle simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "trace/analyzer.hh"
+#include "trace/app_model.hh"
+#include "trace/cpu_gen.hh"
+
+namespace memcon::trace
+{
+namespace
+{
+
+TEST(AppPersona, Table1SuiteMetadata)
+{
+    auto suite = AppPersona::table1Suite();
+    ASSERT_EQ(suite.size(), 12u); // Table 1 has 12 applications
+    std::set<std::string> names;
+    for (const auto &p : suite) {
+        names.insert(p.name);
+        EXPECT_GT(p.durationSec, 0.0);
+        EXPECT_GT(p.footprintGB, 0.0);
+        EXPECT_GE(p.threads, 2u);
+        EXPECT_GT(p.pages, 0u);
+        EXPECT_LE(p.readOnlyFraction + p.hotFraction, 1.0);
+    }
+    EXPECT_EQ(names.size(), 12u);
+    // Spot-check Table 1 rows.
+    AppPersona netflix = AppPersona::byName("Netflix");
+    EXPECT_DOUBLE_EQ(netflix.durationSec, 229.4);
+    EXPECT_DOUBLE_EQ(netflix.footprintGB, 4.6);
+    AppPersona sysmgt = AppPersona::byName("SystemMgt");
+    EXPECT_DOUBLE_EQ(sysmgt.durationSec, 466.2);
+    EXPECT_EXIT(AppPersona::byName("nope"), ::testing::ExitedWithCode(1),
+                "unknown application persona");
+}
+
+TEST(PageWriteProcess, Deterministic)
+{
+    AppPersona p = AppPersona::byName("Netflix");
+    // Find two distinct written (non-read-only) pages.
+    std::vector<std::uint64_t> written;
+    for (std::uint64_t page = 0; written.size() < 2; ++page) {
+        ASSERT_LT(page, p.pages);
+        if (!PageWriteProcess(p, page).isReadOnly())
+            written.push_back(page);
+    }
+    PageWriteProcess a(p, written[0]), b(p, written[0]),
+        c(p, written[1]);
+    auto ta = a.writeTimes();
+    auto tb = b.writeTimes();
+    EXPECT_FALSE(ta.empty());
+    EXPECT_EQ(ta, tb);
+    EXPECT_NE(ta, c.writeTimes());
+}
+
+TEST(PageWriteProcess, TimesSortedWithinDuration)
+{
+    AppPersona p = AppPersona::byName("ACBrotherHood");
+    for (std::uint64_t page = 0; page < 64; ++page) {
+        PageWriteProcess proc(p, page);
+        auto times = proc.writeTimes();
+        for (std::size_t i = 0; i < times.size(); ++i) {
+            ASSERT_GE(times[i], 0.0);
+            ASSERT_LT(times[i], p.durationSec * 1000.0);
+            if (i > 0)
+                ASSERT_GT(times[i], times[i - 1]);
+        }
+    }
+}
+
+TEST(PageWriteProcess, ClassMixMatchesFractions)
+{
+    AppPersona p = AppPersona::byName("AVCHD");
+    std::uint64_t ro = 0, hot = 0, cold = 0;
+    for (std::uint64_t page = 0; page < p.pages; ++page) {
+        PageWriteProcess proc(p, page);
+        if (proc.isReadOnly()) {
+            ++ro;
+            EXPECT_TRUE(proc.writeTimes().empty());
+        } else if (proc.isHot()) {
+            ++hot;
+        } else {
+            ++cold;
+        }
+    }
+    double n = static_cast<double>(p.pages);
+    EXPECT_NEAR(ro / n, p.readOnlyFraction, 0.05);
+    EXPECT_NEAR(hot / n, p.hotFraction, 0.02);
+    EXPECT_GT(cold, 0u);
+}
+
+TEST(PageWriteProcess, HotPagesWriteFarMoreThanColdOnes)
+{
+    AppPersona p = AppPersona::byName("VideoEncode");
+    double hot_sum = 0.0, cold_sum = 0.0;
+    unsigned hot_n = 0, cold_n = 0;
+    for (std::uint64_t page = 0; page < 512; ++page) {
+        PageWriteProcess proc(p, page);
+        if (proc.isReadOnly())
+            continue;
+        auto times = proc.writeTimes();
+        if (proc.isHot()) {
+            hot_sum += static_cast<double>(times.size());
+            ++hot_n;
+        } else {
+            cold_sum += static_cast<double>(times.size());
+            ++cold_n;
+        }
+    }
+    ASSERT_GT(hot_n, 0u);
+    ASSERT_GT(cold_n, 0u);
+    EXPECT_GT(hot_sum / hot_n, 20.0 * (cold_sum / cold_n));
+}
+
+TEST(Analyzer, HandComputedFractions)
+{
+    WriteIntervalAnalyzer a;
+    a.addInterval(0.5);
+    a.addInterval(0.5);
+    a.addInterval(2.0);
+    a.addInterval(2000.0);
+    EXPECT_EQ(a.numIntervals(), 4u);
+    EXPECT_DOUBLE_EQ(a.totalIntervalTimeMs(), 2003.0);
+    EXPECT_DOUBLE_EQ(a.fractionWritesBelow(1.0), 0.5);
+    EXPECT_DOUBLE_EQ(a.fractionWritesAtLeast(1024.0), 0.25);
+    EXPECT_NEAR(a.timeFractionAtLeast(1024.0), 2000.0 / 2003.0, 1e-12);
+}
+
+TEST(Analyzer, PageWriteTimesBecomeIntervals)
+{
+    WriteIntervalAnalyzer a;
+    a.addPageWriteTimes({10.0, 11.0, 20.0});
+    EXPECT_EQ(a.numIntervals(), 2u);
+    EXPECT_DOUBLE_EQ(a.totalIntervalTimeMs(), 10.0);
+}
+
+TEST(Analyzer, SurvivalCurveMonotone)
+{
+    WriteIntervalAnalyzer a;
+    Rng rng(4);
+    for (int i = 0; i < 50000; ++i)
+        a.addInterval(rng.pareto(1.0, 0.5));
+    auto curve = a.survivalCurve(32768.0);
+    ASSERT_GT(curve.size(), 10u);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        ASSERT_LE(curve[i].second, curve[i - 1].second);
+}
+
+TEST(Analyzer, ParetoFitRecoversSyntheticAlpha)
+{
+    WriteIntervalAnalyzer a;
+    Rng rng(9);
+    for (int i = 0; i < 200000; ++i)
+        a.addInterval(rng.pareto(1.0, 0.6));
+    LineFit fit = a.paretoFit(1.0, 4096.0);
+    EXPECT_NEAR(-fit.slope, 0.6, 0.05);
+    EXPECT_GT(fit.rSquared, 0.99);
+}
+
+TEST(Analyzer, DhrPropertyOnParetoIntervals)
+{
+    // The decreasing-hazard-rate property behind PRIL: for a Pareto,
+    // P(RIL > r | CIL >= c) increases with c.
+    WriteIntervalAnalyzer a;
+    Rng rng(14);
+    for (int i = 0; i < 300000; ++i)
+        a.addInterval(rng.pareto(1.0, 0.5));
+    double prev = 0.0;
+    for (double c : {1.0, 8.0, 64.0, 512.0, 4096.0}) {
+        double p = a.probRemainingAtLeast(c, 1024.0);
+        EXPECT_GE(p, prev - 0.02); // monotone up to sampling noise
+        prev = p;
+    }
+    // And matches the closed form (c/(c+r))^alpha at large c.
+    double expect = std::pow(512.0 / 1536.0, 0.5);
+    EXPECT_NEAR(a.probRemainingAtLeast(512.0, 1024.0), expect, 0.05);
+}
+
+TEST(Analyzer, CoverageDecreasesWithCil)
+{
+    WriteIntervalAnalyzer a;
+    Rng rng(15);
+    for (int i = 0; i < 100000; ++i)
+        a.addInterval(rng.pareto(1.0, 0.5));
+    double prev = 1.0;
+    for (double c : {1.0, 64.0, 1024.0, 8192.0, 32768.0}) {
+        double cov = a.coverageAtCil(c, 1024.0);
+        EXPECT_LE(cov, prev + 1e-9);
+        EXPECT_GE(cov, 0.0);
+        prev = cov;
+    }
+}
+
+TEST(Analyzer, EmptyAnalyzerIsZero)
+{
+    WriteIntervalAnalyzer a;
+    EXPECT_EQ(a.numIntervals(), 0u);
+    EXPECT_DOUBLE_EQ(a.fractionWritesAtLeast(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(a.timeFractionAtLeast(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(a.probRemainingAtLeast(1.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(a.coverageAtCil(1.0, 1.0), 0.0);
+}
+
+/** The Section 4.1 headline statistics, checked per application. */
+class AppMarginals : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AppMarginals, MatchPaperSection41)
+{
+    AppPersona p = AppPersona::byName(GetParam());
+    WriteIntervalAnalyzer a = analyzeApp(p);
+
+    // "more than 95% of the writes occur within 1 ms" (the suite
+    // averages 95%+; allow a small per-app tolerance).
+    EXPECT_GT(a.fractionWritesBelow(1.0), 0.93);
+    // "less than 0.43% of writes exhibit intervals greater than
+    // 1024 ms" on average; per-app we bound loosely.
+    EXPECT_LT(a.fractionWritesAtLeast(1024.0), 0.02);
+    // "write intervals greater than 1024 ms constitute 89.5% of the
+    // total time spent on write intervals" on average.
+    EXPECT_GT(a.timeFractionAtLeast(1024.0), 0.85);
+    // Figure 8: the Pareto fit is good (R^2 0.93-0.99 in the paper).
+    EXPECT_GT(a.paretoFit(1.0, 32768.0).rSquared, 0.90);
+    // Figure 11: by CIL = 16384 ms the long-RIL probability
+    // approaches 1.
+    EXPECT_GT(a.probRemainingAtLeast(16384.0, 1024.0), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreeRepresentativeApps, AppMarginals,
+                         ::testing::Values("ACBrotherHood", "Netflix",
+                                           "SystemMgt"));
+
+TEST(Analyzer, HalvedIntervalsShiftDistributionLeft)
+{
+    // Figure 19's cache-pressure study: halving every interval moves
+    // the distribution left but barely changes P(RIL > 1024 | CIL).
+    AppPersona p = AppPersona::byName("ACBrotherHood");
+    WriteIntervalAnalyzer full = analyzeApp(p);
+    WriteIntervalAnalyzer half = analyzeAppScaled(p, 0.5);
+    EXPECT_LT(half.totalIntervalTimeMs(), full.totalIntervalTimeMs());
+    EXPECT_LE(half.fractionWritesAtLeast(1024.0),
+              full.fractionWritesAtLeast(1024.0));
+    double pf = full.probRemainingAtLeast(512.0, 1024.0);
+    double ph = half.probRemainingAtLeast(512.0, 1024.0);
+    EXPECT_NEAR(ph, pf, 0.15);
+}
+
+TEST(CpuPersona, PoolAndLookups)
+{
+    auto pool = CpuPersona::benchmarkPool();
+    EXPECT_GE(pool.size(), 12u);
+    std::set<std::string> names;
+    for (const auto &p : pool) {
+        names.insert(p.name);
+        EXPECT_GT(p.mpki, 0.0);
+        EXPECT_GE(p.writeFraction, 0.0);
+        EXPECT_LE(p.writeFraction, 1.0);
+        EXPECT_GT(p.footprintBlocks, 0u);
+    }
+    EXPECT_EQ(names.size(), pool.size());
+    EXPECT_EQ(CpuPersona::byName("mcf").name, "mcf");
+    EXPECT_EXIT(CpuPersona::byName("zzz"), ::testing::ExitedWithCode(1),
+                "unknown CPU persona");
+}
+
+TEST(CpuPersona, RandomMixesAreDeterministic)
+{
+    auto a = CpuPersona::randomMixes(30, 4, 1);
+    auto b = CpuPersona::randomMixes(30, 4, 1);
+    auto c = CpuPersona::randomMixes(30, 4, 2);
+    ASSERT_EQ(a.size(), 30u);
+    for (const auto &mix : a)
+        EXPECT_EQ(mix.size(), 4u);
+    for (unsigned i = 0; i < 30; ++i)
+        for (unsigned j = 0; j < 4; ++j)
+            EXPECT_EQ(a[i][j].name, b[i][j].name);
+    bool any_diff = false;
+    for (unsigned i = 0; i < 30; ++i)
+        for (unsigned j = 0; j < 4; ++j)
+            any_diff |= a[i][j].name != c[i][j].name;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(CpuAccessStream, DeterministicPerStreamSeed)
+{
+    CpuPersona p = CpuPersona::byName("mcf");
+    CpuAccessStream a(p, 1), b(p, 1), c(p, 2);
+    bool differs = false;
+    for (int i = 0; i < 100; ++i) {
+        MemAccess xa = a.next(), xb = b.next(), xc = c.next();
+        ASSERT_EQ(xa.blockIndex, xb.blockIndex);
+        ASSERT_EQ(xa.bubbleInsts, xb.bubbleInsts);
+        ASSERT_EQ(xa.isWrite, xb.isWrite);
+        differs |= xa.blockIndex != xc.blockIndex;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(CpuAccessStream, EmpiricalMpkiAndWriteMix)
+{
+    CpuPersona p = CpuPersona::byName("tpcc");
+    CpuAccessStream s(p, 0);
+    std::uint64_t insts = 0, accesses = 0, writes = 0;
+    for (int i = 0; i < 100000; ++i) {
+        MemAccess a = s.next();
+        insts += a.bubbleInsts + 1;
+        ++accesses;
+        writes += a.isWrite;
+        ASSERT_LT(a.blockIndex, p.footprintBlocks);
+    }
+    double mpki = 1000.0 * accesses / static_cast<double>(insts);
+    EXPECT_NEAR(mpki, p.mpki, p.mpki * 0.1);
+    EXPECT_NEAR(writes / double(accesses), p.writeFraction, 0.02);
+}
+
+TEST(CpuAccessStream, SequentialRunsProduceRowLocality)
+{
+    CpuPersona p = CpuPersona::byName("stream"); // seqRunMean = 16
+    CpuAccessStream s(p, 0);
+    std::uint64_t prev = s.next().blockIndex;
+    int sequential = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t cur = s.next().blockIndex;
+        sequential += cur == prev + 1;
+        prev = cur;
+    }
+    // A mean run of 16 means ~15/16 of accesses continue a run.
+    EXPECT_GT(sequential / double(n), 0.85);
+}
+
+TEST(CpuAccessStream, ZipfSkewConcentratesReuse)
+{
+    CpuPersona p = CpuPersona::byName("omnetpp"); // zipfS = 0.7
+    CpuAccessStream s(p, 0);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 200000; ++i)
+        ++counts[s.next().blockIndex];
+    // The hottest block must absorb far more than a uniform share.
+    int max_count = 0;
+    for (auto &kv : counts)
+        max_count = std::max(max_count, kv.second);
+    double uniform_share = 200000.0 / static_cast<double>(p.footprintBlocks);
+    EXPECT_GT(max_count, 50.0 * uniform_share);
+}
+
+} // namespace
+} // namespace memcon::trace
