@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_online_closedloop.dir/abl_online_closedloop.cc.o"
+  "CMakeFiles/abl_online_closedloop.dir/abl_online_closedloop.cc.o.d"
+  "abl_online_closedloop"
+  "abl_online_closedloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_online_closedloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

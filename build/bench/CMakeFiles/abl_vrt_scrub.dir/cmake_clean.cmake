@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vrt_scrub.dir/abl_vrt_scrub.cc.o"
+  "CMakeFiles/abl_vrt_scrub.dir/abl_vrt_scrub.cc.o.d"
+  "abl_vrt_scrub"
+  "abl_vrt_scrub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vrt_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_content_dependent_failures.dir/fig03_content_dependent_failures.cc.o"
+  "CMakeFiles/fig03_content_dependent_failures.dir/fig03_content_dependent_failures.cc.o.d"
+  "fig03_content_dependent_failures"
+  "fig03_content_dependent_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_content_dependent_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

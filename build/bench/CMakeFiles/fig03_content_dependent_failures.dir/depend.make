@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_content_dependent_failures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_failing_rows.dir/fig04_failing_rows.cc.o"
+  "CMakeFiles/fig04_failing_rows.dir/fig04_failing_rows.cc.o.d"
+  "fig04_failing_rows"
+  "fig04_failing_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_failing_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

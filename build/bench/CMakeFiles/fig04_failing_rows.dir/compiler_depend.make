@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_failing_rows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_failing_rows.
+# This may be replaced when dependencies are built.

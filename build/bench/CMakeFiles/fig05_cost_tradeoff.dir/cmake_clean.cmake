@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_cost_tradeoff.dir/fig05_cost_tradeoff.cc.o"
+  "CMakeFiles/fig05_cost_tradeoff.dir/fig05_cost_tradeoff.cc.o.d"
+  "fig05_cost_tradeoff"
+  "fig05_cost_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cost_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_minwriteinterval.dir/fig06_minwriteinterval.cc.o"
+  "CMakeFiles/fig06_minwriteinterval.dir/fig06_minwriteinterval.cc.o.d"
+  "fig06_minwriteinterval"
+  "fig06_minwriteinterval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_minwriteinterval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

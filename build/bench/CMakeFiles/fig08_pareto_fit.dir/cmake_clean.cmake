@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pareto_fit.dir/fig08_pareto_fit.cc.o"
+  "CMakeFiles/fig08_pareto_fit.dir/fig08_pareto_fit.cc.o.d"
+  "fig08_pareto_fit"
+  "fig08_pareto_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pareto_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_time_in_long_intervals.dir/fig09_time_in_long_intervals.cc.o"
+  "CMakeFiles/fig09_time_in_long_intervals.dir/fig09_time_in_long_intervals.cc.o.d"
+  "fig09_time_in_long_intervals"
+  "fig09_time_in_long_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_time_in_long_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ril_vs_cil.dir/fig11_ril_vs_cil.cc.o"
+  "CMakeFiles/fig11_ril_vs_cil.dir/fig11_ril_vs_cil.cc.o.d"
+  "fig11_ril_vs_cil"
+  "fig11_ril_vs_cil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ril_vs_cil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_ril_vs_cil.
+# This may be replaced when dependencies are built.

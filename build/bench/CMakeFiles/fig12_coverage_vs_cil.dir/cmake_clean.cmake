@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_coverage_vs_cil.dir/fig12_coverage_vs_cil.cc.o"
+  "CMakeFiles/fig12_coverage_vs_cil.dir/fig12_coverage_vs_cil.cc.o.d"
+  "fig12_coverage_vs_cil"
+  "fig12_coverage_vs_cil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_coverage_vs_cil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

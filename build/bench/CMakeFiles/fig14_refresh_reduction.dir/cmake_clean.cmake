@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_refresh_reduction.dir/fig14_refresh_reduction.cc.o"
+  "CMakeFiles/fig14_refresh_reduction.dir/fig14_refresh_reduction.cc.o.d"
+  "fig14_refresh_reduction"
+  "fig14_refresh_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_refresh_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_pril_coverage.dir/fig17_pril_coverage.cc.o"
+  "CMakeFiles/fig17_pril_coverage.dir/fig17_pril_coverage.cc.o.d"
+  "fig17_pril_coverage"
+  "fig17_pril_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_pril_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

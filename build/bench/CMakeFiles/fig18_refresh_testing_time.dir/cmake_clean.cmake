@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_refresh_testing_time.dir/fig18_refresh_testing_time.cc.o"
+  "CMakeFiles/fig18_refresh_testing_time.dir/fig18_refresh_testing_time.cc.o.d"
+  "fig18_refresh_testing_time"
+  "fig18_refresh_testing_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_refresh_testing_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_half_interval.dir/fig19_half_interval.cc.o"
+  "CMakeFiles/fig19_half_interval.dir/fig19_half_interval.cc.o.d"
+  "fig19_half_interval"
+  "fig19_half_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_half_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

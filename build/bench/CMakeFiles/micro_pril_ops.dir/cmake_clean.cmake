@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pril_ops.dir/micro_pril_ops.cc.o"
+  "CMakeFiles/micro_pril_ops.dir/micro_pril_ops.cc.o.d"
+  "micro_pril_ops"
+  "micro_pril_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pril_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

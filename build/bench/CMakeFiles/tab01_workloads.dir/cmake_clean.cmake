@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_workloads.dir/tab01_workloads.cc.o"
+  "CMakeFiles/tab01_workloads.dir/tab01_workloads.cc.o.d"
+  "tab01_workloads"
+  "tab01_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_testing_overhead.dir/tab03_testing_overhead.cc.o"
+  "CMakeFiles/tab03_testing_overhead.dir/tab03_testing_overhead.cc.o.d"
+  "tab03_testing_overhead"
+  "tab03_testing_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_testing_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

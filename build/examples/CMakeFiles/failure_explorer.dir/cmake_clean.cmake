@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_explorer.dir/failure_explorer.cpp.o"
+  "CMakeFiles/failure_explorer.dir/failure_explorer.cpp.o.d"
+  "failure_explorer"
+  "failure_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

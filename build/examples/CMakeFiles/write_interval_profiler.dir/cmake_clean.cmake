@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_interval_profiler.dir/write_interval_profiler.cpp.o"
+  "CMakeFiles/write_interval_profiler.dir/write_interval_profiler.cpp.o.d"
+  "write_interval_profiler"
+  "write_interval_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_interval_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

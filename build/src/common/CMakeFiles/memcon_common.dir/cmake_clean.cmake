@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcon_common.dir/bitvector.cc.o"
+  "CMakeFiles/memcon_common.dir/bitvector.cc.o.d"
+  "CMakeFiles/memcon_common.dir/histogram.cc.o"
+  "CMakeFiles/memcon_common.dir/histogram.cc.o.d"
+  "CMakeFiles/memcon_common.dir/linear_fit.cc.o"
+  "CMakeFiles/memcon_common.dir/linear_fit.cc.o.d"
+  "CMakeFiles/memcon_common.dir/logging.cc.o"
+  "CMakeFiles/memcon_common.dir/logging.cc.o.d"
+  "CMakeFiles/memcon_common.dir/random.cc.o"
+  "CMakeFiles/memcon_common.dir/random.cc.o.d"
+  "CMakeFiles/memcon_common.dir/stats.cc.o"
+  "CMakeFiles/memcon_common.dir/stats.cc.o.d"
+  "CMakeFiles/memcon_common.dir/table.cc.o"
+  "CMakeFiles/memcon_common.dir/table.cc.o.d"
+  "libmemcon_common.a"
+  "libmemcon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

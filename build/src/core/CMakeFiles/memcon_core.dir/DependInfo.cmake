@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/memcon_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/memcon_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/memcon_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/memcon_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/online_memcon.cc" "src/core/CMakeFiles/memcon_core.dir/online_memcon.cc.o" "gcc" "src/core/CMakeFiles/memcon_core.dir/online_memcon.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/memcon_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/memcon_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/pril.cc" "src/core/CMakeFiles/memcon_core.dir/pril.cc.o" "gcc" "src/core/CMakeFiles/memcon_core.dir/pril.cc.o.d"
+  "/root/repo/src/core/test_engine.cc" "src/core/CMakeFiles/memcon_core.dir/test_engine.cc.o" "gcc" "src/core/CMakeFiles/memcon_core.dir/test_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memcon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/memcon_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/memcon_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memcon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/memcon_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcon_core.dir/cost_model.cc.o"
+  "CMakeFiles/memcon_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/memcon_core.dir/engine.cc.o"
+  "CMakeFiles/memcon_core.dir/engine.cc.o.d"
+  "CMakeFiles/memcon_core.dir/online_memcon.cc.o"
+  "CMakeFiles/memcon_core.dir/online_memcon.cc.o.d"
+  "CMakeFiles/memcon_core.dir/policies.cc.o"
+  "CMakeFiles/memcon_core.dir/policies.cc.o.d"
+  "CMakeFiles/memcon_core.dir/pril.cc.o"
+  "CMakeFiles/memcon_core.dir/pril.cc.o.d"
+  "CMakeFiles/memcon_core.dir/test_engine.cc.o"
+  "CMakeFiles/memcon_core.dir/test_engine.cc.o.d"
+  "libmemcon_core.a"
+  "libmemcon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

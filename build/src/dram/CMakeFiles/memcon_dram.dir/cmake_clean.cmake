@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcon_dram.dir/channel.cc.o"
+  "CMakeFiles/memcon_dram.dir/channel.cc.o.d"
+  "CMakeFiles/memcon_dram.dir/ecc.cc.o"
+  "CMakeFiles/memcon_dram.dir/ecc.cc.o.d"
+  "CMakeFiles/memcon_dram.dir/energy.cc.o"
+  "CMakeFiles/memcon_dram.dir/energy.cc.o.d"
+  "CMakeFiles/memcon_dram.dir/organization.cc.o"
+  "CMakeFiles/memcon_dram.dir/organization.cc.o.d"
+  "CMakeFiles/memcon_dram.dir/timing.cc.o"
+  "CMakeFiles/memcon_dram.dir/timing.cc.o.d"
+  "libmemcon_dram.a"
+  "libmemcon_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcon_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/failure/content.cc" "src/failure/CMakeFiles/memcon_failure.dir/content.cc.o" "gcc" "src/failure/CMakeFiles/memcon_failure.dir/content.cc.o.d"
+  "/root/repo/src/failure/model.cc" "src/failure/CMakeFiles/memcon_failure.dir/model.cc.o" "gcc" "src/failure/CMakeFiles/memcon_failure.dir/model.cc.o.d"
+  "/root/repo/src/failure/remap.cc" "src/failure/CMakeFiles/memcon_failure.dir/remap.cc.o" "gcc" "src/failure/CMakeFiles/memcon_failure.dir/remap.cc.o.d"
+  "/root/repo/src/failure/scrambler.cc" "src/failure/CMakeFiles/memcon_failure.dir/scrambler.cc.o" "gcc" "src/failure/CMakeFiles/memcon_failure.dir/scrambler.cc.o.d"
+  "/root/repo/src/failure/tester.cc" "src/failure/CMakeFiles/memcon_failure.dir/tester.cc.o" "gcc" "src/failure/CMakeFiles/memcon_failure.dir/tester.cc.o.d"
+  "/root/repo/src/failure/vrt.cc" "src/failure/CMakeFiles/memcon_failure.dir/vrt.cc.o" "gcc" "src/failure/CMakeFiles/memcon_failure.dir/vrt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memcon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/memcon_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

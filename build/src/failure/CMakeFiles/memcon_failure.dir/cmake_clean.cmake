@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcon_failure.dir/content.cc.o"
+  "CMakeFiles/memcon_failure.dir/content.cc.o.d"
+  "CMakeFiles/memcon_failure.dir/model.cc.o"
+  "CMakeFiles/memcon_failure.dir/model.cc.o.d"
+  "CMakeFiles/memcon_failure.dir/remap.cc.o"
+  "CMakeFiles/memcon_failure.dir/remap.cc.o.d"
+  "CMakeFiles/memcon_failure.dir/scrambler.cc.o"
+  "CMakeFiles/memcon_failure.dir/scrambler.cc.o.d"
+  "CMakeFiles/memcon_failure.dir/tester.cc.o"
+  "CMakeFiles/memcon_failure.dir/tester.cc.o.d"
+  "CMakeFiles/memcon_failure.dir/vrt.cc.o"
+  "CMakeFiles/memcon_failure.dir/vrt.cc.o.d"
+  "libmemcon_failure.a"
+  "libmemcon_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcon_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcon_sim.dir/controller.cc.o"
+  "CMakeFiles/memcon_sim.dir/controller.cc.o.d"
+  "CMakeFiles/memcon_sim.dir/core.cc.o"
+  "CMakeFiles/memcon_sim.dir/core.cc.o.d"
+  "CMakeFiles/memcon_sim.dir/system.cc.o"
+  "CMakeFiles/memcon_sim.dir/system.cc.o.d"
+  "libmemcon_sim.a"
+  "libmemcon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

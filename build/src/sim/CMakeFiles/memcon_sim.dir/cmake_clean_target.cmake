@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemcon_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcon_trace.dir/analyzer.cc.o"
+  "CMakeFiles/memcon_trace.dir/analyzer.cc.o.d"
+  "CMakeFiles/memcon_trace.dir/app_model.cc.o"
+  "CMakeFiles/memcon_trace.dir/app_model.cc.o.d"
+  "CMakeFiles/memcon_trace.dir/cpu_gen.cc.o"
+  "CMakeFiles/memcon_trace.dir/cpu_gen.cc.o.d"
+  "CMakeFiles/memcon_trace.dir/trace_io.cc.o"
+  "CMakeFiles/memcon_trace.dir/trace_io.cc.o.d"
+  "libmemcon_trace.a"
+  "libmemcon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

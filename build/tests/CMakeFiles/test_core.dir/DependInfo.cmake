@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/test_core.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/memcon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memcon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/memcon_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/memcon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/memcon_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
