@@ -35,6 +35,7 @@ OnlineMemcon::OnlineMemcon(const dram::Geometry &geometry,
       pril(geometry.totalRows(), config.writeBufferCapacity),
       engine(config.testEngine), loRows(geometry.totalRows()),
       everWritten(geometry.totalRows()),
+      resilience(config.resilience, geometry.totalRows(), statGroup),
       nextQuantumEnd(config.quantum), nextRetarget(config.retargetPeriod)
 {
     fatal_if(cfg.quantum == 0, "quantum must be positive");
@@ -50,6 +51,11 @@ OnlineMemcon::installObserver(sim::ControllerConfig &cfg,
     cfg.writeObserver = [&slot](std::uint64_t addr, Tick now) {
         if (slot)
             slot->observeWrite(addr, now);
+    };
+    cfg.errorObserver = [&slot](std::uint64_t addr,
+                                dram::EccStatus status, Tick now) {
+        if (slot)
+            slot->observeEccEvent(addr, status, now);
     };
 }
 
@@ -68,33 +74,97 @@ OnlineMemcon::observeWrite(std::uint64_t addr, Tick now)
     everWritten.set(row);
     pril.onWrite(row);
 
-    if (engine.onWrite(row)) {
-        // Abort the in-flight test: drop its traffic state too.
-        auto it = std::find_if(activeTests.begin(), activeTests.end(),
-                               [row](const ActiveTest &t) {
-                                   return t.row == row;
-                               });
-        panic_if(it == activeTests.end(),
-                 "engine had a session without traffic state");
-        activeTests.erase(it);
+    abortTestOn(row);
+    demoteRow(row, "demote.write");
+}
+
+void
+OnlineMemcon::abortTestOn(std::uint64_t row)
+{
+    if (!engine.onWrite(row))
+        return;
+    // Abort the in-flight test: drop its traffic state too.
+    auto it = std::find_if(activeTests.begin(), activeTests.end(),
+                           [row](const ActiveTest &t) {
+                               return t.row == row;
+                           });
+    panic_if(it == activeTests.end(),
+             "engine had a session without traffic state");
+    activeTests.erase(it);
+}
+
+void
+OnlineMemcon::demoteRow(std::uint64_t row, const char *cause)
+{
+    if (!loRows.test(row))
+        return;
+    loRows.clear(row);
+    --loCount;
+    ++demotionCount;
+    statGroup.inc(cause);
+}
+
+void
+OnlineMemcon::observeEccEvent(std::uint64_t addr,
+                              dram::EccStatus status, Tick now)
+{
+    std::uint64_t row = rowOfAddr(addr);
+    using EccAction = ResilienceManager::EccAction;
+    switch (resilience.onEccEvent(row, status, loRows.test(row), now)) {
+    case EccAction::None:
+        break;
+    case EccAction::DemoteAndRetest:
+    case EccAction::DemoteAndPin:
+        // The certification is stale: the in-flight verdict (if any)
+        // is worthless and the row must not stay at LO-REF.
+        abortTestOn(row);
+        demoteRow(row, "demote.corrected");
+        break;
+    case EccAction::Fallback:
+        enterFallback(now);
+        break;
     }
-    if (loRows.test(row)) {
-        loRows.clear(row);
-        --loCount;
-        ++demotionCount;
+}
+
+void
+OnlineMemcon::enterFallback(Tick now)
+{
+    if (!resilience.armFallback(now))
+        return; // already falling back; the hold was extended
+    // Blanket HI-REF: every LO verdict is revoked, remembered, and
+    // re-earned through a full re-certification once trust returns.
+    for (std::size_t row : loRows.setBits()) {
+        recoveryQueue.push_back(row);
+        demoteRow(row, "demote.fallback");
     }
+    // Drain the test slots: verdicts in flight are no longer safe to
+    // act on.
+    std::vector<std::uint64_t> in_test = engine.rowsUnderTest();
+    statGroup.inc("fallback.drained", in_test.size());
+    for (std::uint64_t row : in_test)
+        engine.onWrite(row);
+    activeTests.clear();
+    scrubQueue.clear();
+    mc.setRefreshReduction(0.0);
 }
 
 void
 OnlineMemcon::startCandidateTests(Tick now)
 {
-    while (!pendingCandidates.empty() && engine.freeSlots() > 0) {
+    // Scrub rides the leftover slots, so a reservation keeps a
+    // write-heavy stream (candidate queue never empty) from starving
+    // it outright.
+    std::size_t reserve =
+        scrubQueue.empty() ? 0 : cfg.resilience.scrubReservedSlots;
+    while (!pendingCandidates.empty() && engine.freeSlots() > reserve) {
         std::uint64_t row = pendingCandidates.front();
         pendingCandidates.pop_front();
         // A write since candidacy disqualifies the row: PRIL would
         // have evicted it, but it may already sit in our queue (a
         // stale read-only candidate re-enters through PRIL later).
-        if (engine.isUnderTest(row) || loRows.test(row))
+        // Pinned rows are never worth re-certifying.
+        if (engine.isUnderTest(row) || loRows.test(row) ||
+            resilience.isPinned(row))
             continue;
         bool ok = engine.beginTest(row, [](std::uint64_t r,
                                            std::size_t w) {
@@ -109,6 +179,38 @@ OnlineMemcon::startCandidateTests(Tick now)
         test.requestsLeft = geom.columnsPerRow; // first read pass
         if (cfg.testEngine.mode == TestMode::CopyAndCompare)
             test.requestsLeft += geom.columnsPerRow; // copy writes
+        activeTests.push_back(test);
+    }
+}
+
+void
+OnlineMemcon::startScrubTests(Tick now)
+{
+    // Scrub rides the same slot machinery as ordinary tests but
+    // yields to PRIL's candidates (it runs after them and takes the
+    // leftover slots). The row keeps its LO-REF state while the
+    // re-certification is in flight; only a failure demotes it.
+    while (!scrubQueue.empty() && engine.freeSlots() > 0) {
+        std::uint64_t row = scrubQueue.front();
+        scrubQueue.pop_front();
+        // Demoted or re-queued since the sweep picked it: skip.
+        if (!loRows.test(row) || engine.isUnderTest(row))
+            continue;
+        bool ok = engine.beginTest(row, [](std::uint64_t r,
+                                           std::size_t w) {
+            return syntheticWord(r, w);
+        });
+        if (!ok) {
+            scrubQueue.push_front(row);
+            break; // reserve region exhausted (Copy&Compare)
+        }
+        ActiveTest test;
+        test.row = row;
+        test.readbackAt = now + cfg.testIdle;
+        test.requestsLeft = geom.columnsPerRow;
+        if (cfg.testEngine.mode == TestMode::CopyAndCompare)
+            test.requestsLeft += geom.columnsPerRow;
+        test.isScrub = true;
         activeTests.push_back(test);
     }
 }
@@ -172,6 +274,7 @@ OnlineMemcon::completeDueTests(Tick now)
             continue;
         }
         std::uint64_t row = it->row;
+        bool is_scrub = it->isScrub;
         bool decayed = oracle && oracle(row);
         TestOutcome outcome = engine.completeTest(
             row, [decayed](std::uint64_t r, std::size_t w) {
@@ -181,7 +284,18 @@ OnlineMemcon::completeDueTests(Tick now)
                     word ^= 1;
                 return word;
             });
-        if (outcome == TestOutcome::Pass) {
+        if (is_scrub) {
+            // The row was LO throughout; a pass re-affirms it, a
+            // failure means the certification went stale (VRT,
+            // transient corruption) and the row drops to HI-REF.
+            if (outcome == TestOutcome::Pass) {
+                statGroup.inc("scrub.passed");
+            } else if (outcome == TestOutcome::Fail) {
+                statGroup.inc("scrub.failed");
+                demoteRow(row, "demote.scrub");
+            }
+        } else if (outcome == TestOutcome::Pass &&
+                   !resilience.isPinned(row) && !loRows.test(row)) {
             loRows.set(row);
             ++loCount;
         }
@@ -205,6 +319,15 @@ OnlineMemcon::emergentReduction() const
 void
 OnlineMemcon::tick(Tick now)
 {
+    if (resilience.fallbackExpired(now)) {
+        resilience.exitFallback();
+        // Trust returns gradually: every formerly-LO row re-enters
+        // the ordinary test pipeline and re-earns its verdict.
+        for (std::uint64_t row : recoveryQueue)
+            pendingCandidates.push_back(row);
+        recoveryQueue.clear();
+    }
+
     if (now >= nextQuantumEnd) {
         for (std::uint64_t row : pril.endQuantum())
             pendingCandidates.push_back(row);
@@ -219,8 +342,28 @@ OnlineMemcon::tick(Tick now)
                     pendingCandidates.push_back(r);
         }
     }
-    startCandidateTests(now);
-    pumpTestTraffic(now);
+
+    if (!resilience.inFallback()) {
+        // Backoff re-tests of corrected-error rows jump the queue:
+        // their refresh state is the one most in doubt.
+        for (std::uint64_t row : resilience.dueRetests(now)) {
+            if (!loRows.test(row) && !engine.isUnderTest(row))
+                pendingCandidates.push_front(row);
+        }
+        // Top up the sweep only once the previous batch drained: a
+        // starved backlog must not grow without bound.
+        if (scrubQueue.empty() && resilience.scrubDue(now)) {
+            auto under_test = [this](std::uint64_t r) {
+                return engine.isUnderTest(r);
+            };
+            for (std::uint64_t row :
+                 resilience.nextScrubRows(now, loRows, under_test))
+                scrubQueue.push_back(row);
+        }
+        startCandidateTests(now);
+        startScrubTests(now);
+        pumpTestTraffic(now);
+    }
     completeDueTests(now);
 
     if (now >= nextRetarget) {

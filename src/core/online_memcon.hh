@@ -22,7 +22,13 @@
  *    slot machinery (Section 6.1),
  *  - the controller's refresh cadence is re-targeted continuously
  *    from the measured LO-REF row fraction, so the refresh reduction
- *    *emerges* from the mechanism instead of being configured.
+ *    *emerges* from the mechanism instead of being configured,
+ *  - the controller's error-event hook feeds ECC decode verdicts of
+ *    demand reads into a graceful-degradation state machine
+ *    (resilience.hh): corrected errors on LO-REF rows demote and
+ *    re-test with backoff, uncorrectable errors trigger a
+ *    panic-fallback to blanket HI-REF, and idle LO-REF rows are
+ *    periodically re-scrubbed through the same test slots.
  *
  * Because cycle simulation covers milliseconds while PRIL's natural
  * quantum is ~1 s, the quantum and in-test idle period are
@@ -39,7 +45,9 @@
 #include <unordered_set>
 
 #include "common/bitvector.hh"
+#include "common/stats.hh"
 #include "core/pril.hh"
+#include "core/resilience.hh"
 #include "core/test_engine.hh"
 #include "sim/controller.hh"
 
@@ -65,6 +73,10 @@ struct OnlineMemconConfig
 
     /** Re-target the controller's refresh cadence this often. */
     Tick retargetPeriod = msToTicks(0.25);
+
+    /** Graceful-degradation knobs (corrected-error demotion, panic
+     * fallback, idle-row re-scrub). */
+    ResilienceConfig resilience;
 };
 
 class OnlineMemcon
@@ -85,16 +97,21 @@ class OnlineMemcon
                  RowFailureOracle oracle = {});
 
     /**
-     * Install the write observer into a controller config. Call
-     * before constructing the controller, then pass the controller
-     * to this class; split because the controller takes its config
-     * by value at construction.
+     * Install the write and error observers into a controller
+     * config. Call before constructing the controller, then pass the
+     * controller to this class; split because the controller takes
+     * its config by value at construction.
      */
     static void installObserver(sim::ControllerConfig &cfg,
                                 OnlineMemcon *&slot);
 
     /** Report a demand write (wired to the controller observer). */
     void observeWrite(std::uint64_t addr, Tick now);
+
+    /** Report the ECC decode verdict of a completed demand read
+     * (wired to the controller's error observer). */
+    void observeEccEvent(std::uint64_t addr, dram::EccStatus status,
+                         Tick now);
 
     /** Advance; call once per DRAM tick after controller.tick(). */
     void tick(Tick now);
@@ -108,6 +125,12 @@ class OnlineMemcon
     /** The refresh reduction implied by the current LO fraction. */
     double emergentReduction() const;
 
+    /** @return true while the panic-fallback is active. */
+    bool inFallback() const { return resilience.inFallback(); }
+
+    /** Rows permanently pinned at HI-REF by the resilience layer. */
+    std::uint64_t pinnedRows() const { return resilience.pinnedRows(); }
+
     // Statistics.
     std::uint64_t testsStarted() const { return engine.testsStarted(); }
     std::uint64_t testsPassed() const { return engine.testsPassed(); }
@@ -116,6 +139,11 @@ class OnlineMemcon
     std::uint64_t writesObserved() const { return writeCount; }
     std::uint64_t demotions() const { return demotionCount; }
 
+    /** Resilience event counters (ecc.*, demote.*, scrub.*,
+     * fallback.*, retest.*, pinned). */
+    const StatGroup &stats() const { return statGroup; }
+    StatGroup &stats() { return statGroup; }
+
   private:
     struct ActiveTest
     {
@@ -123,11 +151,16 @@ class OnlineMemcon
         Tick readbackAt; //!< when the idle period ends
         unsigned requestsLeft; //!< traffic not yet accepted
         unsigned column = 0;
+        bool isScrub = false; //!< re-certification of a LO-REF row
     };
 
     void startCandidateTests(Tick now);
+    void startScrubTests(Tick now);
     void pumpTestTraffic(Tick now);
     void completeDueTests(Tick now);
+    void demoteRow(std::uint64_t row, const char *cause);
+    void abortTestOn(std::uint64_t row);
+    void enterFallback(Tick now);
     std::uint64_t rowOfAddr(std::uint64_t addr) const;
 
     dram::Geometry geom;
@@ -144,6 +177,14 @@ class OnlineMemcon
 
     std::deque<ActiveTest> activeTests;
     std::deque<std::uint64_t> pendingCandidates;
+    std::deque<std::uint64_t> scrubQueue;
+
+    /** Rows whose LO verdict was revoked by a fallback; re-certified
+     * when the fallback exits. */
+    std::deque<std::uint64_t> recoveryQueue;
+
+    StatGroup statGroup{"memcon"};
+    ResilienceManager resilience;
 
     Tick nextQuantumEnd;
     Tick nextRetarget;

@@ -1,0 +1,122 @@
+#include "core/resilience.hh"
+
+#include "common/logging.hh"
+
+namespace memcon::core
+{
+
+ResilienceManager::ResilienceManager(const ResilienceConfig &config,
+                                     std::uint64_t num_rows,
+                                     StatGroup &stat_group)
+    : cfg(config), rows(num_rows), stats(stat_group),
+      pinned(num_rows), nextScrub(config.scrubPeriod)
+{
+    fatal_if(cfg.retestBackoff == 0, "retest backoff must be positive");
+}
+
+ResilienceManager::EccAction
+ResilienceManager::onEccEvent(std::uint64_t row,
+                              dram::EccStatus status, bool lo_ref,
+                              Tick now)
+{
+    panic_if(row >= rows, "row %llu out of range",
+             static_cast<unsigned long long>(row));
+    switch (status) {
+    case dram::EccStatus::Ok:
+        return EccAction::None;
+    case dram::EccStatus::Uncorrectable:
+        stats.inc("ecc.uncorrectable");
+        if (!cfg.enabled)
+            return EccAction::None;
+        // The page behind this row is gone; never trust it at LO-REF
+        // again, and stop trusting every other LO verdict too.
+        if (!pinned.test(row)) {
+            pinned.set(row);
+            stats.inc("pinned");
+        }
+        return EccAction::Fallback;
+    case dram::EccStatus::CorrectedData:
+    case dram::EccStatus::CorrectedCheck:
+        stats.inc("ecc.corrected");
+        if (!cfg.enabled || !lo_ref || pinned.test(row))
+            return EccAction::None;
+        unsigned episodes = ++correctedEpisodes[row];
+        if (episodes > cfg.maxCorrectedRetries) {
+            pinned.set(row);
+            stats.inc("pinned");
+            return EccAction::DemoteAndPin;
+        }
+        // Exponential backoff: a row that keeps producing corrected
+        // errors is re-tested less and less eagerly.
+        Tick backoff = cfg.retestBackoff << (episodes - 1);
+        retestQueue.emplace(now + backoff, row);
+        stats.inc("retest.scheduled");
+        return EccAction::DemoteAndRetest;
+    }
+    return EccAction::None;
+}
+
+std::vector<std::uint64_t>
+ResilienceManager::dueRetests(Tick now)
+{
+    std::vector<std::uint64_t> due;
+    auto end = retestQueue.upper_bound(now);
+    for (auto it = retestQueue.begin(); it != end; ++it)
+        due.push_back(it->second);
+    retestQueue.erase(retestQueue.begin(), end);
+    return due;
+}
+
+bool
+ResilienceManager::armFallback(Tick now)
+{
+    fallbackUntil = now + cfg.fallbackHold;
+    if (fallback)
+        return false;
+    fallback = true;
+    stats.inc("fallback.entries");
+    return true;
+}
+
+bool
+ResilienceManager::fallbackExpired(Tick now) const
+{
+    return fallback && now >= fallbackUntil;
+}
+
+void
+ResilienceManager::exitFallback()
+{
+    panic_if(!fallback, "exitFallback outside fallback");
+    fallback = false;
+    stats.inc("fallback.exits");
+}
+
+bool
+ResilienceManager::scrubDue(Tick now) const
+{
+    return cfg.enabled && cfg.scrubPeriod > 0 && now >= nextScrub;
+}
+
+std::vector<std::uint64_t>
+ResilienceManager::nextScrubRows(
+    Tick now, const BitVector &lo_rows,
+    const std::function<bool(std::uint64_t)> &skip)
+{
+    nextScrub = now + cfg.scrubPeriod;
+    std::vector<std::uint64_t> picked;
+    // One full lap from the cursor at most: the sweep must terminate
+    // even when fewer LO rows exist than the batch wants.
+    for (std::uint64_t step = 0;
+         step < rows && picked.size() < cfg.scrubRowsPerSweep; ++step) {
+        std::uint64_t row = scrubCursor;
+        scrubCursor = (scrubCursor + 1) % rows;
+        if (!lo_rows.test(row) || (skip && skip(row)))
+            continue;
+        picked.push_back(row);
+    }
+    stats.inc("scrub.scheduled", picked.size());
+    return picked;
+}
+
+} // namespace memcon::core

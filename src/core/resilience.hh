@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Graceful degradation for the online mechanism.
+ *
+ * OnlineMemcon's baseline control flow trusts its own verdicts: a row
+ * that passed its test sits at LO-REF until the next demand write.
+ * The paper's own motivation says that trust is misplaced - VRT cells
+ * toggle after certification (the AVATAR hazard) and transient upsets
+ * strike rows the profile never saw - so a production mechanism must
+ * treat the ECC decode of every demand read as a health signal and
+ * degrade gracefully when it disagrees with the refresh state:
+ *
+ *  - corrected error on a LO-REF row: the certification is stale.
+ *    Demote immediately and schedule a re-test with exponential
+ *    backoff; after a bounded number of corrected-error episodes the
+ *    row is pinned at HI-REF for good (a chronically toggling VRT
+ *    row is not worth re-certifying).
+ *
+ *  - uncorrectable error: the mechanism can no longer prove any of
+ *    its LO-REF verdicts were safe. Enter panic-fallback: blanket
+ *    HI-REF, drain the test slots, and only resume (re-certifying
+ *    every formerly-LO row from scratch) after a quiet hold period.
+ *
+ *  - periodic re-scrub: LO-REF rows that see neither writes nor
+ *    demand reads would otherwise keep a stale verdict forever (the
+ *    exposure vrt.hh names). A round-robin sweep re-tests them
+ *    through the ordinary TestEngine slots, so scrub traffic
+ *    competes with demand exactly like test traffic.
+ *
+ * This class is the bookkeeping half (per-row retry state, the pin
+ * set, the retest/backoff queue, the scrub cursor, the fallback
+ * timer); OnlineMemcon owns the actuation (demotion, slot draining,
+ * controller re-targeting).
+ */
+
+#ifndef MEMCON_CORE_RESILIENCE_HH
+#define MEMCON_CORE_RESILIENCE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "dram/ecc.hh"
+
+namespace memcon::core
+{
+
+struct ResilienceConfig
+{
+    /** Master switch; off reproduces the trusting baseline (events
+     * are still counted). */
+    bool enabled = true;
+
+    /** Corrected-error episodes a row may survive before it is
+     * pinned at HI-REF. */
+    unsigned maxCorrectedRetries = 3;
+
+    /** Backoff before the first re-test; doubles per episode. */
+    Tick retestBackoff = usToTicks(30.0);
+
+    /** Period of the idle-row re-scrub sweep (0 disables scrub). */
+    Tick scrubPeriod = 0;
+
+    /** LO-REF rows queued per sweep step; bounds scrub burstiness so
+     * the TestEngine slots are never monopolised. */
+    std::size_t scrubRowsPerSweep = 8;
+
+    /** Test slots candidates must leave free while scrub work is
+     * queued. Without a reservation a write-heavy stream keeps the
+     * candidate queue non-empty forever and scrub starves. */
+    std::size_t scrubReservedSlots = 2;
+
+    /** Quiet time before panic-fallback is exited; every further
+     * uncorrectable error re-arms it. */
+    Tick fallbackHold = usToTicks(200.0);
+};
+
+class ResilienceManager
+{
+  public:
+    /** What OnlineMemcon must do about an ECC event. */
+    enum class EccAction
+    {
+        None,            //!< count only (row not LO, or disabled)
+        DemoteAndRetest, //!< demote now; a backoff re-test is queued
+        DemoteAndPin,    //!< demote now; retries exhausted, pin HI-REF
+        Fallback,        //!< uncorrectable: enter panic-fallback
+    };
+
+    ResilienceManager(const ResilienceConfig &config,
+                      std::uint64_t num_rows, StatGroup &stats);
+
+    const ResilienceConfig &config() const { return cfg; }
+
+    /**
+     * Classify an ECC event on a row. `lo_ref` is the row's refresh
+     * state at observation time. Updates retry counts, the pin set,
+     * and the retest queue; the caller actuates the returned action.
+     */
+    EccAction onEccEvent(std::uint64_t row, dram::EccStatus status,
+                         bool lo_ref, Tick now);
+
+    /** @return true if the row is permanently held at HI-REF. */
+    bool isPinned(std::uint64_t row) const { return pinned.test(row); }
+
+    /** Rows currently pinned at HI-REF. */
+    std::uint64_t pinnedRows() const { return pinned.count(); }
+
+    /** Pop every scheduled re-test whose backoff has elapsed. */
+    std::vector<std::uint64_t> dueRetests(Tick now);
+
+    // --- panic-fallback timer ---
+
+    bool inFallback() const { return fallback; }
+
+    /**
+     * Arm (or re-arm) the fallback hold.
+     * @return true if this call *entered* fallback (as opposed to
+     * extending an active one); the caller drains state on entry.
+     */
+    bool armFallback(Tick now);
+
+    /** @return true when the hold has elapsed and fallback can end. */
+    bool fallbackExpired(Tick now) const;
+
+    /** Leave fallback (caller begins the re-certification sweep). */
+    void exitFallback();
+
+    // --- idle-row re-scrub ---
+
+    /** @return true when the next sweep step is due. */
+    bool scrubDue(Tick now) const;
+
+    /**
+     * Advance the sweep: up to scrubRowsPerSweep LO-REF rows from
+     * the round-robin cursor, skipping rows the predicate rejects
+     * (already under test). Re-arms the period timer.
+     */
+    std::vector<std::uint64_t>
+    nextScrubRows(Tick now, const BitVector &lo_rows,
+                  const std::function<bool(std::uint64_t)> &skip);
+
+  private:
+    ResilienceConfig cfg;
+    std::uint64_t rows;
+    StatGroup &stats;
+
+    std::unordered_map<std::uint64_t, unsigned> correctedEpisodes;
+    BitVector pinned;
+    std::multimap<Tick, std::uint64_t> retestQueue;
+
+    bool fallback = false;
+    Tick fallbackUntil = 0;
+
+    Tick nextScrub;
+    std::uint64_t scrubCursor = 0;
+};
+
+} // namespace memcon::core
+
+#endif // MEMCON_CORE_RESILIENCE_HH

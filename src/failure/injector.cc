@@ -1,0 +1,154 @@
+#include "failure/injector.hh"
+
+#include "common/logging.hh"
+
+namespace memcon::failure
+{
+
+FaultInjector::FaultInjector(const FaultInjectorConfig &config,
+                             std::uint64_t num_rows)
+    : cfg(config), rows(num_rows)
+{
+    fatal_if(cfg.transientPerRowPerMs < 0.0,
+             "transient rate must be non-negative");
+    fatal_if(cfg.transientDoubleBitFraction < 0.0 ||
+                 cfg.transientDoubleBitFraction > 1.0,
+             "double-bit fraction must lie in [0, 1]");
+    fatal_if(cfg.loRefIntervalMs <= 0.0,
+             "LO-REF interval must be positive");
+}
+
+void
+FaultInjector::attachContent(const FailureModel *model,
+                             const ContentProvider *content)
+{
+    fatal_if((model == nullptr) != (content == nullptr),
+             "content source needs both a model and a provider");
+    contentModel = model;
+    installedContent = content;
+}
+
+FaultInjector::RowFaults &
+FaultInjector::rowState(std::uint64_t row) const
+{
+    panic_if(row >= rows, "row %llu out of range (%llu rows)",
+             static_cast<unsigned long long>(row),
+             static_cast<unsigned long long>(rows));
+    auto [it, inserted] = transients.try_emplace(row);
+    if (inserted)
+        it->second.rng.seed(hashMix64(cfg.seed ^ (row * 0x9e3779b97f4a7c15ULL)));
+    return it->second;
+}
+
+void
+FaultInjector::advance(RowFaults &state, std::uint64_t row,
+                       TimeMs now_ms) const
+{
+    (void)row;
+    if (cfg.transientPerRowPerMs <= 0.0)
+        return;
+    double mean_ms = 1.0 / cfg.transientPerRowPerMs;
+    if (!state.started) {
+        state.started = true;
+        state.nextArrival = state.rng.exponential(mean_ms);
+    }
+    while (state.nextArrival <= now_ms) {
+        if (budgetSpent < cfg.faultBudget) {
+            ++budgetSpent;
+            if (state.rng.chance(cfg.transientDoubleBitFraction)) {
+                ++state.pendingDouble;
+                statGroup.inc("transient.double");
+            } else {
+                ++state.pendingSingle;
+                statGroup.inc("transient.single");
+            }
+        } else {
+            statGroup.inc("budgetDropped");
+        }
+        state.nextArrival += state.rng.exponential(mean_ms);
+    }
+}
+
+bool
+FaultInjector::retentionFails(std::uint64_t row, TimeMs now_ms,
+                              bool &uncorrectable) const
+{
+    uncorrectable = false;
+    bool fails = false;
+    if (vrtPop) {
+        // Leaky cells grouped per 64-bit word: two in one word defeat
+        // SECDED.
+        std::unordered_map<std::uint64_t, unsigned> perWord;
+        for (const VrtCell &cell : vrtPop->cellsOfRow(row)) {
+            if (!vrtPop->isLeakyAt(cell, now_ms))
+                continue;
+            if (cfg.loRefIntervalMs <
+                vrtPop->params().leakyFailIntervalMs)
+                continue;
+            fails = true;
+            if (++perWord[cell.column / 64] >= 2)
+                uncorrectable = true;
+        }
+    }
+    if (!fails && contentModel &&
+        contentModel->logicalRowFails(row, *installedContent,
+                                      cfg.loRefIntervalMs)) {
+        // Coupling failures are sparse; treat as single-bit.
+        fails = true;
+    }
+    return fails;
+}
+
+dram::EccStatus
+FaultInjector::onRead(std::uint64_t row, Tick now, bool lo_ref)
+{
+    RowFaults &state = rowState(row);
+    TimeMs now_ms = ticksToMs(now);
+    advance(state, row, now_ms);
+
+    bool retention_uncorrectable = false;
+    bool retention = lo_ref && retentionFails(row, now_ms,
+                                              retention_uncorrectable);
+
+    if (state.pendingDouble > 0 || retention_uncorrectable) {
+        // The machine-check path retires the page: pending transient
+        // corruption goes with it.
+        state.pendingSingle = 0;
+        state.pendingDouble = 0;
+        statGroup.inc("observed.uncorrectable");
+        return dram::EccStatus::Uncorrectable;
+    }
+    if (state.pendingSingle > 0 || retention) {
+        statGroup.inc("observed.corrected");
+        return dram::EccStatus::CorrectedData;
+    }
+    return dram::EccStatus::Ok;
+}
+
+void
+FaultInjector::onRowRestored(std::uint64_t row, Tick now)
+{
+    RowFaults &state = rowState(row);
+    advance(state, row, ticksToMs(now));
+    if (state.pendingSingle > 0 || state.pendingDouble > 0)
+        statGroup.inc("restoredWithPending");
+    state.pendingSingle = 0;
+    state.pendingDouble = 0;
+}
+
+bool
+FaultInjector::hasLatentFault(std::uint64_t row, Tick now,
+                              bool lo_ref) const
+{
+    RowFaults &state = rowState(row);
+    TimeMs now_ms = ticksToMs(now);
+    advance(state, row, now_ms);
+    if (state.pendingSingle > 0 || state.pendingDouble > 0)
+        return true;
+    if (!lo_ref)
+        return false;
+    bool uncorrectable = false;
+    return retentionFails(row, now_ms, uncorrectable);
+}
+
+} // namespace memcon::failure

@@ -80,6 +80,22 @@ MemoryController::completeFinishedReads(Tick now)
                             static_cast<double>(done.dataDone -
                                                 done.req.arrival));
             statGroup.inc("completed.read");
+            if (!done.req.isTest && cfg.eccProbe) {
+                dram::EccStatus st = cfg.eccProbe(done.req.addr, now);
+                switch (st) {
+                case dram::EccStatus::Ok:
+                    break;
+                case dram::EccStatus::CorrectedData:
+                case dram::EccStatus::CorrectedCheck:
+                    statGroup.inc("ecc.corrected");
+                    break;
+                case dram::EccStatus::Uncorrectable:
+                    statGroup.inc("ecc.uncorrectable");
+                    break;
+                }
+                if (st != dram::EccStatus::Ok && cfg.errorObserver)
+                    cfg.errorObserver(done.req.addr, st, now);
+            }
             if (done.req.onComplete)
                 done.req.onComplete(done.req);
         } else {

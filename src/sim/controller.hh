@@ -26,6 +26,7 @@
 #include "common/stats.hh"
 #include "common/units.hh"
 #include "dram/channel.hh"
+#include "dram/ecc.hh"
 #include "sim/request.hh"
 
 namespace memcon::sim
@@ -67,6 +68,23 @@ struct ControllerConfig
      * write-tracking hook; test traffic is not reported).
      */
     std::function<void(std::uint64_t addr, Tick now)> writeObserver;
+
+    /**
+     * Models the ECC decode of the data a completed demand read
+     * returns (fault-injection hook). Absent means every read
+     * decodes clean. Test-traffic reads are not probed - their
+     * verdicts come from the TestEngine's compare.
+     */
+    std::function<dram::EccStatus(std::uint64_t addr, Tick now)>
+        eccProbe;
+
+    /**
+     * Invoked for every demand read whose decode was not Ok (the
+     * error-event hook the resilience layer listens on).
+     */
+    std::function<void(std::uint64_t addr, dram::EccStatus status,
+                       Tick now)>
+        errorObserver;
 };
 
 class MemoryController

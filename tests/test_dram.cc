@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "common/random.hh"
 #include "dram/channel.hh"
+#include "dram/ecc.hh"
 #include "dram/organization.hh"
 #include "dram/timing.hh"
 
@@ -396,6 +399,138 @@ TEST_P(ChannelFuzz, LegalDriverNeverPanics)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChannelFuzz,
                          ::testing::Values(101, 102, 103, 104, 105, 106));
+
+// --- SECDED edge paths --------------------------------------------
+//
+// The resilience layer acts on decode verdicts, so the code's
+// detection guarantees are load-bearing: a double error that decoded
+// as Ok (or miscorrected into CorrectedData) would silently poison a
+// LO-REF verdict. The double-flip tests are exhaustive.
+
+TEST(SecdedEdge, EveryDoubleDataBitFlipIsDetectedNotMiscorrected)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 4; ++trial) {
+        std::uint64_t data = rng.next();
+        EccWord word = Secded64::encode(data);
+        for (unsigned a = 0; a < 64; ++a) {
+            for (unsigned b = a + 1; b < 64; ++b) {
+                EccWord bad = word;
+                bad.data ^= (std::uint64_t{1} << a) |
+                            (std::uint64_t{1} << b);
+                EccDecode out = Secded64::decode(bad);
+                ASSERT_EQ(out.status, EccStatus::Uncorrectable)
+                    << "bits " << a << "," << b;
+            }
+        }
+    }
+}
+
+TEST(SecdedEdge, DataPlusCheckBitFlipIsDetected)
+{
+    Rng rng(43);
+    std::uint64_t data = rng.next();
+    EccWord word = Secded64::encode(data);
+    for (unsigned d = 0; d < 64; ++d) {
+        for (unsigned c = 0; c < 8; ++c) {
+            EccWord bad = word;
+            bad.data ^= std::uint64_t{1} << d;
+            bad.check ^= static_cast<std::uint8_t>(1u << c);
+            EccDecode out = Secded64::decode(bad);
+            ASSERT_EQ(out.status, EccStatus::Uncorrectable)
+                << "data bit " << d << ", check bit " << c;
+        }
+    }
+}
+
+TEST(SecdedEdge, DoubleCheckBitFlipIsDetected)
+{
+    Rng rng(44);
+    std::uint64_t data = rng.next();
+    EccWord word = Secded64::encode(data);
+    for (unsigned a = 0; a < 8; ++a) {
+        for (unsigned b = a + 1; b < 8; ++b) {
+            EccWord bad = word;
+            bad.check ^= static_cast<std::uint8_t>((1u << a) |
+                                                   (1u << b));
+            EccDecode out = Secded64::decode(bad);
+            ASSERT_EQ(out.status, EccStatus::Uncorrectable)
+                << "check bits " << a << "," << b;
+        }
+    }
+}
+
+TEST(SecdedEdge, CheckBitOnlyFlipLeavesDataIntact)
+{
+    Rng rng(45);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::uint64_t data = rng.next();
+        EccWord word = Secded64::encode(data);
+        for (unsigned c = 0; c < 8; ++c) {
+            EccWord bad = word;
+            bad.check ^= static_cast<std::uint8_t>(1u << c);
+            EccDecode out = Secded64::decode(bad);
+            EXPECT_EQ(out.status, EccStatus::CorrectedCheck);
+            EXPECT_EQ(out.data, data);
+        }
+    }
+}
+
+TEST(SecdedEdge, TripleFlipsNeverDecodeOkButCanMiscorrect)
+{
+    // Beyond the code's guarantee: three flips always trip the
+    // overall parity (never Ok), but the syndrome can alias to a
+    // wrong single-bit repair. This documents why an Uncorrectable
+    // observation cannot be the *only* trigger of the fallback path -
+    // corrected verdicts must be treated as suspect too.
+    Rng rng(46);
+    unsigned miscorrected = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::uint64_t data = rng.next();
+        EccWord word = Secded64::encode(data);
+        unsigned a = static_cast<unsigned>(rng.uniformInt(64));
+        unsigned b = static_cast<unsigned>(rng.uniformInt(64));
+        unsigned c = static_cast<unsigned>(rng.uniformInt(64));
+        if (a == b || b == c || a == c)
+            continue;
+        EccWord bad = word;
+        bad.data ^= (std::uint64_t{1} << a) | (std::uint64_t{1} << b) |
+                    (std::uint64_t{1} << c);
+        EccDecode out = Secded64::decode(bad);
+        ASSERT_NE(out.status, EccStatus::Ok);
+        if (out.status != EccStatus::Uncorrectable &&
+            out.data != data)
+            ++miscorrected;
+    }
+    EXPECT_GT(miscorrected, 0u);
+}
+
+TEST(SecdedEdge, SignatureCatchesOneAndTwoBitWordCorruption)
+{
+    // Copy&Compare keeps only the check bytes; any 1- or 2-bit decay
+    // in a word must change its check byte or the comparison would
+    // certify a failing row.
+    Rng rng(47);
+    std::vector<std::uint64_t> row(16);
+    for (std::uint64_t &w : row)
+        w = rng.next();
+    std::vector<std::uint8_t> sig = Secded64::rowSignature(row);
+    ASSERT_TRUE(Secded64::compareSignature(row, sig).empty());
+
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint64_t> decayed = row;
+        std::size_t victim = rng.uniformInt(decayed.size());
+        unsigned flips = 1 + static_cast<unsigned>(rng.uniformInt(2));
+        std::uint64_t mask = 0;
+        while (std::popcount(mask) < static_cast<int>(flips))
+            mask |= std::uint64_t{1} << rng.uniformInt(64);
+        decayed[victim] ^= mask;
+        std::vector<std::size_t> bad =
+            Secded64::compareSignature(decayed, sig);
+        ASSERT_EQ(bad.size(), 1u);
+        EXPECT_EQ(bad[0], victim);
+    }
+}
 
 } // namespace
 } // namespace memcon::dram
