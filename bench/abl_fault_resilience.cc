@@ -18,19 +18,24 @@
  *    re-certified round-robin through the test slots, closing the
  *    window on rows that see neither writes nor demand reads.
  *
- * Deterministic under the fixed seeds: rerunning reproduces every
- * number bit-identically.
+ * One sweep point per (rate, layer); the VRT and injector seeds are
+ * derived from the campaign seed, so rerunning with any --threads
+ * value reproduces every number bit-identically.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/random.hh"
 #include "common/table.hh"
 #include "core/online_memcon.hh"
 #include "failure/injector.hh"
 #include "failure/vrt.hh"
+#include "runner.hh"
 #include "sim/system.hh"
 #include "trace/cpu_gen.hh"
 
@@ -61,39 +66,28 @@ layerName(Layer layer)
     return "?";
 }
 
-struct Outcome
-{
-    double loFraction;
-    double reduction;
-    double corrected;
-    double uncorrectable;
-    double fallbacks;
-    std::uint64_t pinned;
-    double scrubFailed;
-    double avgLatentLoRows; //!< time-averaged undetected corruption
-    std::uint64_t peakLatentLoRows;
-};
-
-Outcome
-runOne(double transient_rate, Layer layer)
+bench::Metrics
+runOne(double transient_rate, Layer layer, std::uint64_t seed, bool quick)
 {
     dram::Geometry geom;
     geom.rowsPerBank = 64; // 512 rows
     auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
 
     // The AVATAR hazard, time-compressed: cells toggle on the same
-    // scale the run covers, so certifications go stale mid-run.
+    // scale the run covers, so certifications go stale mid-run. The
+    // VRT population and injector draw decorrelated sub-seeds from
+    // the task seed.
     failure::VrtParams vrt_params;
     vrt_params.vrtCellsPerRow = 0.05;
     vrt_params.dwellHighMs = 0.6;
     vrt_params.dwellLowMs = 0.4;
-    vrt_params.seed = 9;
+    vrt_params.seed = hashMix64(seed ^ 0x5e711e5ce);
     failure::VrtPopulation vrt(vrt_params, geom.totalRows());
 
     failure::FaultInjectorConfig inj_cfg;
     inj_cfg.transientPerRowPerMs = transient_rate;
     inj_cfg.transientDoubleBitFraction = 0.1;
-    inj_cfg.seed = 5;
+    inj_cfg.seed = hashMix64(seed ^ 0x1faf11);
     failure::FaultInjector injector(inj_cfg, geom.totalRows());
     injector.attachVrt(&vrt);
 
@@ -142,11 +136,11 @@ runOne(double transient_rate, Layer layer)
     slot = om.get();
 
     trace::CpuAccessStream stream(
-        trace::CpuPersona::byName("perlbench"), 3);
+        trace::CpuPersona::byName("perlbench"), hashMix64(seed ^ 0xc02e));
     sim::SimpleCore core(0, std::move(stream), mc, 0,
                          geom.totalBlocks());
 
-    const Tick horizon = msToTicks(2.0);
+    const Tick horizon = msToTicks(quick ? 0.5 : 2.0);
     const Tick sample_period = usToTicks(40.0);
     Tick next_sample = sample_period;
     std::uint64_t samples = 0, latent_sum = 0, latent_peak = 0;
@@ -169,25 +163,26 @@ runOne(double transient_rate, Layer layer)
         }
     }
 
-    Outcome o;
-    o.loFraction = om->loRefFraction();
-    o.reduction = om->emergentReduction();
-    o.corrected = om->stats().value("ecc.corrected");
-    o.uncorrectable = om->stats().value("ecc.uncorrectable");
-    o.fallbacks = om->stats().value("fallback.entries");
-    o.pinned = om->pinnedRows();
-    o.scrubFailed = om->stats().value("scrub.failed");
-    o.avgLatentLoRows =
-        samples ? static_cast<double>(latent_sum) / samples : 0.0;
-    o.peakLatentLoRows = latent_peak;
-    return o;
+    return bench::Metrics{
+        {"lo_fraction", om->loRefFraction()},
+        {"reduction", om->emergentReduction()},
+        {"corrected", om->stats().value("ecc.corrected")},
+        {"uncorrectable", om->stats().value("ecc.uncorrectable")},
+        {"fallbacks", om->stats().value("fallback.entries")},
+        {"pinned", static_cast<double>(om->pinnedRows())},
+        {"scrub_failed", om->stats().value("scrub.failed")},
+        {"avg_latent_lo_rows",
+         samples ? static_cast<double>(latent_sum) / samples : 0.0},
+        {"peak_latent_lo_rows", static_cast<double>(latent_peak)},
+    };
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::SweepOptions opts = bench::parseSweepArgs(argc, argv);
     bench::banner("Ablation: fault injection vs. graceful degradation",
                   "undetected corruption on LO-REF rows under VRT + "
                   "transient upsets");
@@ -196,23 +191,41 @@ main()
          "LO rows' = rows serving demand at LO-REF while holding a "
          "fault no read has surfaced (sampled every 40 us).");
 
+    const std::vector<double> rates = {0.0, 0.1, 0.4};
+    const std::vector<Layer> layers = {Layer::Off, Layer::On,
+                                       Layer::OnScrub};
+    bench::SweepRunner runner("abl_fault_resilience", opts);
+    for (double rate : rates) {
+        for (Layer layer : layers) {
+            runner.add(strprintf("rate%.1f/%s", rate, layerName(layer)),
+                       [rate, layer](const bench::TaskContext &ctx) {
+                           return runOne(rate, layer, ctx.seed,
+                                         ctx.quick);
+                       });
+        }
+    }
+    runner.run();
+
     TextTable t;
     t.header({"upsets/row/ms", "config", "LO-REF", "reduction",
               "corr", "uncorr", "fallbacks", "pinned", "scrub fails",
               "latent LO rows (avg/peak)"});
-    for (double rate : {0.0, 0.1, 0.4}) {
-        for (Layer layer : {Layer::Off, Layer::On, Layer::OnScrub}) {
-            Outcome o = runOne(rate, layer);
+    std::size_t idx = 0;
+    for (double rate : rates) {
+        for (Layer layer : layers) {
+            const bench::PointResult &o = runner.results()[idx++];
             t.row({TextTable::num(rate, 1), layerName(layer),
-                   TextTable::pct(o.loFraction, 1),
-                   TextTable::pct(o.reduction, 1),
-                   TextTable::num(o.corrected, 0),
-                   TextTable::num(o.uncorrectable, 0),
-                   TextTable::num(o.fallbacks, 0),
-                   std::to_string(o.pinned),
-                   TextTable::num(o.scrubFailed, 0),
-                   TextTable::num(o.avgLatentLoRows, 2) + " / " +
-                       std::to_string(o.peakLatentLoRows)});
+                   TextTable::pct(o.metric("lo_fraction"), 1),
+                   TextTable::pct(o.metric("reduction"), 1),
+                   TextTable::num(o.metric("corrected"), 0),
+                   TextTable::num(o.metric("uncorrectable"), 0),
+                   TextTable::num(o.metric("fallbacks"), 0),
+                   TextTable::num(o.metric("pinned"), 0),
+                   TextTable::num(o.metric("scrub_failed"), 0),
+                   TextTable::num(o.metric("avg_latent_lo_rows"), 2) +
+                       " / " +
+                       TextTable::num(o.metric("peak_latent_lo_rows"),
+                                      0)});
         }
     }
     std::printf("%s", t.render().c_str());
@@ -222,5 +235,6 @@ main()
          "an immediate demotion and every uncorrectable into a "
          "blanket-HI-REF fallback; the scrub additionally catches "
          "rows whose certification went stale while idle.");
+    runner.finish();
     return 0;
 }

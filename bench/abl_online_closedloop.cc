@@ -10,13 +10,19 @@
  * LO-REF fraction. Quanta are time-compressed (cycle simulation
  * covers milliseconds, not seconds); the control flow is the real
  * one.
+ *
+ * One sweep point per (workload, configuration); the access-stream
+ * seed derives from the campaign seed, so the table is reproducible
+ * from the banner and bit-identical for any --threads value.
  */
 
 #include <memory>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "core/online_memcon.hh"
+#include "runner.hh"
 #include "sim/system.hh"
 #include "trace/cpu_gen.hh"
 
@@ -26,19 +32,9 @@ using namespace memcon::core;
 namespace
 {
 
-struct Outcome
-{
-    double ipc;
-    double refreshPerMs;
-    double loFraction;
-    double emergentReduction;
-    std::uint64_t tests;
-    std::uint64_t aborts;
-    std::uint64_t demotions;
-};
-
-Outcome
-runOne(const char *persona_name, bool with_memcon)
+bench::Metrics
+runOne(const char *persona_name, bool with_memcon, std::uint64_t seed,
+       bool quick)
 {
     dram::Geometry geom;
     geom.rowsPerBank = 64; // 512 rows: testable within the window
@@ -63,13 +59,13 @@ runOne(const char *persona_name, bool with_memcon)
     }
 
     trace::CpuAccessStream stream(
-        trace::CpuPersona::byName(persona_name), 3);
+        trace::CpuPersona::byName(persona_name), seed);
     sim::SimpleCore core(0, std::move(stream), mc, 0,
                          geom.totalBlocks());
     // Run for a fixed simulated duration so the closed loop has the
     // same wall-clock opportunity under every workload.
     Tick now = 0;
-    const Tick horizon = msToTicks(1.0);
+    const Tick horizon = msToTicks(quick ? 0.2 : 1.0);
     while (now < horizon) {
         now += timing.tCk;
         mc.tick(now);
@@ -79,22 +75,23 @@ runOne(const char *persona_name, bool with_memcon)
             core.tick(now);
     }
 
-    Outcome o;
-    o.ipc = core.ipc();
-    o.refreshPerMs = mc.stats().value("refresh") / ticksToMs(now);
-    o.loFraction = om ? om->loRefFraction() : 0.0;
-    o.emergentReduction = om ? om->emergentReduction() : 0.0;
-    o.tests = om ? om->testsStarted() : 0;
-    o.aborts = om ? om->testsAborted() : 0;
-    o.demotions = om ? om->demotions() : 0;
-    return o;
+    return bench::Metrics{
+        {"ipc", core.ipc()},
+        {"refresh_per_ms", mc.stats().value("refresh") / ticksToMs(now)},
+        {"lo_fraction", om ? om->loRefFraction() : 0.0},
+        {"emergent_reduction", om ? om->emergentReduction() : 0.0},
+        {"tests", om ? static_cast<double>(om->testsStarted()) : 0.0},
+        {"aborts", om ? static_cast<double>(om->testsAborted()) : 0.0},
+        {"demotions", om ? static_cast<double>(om->demotions()) : 0.0},
+    };
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::SweepOptions opts = bench::parseSweepArgs(argc, argv);
     bench::banner("Ablation: closed-loop MEMCON",
                   "emergent refresh reduction from the live request "
                   "stream");
@@ -102,25 +99,44 @@ main()
          "simulated time per run. The reduction is measured, not "
          "configured.");
 
+    const std::vector<const char *> workloads = {"perlbench", "h264ref",
+                                                 "omnetpp"};
+    bench::SweepRunner runner("abl_online_closedloop", opts);
+    for (const char *name : workloads) {
+        for (bool with_memcon : {false, true}) {
+            runner.add(std::string(name) +
+                           (with_memcon ? "/memcon" : "/baseline"),
+                       [name, with_memcon](const bench::TaskContext &ctx) {
+                           return runOne(name, with_memcon, ctx.seed,
+                                         ctx.quick);
+                       });
+        }
+    }
+    runner.run();
+
     TextTable t;
     t.header({"workload", "config", "IPC", "REF/ms", "LO-REF rows",
               "emergent reduction", "tests", "aborts", "demotions"});
-    for (const char *name : {"perlbench", "h264ref", "omnetpp"}) {
-        Outcome base = runOne(name, false);
-        Outcome mem = runOne(name, true);
-        t.row({name, "baseline 16ms", TextTable::num(base.ipc, 3),
-               TextTable::num(base.refreshPerMs, 1), "-", "-", "-", "-",
-               "-"});
-        t.row({name, "online MEMCON", TextTable::num(mem.ipc, 3),
-               TextTable::num(mem.refreshPerMs, 1),
-               TextTable::pct(mem.loFraction, 1),
-               TextTable::pct(mem.emergentReduction, 1),
-               std::to_string(mem.tests), std::to_string(mem.aborts),
-               std::to_string(mem.demotions)});
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const bench::PointResult &base = runner.results()[w * 2];
+        const bench::PointResult &mem = runner.results()[w * 2 + 1];
+        t.row({workloads[w], "baseline 16ms",
+               TextTable::num(base.metric("ipc"), 3),
+               TextTable::num(base.metric("refresh_per_ms"), 1), "-", "-",
+               "-", "-", "-"});
+        t.row({workloads[w], "online MEMCON",
+               TextTable::num(mem.metric("ipc"), 3),
+               TextTable::num(mem.metric("refresh_per_ms"), 1),
+               TextTable::pct(mem.metric("lo_fraction"), 1),
+               TextTable::pct(mem.metric("emergent_reduction"), 1),
+               TextTable::num(mem.metric("tests"), 0),
+               TextTable::num(mem.metric("aborts"), 0),
+               TextTable::num(mem.metric("demotions"), 0)});
     }
     std::printf("%s", t.render().c_str());
     note("Write-light workloads settle most rows at LO-REF and cut "
          "the REF rate accordingly; write-heavy ones keep more rows "
          "at HI-REF - the mechanism adapts by itself.");
+    runner.finish();
     return 0;
 }

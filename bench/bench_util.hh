@@ -4,6 +4,10 @@
  * binary prints the rows/series of one paper artifact in a uniform
  * layout: a banner naming the figure, the paper's reference numbers,
  * and the regenerated measurements.
+ *
+ * Benches ported to the parallel sweep runner (runner.hh) also print
+ * a campaign line (seed, threads, points) under the banner and emit
+ * a machine-readable BENCH_<artifact>.json next to the table output.
  */
 
 #ifndef MEMCON_BENCH_BENCH_UTIL_HH

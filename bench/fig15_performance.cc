@@ -11,6 +11,11 @@
  * 17%/29%/65% (4-core) for 8/16/32 Gb. Absolute numbers depend on
  * the workload pool; the shape - monotone in chip density and core
  * count - is the reproduction target.
+ *
+ * Sweep decomposition: one point per (cores, density, mix) running
+ * the shared baseline plus both reductions; the geomean reduction
+ * happens serially in task-index order, so the figure is
+ * bit-identical for any --threads value.
  */
 
 #include <cmath>
@@ -18,6 +23,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "runner.hh"
 #include "sim/system.hh"
 #include "trace/cpu_gen.hh"
 
@@ -26,9 +32,6 @@ using namespace memcon::sim;
 
 namespace
 {
-
-constexpr InstCount kInstsPerCore = 150000;
-constexpr unsigned kNumMixes = 30;
 
 double
 geomean(const std::vector<double> &xs)
@@ -39,39 +42,12 @@ geomean(const std::vector<double> &xs)
     return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
-/**
- * Geometric-mean speedups over the baseline across all workloads for
- * 60% and 75% refresh reductions (one shared baseline run per mix).
- */
-std::pair<double, double>
-speedups(unsigned cores, dram::Density density,
-         const std::vector<std::vector<trace::CpuPersona>> &mixes)
-{
-    std::vector<double> r60, r75;
-    for (unsigned m = 0; m < mixes.size(); ++m) {
-        std::vector<trace::CpuPersona> mix(mixes[m].begin(),
-                                           mixes[m].begin() + cores);
-        SystemConfig base;
-        base.cores = cores;
-        base.density = density;
-        base.seed = 1000 + m;
-        double b = System(base, mix).run(kInstsPerCore).ipcSum();
-        for (double reduction : {0.60, 0.75}) {
-            SystemConfig fast = base;
-            fast.refreshReduction = reduction;
-            fast.concurrentTests = 256; // testing overhead included
-            double f = System(fast, mix).run(kInstsPerCore).ipcSum();
-            (reduction == 0.60 ? r60 : r75).push_back(f / b);
-        }
-    }
-    return {geomean(r60), geomean(r75)};
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::SweepOptions opts = bench::parseSweepArgs(argc, argv);
     bench::banner("Figure 15",
                   "MEMCON speedup over the 16 ms baseline (60%/75% "
                   "refresh reduction)");
@@ -80,23 +56,72 @@ main()
     note("Paper bands - 1-core: 10-12% (8Gb), 17-22% (16Gb), 40-50% "
          "(32Gb); 4-core: 10-17%, 23-29%, 52-65%.");
 
-    auto mixes = trace::CpuPersona::randomMixes(kNumMixes, 4, 42);
+    const unsigned num_mixes = opts.quick ? 3 : 30;
+    const InstCount insts_per_core = opts.quick ? 20000 : 150000;
+    auto mixes =
+        trace::CpuPersona::randomMixes(num_mixes, 4, opts.campaignSeed);
 
-    for (unsigned cores : {1u, 4u}) {
+    const unsigned core_counts[] = {1, 4};
+    const dram::Density densities[] = {
+        dram::Density::Gb8, dram::Density::Gb16, dram::Density::Gb32};
+
+    bench::SweepRunner runner("fig15_performance", opts);
+    for (unsigned cores : core_counts) {
+        for (dram::Density d : densities) {
+            for (unsigned m = 0; m < num_mixes; ++m) {
+                std::vector<trace::CpuPersona> mix(
+                    mixes[m].begin(), mixes[m].begin() + cores);
+                runner.add(
+                    strprintf("%uc/%s/mix%02u", cores,
+                              dram::toString(d).c_str(), m),
+                    [cores, d, mix, insts_per_core](
+                        const bench::TaskContext &ctx) {
+                        SystemConfig base;
+                        base.cores = cores;
+                        base.density = d;
+                        base.seed = ctx.seed;
+                        double b = System(base, mix)
+                                       .run(insts_per_core)
+                                       .ipcSum();
+                        bench::Metrics out;
+                        for (double reduction : {0.60, 0.75}) {
+                            SystemConfig fast = base;
+                            fast.refreshReduction = reduction;
+                            fast.concurrentTests = 256;
+                            double f = System(fast, mix)
+                                           .run(insts_per_core)
+                                           .ipcSum();
+                            out.push_back(
+                                {reduction == 0.60 ? "r60" : "r75",
+                                 f / b});
+                        }
+                        return out;
+                    });
+            }
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (unsigned cores : core_counts) {
         std::printf("\n-- %u-core system\n", cores);
         TextTable table;
         table.header({"chip density", "60% reduction", "75% reduction"});
-        for (dram::Density d :
-             {dram::Density::Gb8, dram::Density::Gb16,
-              dram::Density::Gb32}) {
-            auto [s60, s75] = speedups(cores, d, mixes);
+        for (dram::Density d : densities) {
+            std::vector<double> r60, r75;
+            for (unsigned m = 0; m < num_mixes; ++m, ++idx) {
+                r60.push_back(runner.metric(idx, "r60"));
+                r75.push_back(runner.metric(idx, "r75"));
+            }
             table.row({dram::toString(d),
-                       strprintf("+%.1f%%", (s60 - 1.0) * 100.0),
-                       strprintf("+%.1f%%", (s75 - 1.0) * 100.0)});
+                       strprintf("+%.1f%%", (geomean(r60) - 1.0) * 100.0),
+                       strprintf("+%.1f%%",
+                                 (geomean(r75) - 1.0) * 100.0)});
         }
         std::printf("%s", table.render().c_str());
     }
     note("Shape check: improvement grows with chip density (tRFC "
          "350 -> 530 -> 890 ns) and with core count.");
+    runner.finish();
     return 0;
 }

@@ -8,6 +8,11 @@
  *
  * Paper: MEMCON > RAIDR > 32 ms everywhere, and MEMCON within 3-5%
  * of the 64 ms ideal.
+ *
+ * Sweep decomposition: one point per (cores, density, mix) running
+ * the shared 16 ms baseline plus all four policies; the geomean
+ * reduction happens serially in task-index order, so the figure is
+ * bit-identical for any --threads value.
  */
 
 #include <cmath>
@@ -16,6 +21,7 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "core/policies.hh"
+#include "runner.hh"
 #include "sim/system.hh"
 #include "trace/cpu_gen.hh"
 
@@ -24,9 +30,6 @@ using namespace memcon::sim;
 
 namespace
 {
-
-constexpr InstCount kInstsPerCore = 150000;
-constexpr unsigned kNumMixes = 15;
 
 double
 geomean(const std::vector<double> &xs)
@@ -37,35 +40,19 @@ geomean(const std::vector<double> &xs)
     return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
-double
-speedup(unsigned cores, dram::Density density, double reduction,
-        bool with_tests,
-        const std::vector<std::vector<trace::CpuPersona>> &mixes)
+struct PolicyCol
 {
-    std::vector<double> ratios;
-    for (unsigned m = 0; m < mixes.size(); ++m) {
-        std::vector<trace::CpuPersona> mix(mixes[m].begin(),
-                                           mixes[m].begin() + cores);
-        SystemConfig base;
-        base.cores = cores;
-        base.density = density;
-        base.seed = 2000 + m;
-        SystemConfig alt = base;
-        alt.refreshReduction = reduction;
-        if (with_tests)
-            alt.concurrentTests = 256;
-        double b = System(base, mix).run(kInstsPerCore).ipcSum();
-        double a = System(alt, mix).run(kInstsPerCore).ipcSum();
-        ratios.push_back(a / b);
-    }
-    return geomean(ratios);
-}
+    const char *metric;
+    double reduction;
+    bool withTests;
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::SweepOptions opts = bench::parseSweepArgs(argc, argv);
     bench::banner("Figure 16",
                   "comparison with other refresh mechanisms (speedup "
                   "over the 16 ms baseline)");
@@ -73,34 +60,83 @@ main()
          "(matches the Figure 4 any-content profile); MEMCON with "
          "its measured ~70% reduction + test traffic; ideal 64 ms.");
 
-    auto mixes = trace::CpuPersona::randomMixes(kNumMixes, 4, 42);
+    const unsigned num_mixes = opts.quick ? 3 : 15;
+    const InstCount insts_per_core = opts.quick ? 20000 : 150000;
+    auto mixes =
+        trace::CpuPersona::randomMixes(num_mixes, 4, opts.campaignSeed);
 
     core::RefreshPolicy p32 = core::fixedRefreshPolicy(32.0, 16.0);
     core::RefreshPolicy raidr = core::raidrPolicy(0.16, 16.0, 64.0, 16.0);
     core::RefreshPolicy memcon = core::memconPolicy(0.70);
     core::RefreshPolicy ideal = core::fixedRefreshPolicy(64.0, 16.0);
+    const std::vector<PolicyCol> cols = {
+        {"s32", p32.reduction, false},
+        {"raidr", raidr.reduction, false},
+        {"memcon", memcon.reduction, true},
+        {"ideal", ideal.reduction, false},
+    };
 
-    for (unsigned cores : {1u, 4u}) {
+    const unsigned core_counts[] = {1, 4};
+    const dram::Density densities[] = {
+        dram::Density::Gb8, dram::Density::Gb16, dram::Density::Gb32};
+
+    bench::SweepRunner runner("fig16_policy_comparison", opts);
+    for (unsigned cores : core_counts) {
+        for (dram::Density d : densities) {
+            for (unsigned m = 0; m < num_mixes; ++m) {
+                std::vector<trace::CpuPersona> mix(
+                    mixes[m].begin(), mixes[m].begin() + cores);
+                runner.add(
+                    strprintf("%uc/%s/mix%02u", cores,
+                              dram::toString(d).c_str(), m),
+                    [cores, d, mix, cols, insts_per_core](
+                        const bench::TaskContext &ctx) {
+                        SystemConfig base;
+                        base.cores = cores;
+                        base.density = d;
+                        base.seed = ctx.seed;
+                        double b = System(base, mix)
+                                       .run(insts_per_core)
+                                       .ipcSum();
+                        bench::Metrics out;
+                        for (const PolicyCol &c : cols) {
+                            SystemConfig alt = base;
+                            alt.refreshReduction = c.reduction;
+                            if (c.withTests)
+                                alt.concurrentTests = 256;
+                            double a = System(alt, mix)
+                                           .run(insts_per_core)
+                                           .ipcSum();
+                            out.push_back({c.metric, a / b});
+                        }
+                        return out;
+                    });
+            }
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (unsigned cores : core_counts) {
         std::printf("\n-- %u-core system\n", cores);
         TextTable table;
         table.header({"chip density", "32ms", "RAIDR", "MEMCON",
                       "64ms (ideal)"});
-        for (dram::Density d :
-             {dram::Density::Gb8, dram::Density::Gb16,
-              dram::Density::Gb32}) {
-            auto cell = [&](const core::RefreshPolicy &p,
-                            bool with_tests) {
-                double s =
-                    speedup(cores, d, p.reduction, with_tests, mixes);
-                return strprintf("%.3f", s);
-            };
-            table.row({dram::toString(d), cell(p32, false),
-                       cell(raidr, false), cell(memcon, true),
-                       cell(ideal, false)});
+        for (dram::Density d : densities) {
+            std::vector<std::vector<double>> per_col(cols.size());
+            for (unsigned m = 0; m < num_mixes; ++m, ++idx)
+                for (std::size_t c = 0; c < cols.size(); ++c)
+                    per_col[c].push_back(
+                        runner.metric(idx, cols[c].metric));
+            std::vector<std::string> row{dram::toString(d)};
+            for (std::size_t c = 0; c < cols.size(); ++c)
+                row.push_back(strprintf("%.3f", geomean(per_col[c])));
+            table.row(std::move(row));
         }
         std::printf("%s", table.render().c_str());
     }
     note("Expected ordering per row: 32ms < RAIDR < MEMCON <= ideal, "
          "with MEMCON within a few percent of ideal (Section 6.3).");
+    runner.finish();
     return 0;
 }

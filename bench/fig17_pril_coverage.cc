@@ -3,46 +3,81 @@
  * Regenerates Figure 17: the fraction of total execution time spent
  * operating at the LO-REF state (PRIL coverage) for CIL 512, 1024,
  * and 2048 ms. Paper: 95% on average.
+ *
+ * One sweep point per (application, CIL), seeded from the campaign
+ * seed and executed on the parallel runner; results are bit-identical
+ * for any --threads value.
  */
+
+#include <algorithm>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "core/engine.hh"
+#include "runner.hh"
 #include "trace/app_model.hh"
 
 using namespace memcon;
 using namespace memcon::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::SweepOptions opts = bench::parseSweepArgs(argc, argv);
     bench::banner("Figure 17",
                   "execution-time coverage of PRIL (time at LO-REF)");
     note("Paper: ~95% of execution time at LO-REF on average "
          "(read-only and long-idle rows).");
 
     const double cils[] = {512.0, 1024.0, 2048.0};
+    std::vector<trace::AppPersona> suite =
+        trace::AppPersona::table1Suite();
+    if (opts.quick)
+        suite.resize(2);
+
+    bench::SweepRunner runner("fig17_pril_coverage", opts);
+    for (const trace::AppPersona &p : suite) {
+        for (double cil : cils) {
+            runner.add(
+                p.name + "/cil" + std::to_string(static_cast<int>(cil)),
+                [persona = p, cil](const bench::TaskContext &ctx) {
+                    trace::AppPersona local = persona;
+                    local.seed = ctx.seed;
+                    if (ctx.quick) {
+                        local.pages = std::min<std::uint64_t>(
+                            local.pages, 4000);
+                        local.durationSec =
+                            std::min(local.durationSec, 60.0);
+                    }
+                    MemconConfig cfg;
+                    cfg.quantumMs = cil;
+                    MemconEngine engine(cfg);
+                    return bench::Metrics{
+                        {"coverage",
+                         engine.runOnApp(local).loCoverage()}};
+                });
+        }
+    }
+    runner.run();
+
     TextTable table;
     table.header({"application", "CIL 512", "CIL 1024", "CIL 2048"});
-
     double sums[3] = {0.0, 0.0, 0.0};
-    unsigned n = 0;
-    for (const trace::AppPersona &p : trace::AppPersona::table1Suite()) {
-        std::vector<std::string> row{p.name};
-        for (unsigned i = 0; i < 3; ++i) {
-            MemconConfig cfg;
-            cfg.quantumMs = cils[i];
-            MemconEngine engine(cfg);
-            double cov = engine.runOnApp(p).loCoverage();
+    for (std::size_t a = 0; a < suite.size(); ++a) {
+        std::vector<std::string> row{suite[a].name};
+        for (std::size_t i = 0; i < 3; ++i) {
+            double cov = runner.metric(a * 3 + i, "coverage");
             sums[i] += cov;
             row.push_back(TextTable::pct(cov, 1));
         }
         table.row(std::move(row));
-        ++n;
     }
+    double n = static_cast<double>(suite.size());
     table.row({"AVERAGE", TextTable::pct(sums[0] / n, 1),
                TextTable::pct(sums[1] / n, 1),
                TextTable::pct(sums[2] / n, 1)});
     std::printf("%s", table.render().c_str());
+    runner.finish();
     return 0;
 }

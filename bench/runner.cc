@@ -1,0 +1,263 @@
+#include "runner.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/thread_pool.hh"
+
+namespace memcon::bench
+{
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0, int exit_code)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --threads N   worker threads (default: hardware concurrency;\n"
+        "                results are bit-identical for any N)\n"
+        "  --seed S      campaign seed (default 42); every task seed is\n"
+        "                derived from it\n"
+        "  --quick       tiny configuration (smoke tests)\n"
+        "  --json PATH   write the machine-readable results to PATH\n"
+        "                (default BENCH_<artifact>.json)\n"
+        "  --no-json     skip the JSON emitter\n"
+        "  --help        this text\n",
+        argv0);
+    std::exit(exit_code);
+}
+
+const char *
+requireValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        fatal("missing value after '%s'", argv[i]);
+    return argv[++i];
+}
+
+/** Shortest decimal form that round-trips a double (for JSON). */
+std::string
+jsonNumber(double v)
+{
+    return strprintf("%.17g", v);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SweepOptions
+parseSweepArgs(int argc, char **argv)
+{
+    SweepOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--threads") == 0) {
+            opts.threads = static_cast<unsigned>(
+                std::strtoul(requireValue(argc, argv, i), nullptr, 10));
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            opts.campaignSeed =
+                std::strtoull(requireValue(argc, argv, i), nullptr, 10);
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            opts.quick = true;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            opts.jsonPath = requireValue(argc, argv, i);
+        } else if (std::strcmp(arg, "--no-json") == 0) {
+            opts.writeJson = false;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg);
+            usage(argv[0], 2);
+        }
+    }
+    return opts;
+}
+
+double
+PointResult::metric(const std::string &name) const
+{
+    for (const Metric &m : metrics)
+        if (m.name == name)
+            return m.value;
+    fatal("point '%s' has no metric '%s'", label.c_str(), name.c_str());
+}
+
+std::string
+resultsDigest(const std::vector<PointResult> &results)
+{
+    std::string out;
+    for (const PointResult &r : results) {
+        out += r.label;
+        out += '|';
+        for (const Metric &m : r.metrics) {
+            out += m.name;
+            out += '=';
+            out += jsonNumber(m.value);
+            out += ';';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+SweepRunner::SweepRunner(std::string artifact_name, SweepOptions options)
+    : artifact(std::move(artifact_name)), opts(std::move(options))
+{
+}
+
+void
+SweepRunner::add(std::string label,
+                 std::function<Metrics(const TaskContext &)> fn)
+{
+    fatal_if(executed, "cannot add points after run()");
+    points.push_back(SweepPoint{std::move(label), std::move(fn)});
+}
+
+const std::vector<PointResult> &
+SweepRunner::run()
+{
+    if (executed)
+        return reduced;
+    executed = true;
+
+    resolvedThreads = opts.threads;
+    if (resolvedThreads == 0) {
+        resolvedThreads = std::thread::hardware_concurrency();
+        if (resolvedThreads == 0)
+            resolvedThreads = 1;
+    }
+
+    std::printf("  campaign: seed=%llu threads=%u points=%zu%s\n",
+                static_cast<unsigned long long>(opts.campaignSeed),
+                resolvedThreads, points.size(),
+                opts.quick ? " quick" : "");
+
+    reduced.assign(points.size(), PointResult{});
+    std::vector<std::future<void>> futures;
+    futures.reserve(points.size());
+
+    auto start = std::chrono::steady_clock::now();
+    {
+        ThreadPool pool(resolvedThreads);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            // Each task writes only its own slot; the per-task seed
+            // is a pure function of (campaign seed, index), so the
+            // reduced vector is invariant under thread count and
+            // completion order.
+            futures.push_back(pool.submit([this, i] {
+                TaskContext ctx;
+                ctx.seed = deriveTaskSeed(opts.campaignSeed, i);
+                ctx.index = i;
+                ctx.quick = opts.quick;
+                reduced[i].label = points[i].label;
+                reduced[i].metrics = points[i].run(ctx);
+            }));
+        }
+        // Reduce (and propagate failures) in task-index order.
+        for (std::future<void> &f : futures)
+            f.get();
+    }
+    wallClockSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    return reduced;
+}
+
+const std::vector<PointResult> &
+SweepRunner::results() const
+{
+    fatal_if(!executed, "results() before run()");
+    return reduced;
+}
+
+double
+SweepRunner::metric(std::size_t point_index, const std::string &name) const
+{
+    fatal_if(!executed, "metric() before run()");
+    fatal_if(point_index >= reduced.size(), "point index %zu out of range",
+             point_index);
+    return reduced[point_index].metric(name);
+}
+
+void
+SweepRunner::finish() const
+{
+    fatal_if(!executed, "finish() before run()");
+    if (!opts.writeJson)
+        return;
+
+    std::string path = opts.jsonPath.empty()
+                           ? "BENCH_" + artifact + ".json"
+                           : opts.jsonPath;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+
+    out << "{\n";
+    out << "  \"artifact\": \"" << jsonEscape(artifact) << "\",\n";
+    out << "  \"campaign_seed\": " << opts.campaignSeed << ",\n";
+    out << "  \"threads\": " << resolvedThreads << ",\n";
+    out << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n";
+    out << "  \"points_total\": " << reduced.size() << ",\n";
+    out << "  \"wall_clock_seconds\": " << jsonNumber(wallClockSeconds)
+        << ",\n";
+    out << "  \"points\": [\n";
+    for (std::size_t i = 0; i < reduced.size(); ++i) {
+        const PointResult &r = reduced[i];
+        out << "    {\"label\": \"" << jsonEscape(r.label)
+            << "\", \"metrics\": {";
+        for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+            if (m)
+                out << ", ";
+            out << '"' << jsonEscape(r.metrics[m].name)
+                << "\": " << jsonNumber(r.metrics[m].value);
+        }
+        out << "}}" << (i + 1 < reduced.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n";
+    out << "}\n";
+    out.close();
+    std::printf("  wrote %s (%.2f s wall, %u threads)\n", path.c_str(),
+                wallClockSeconds, resolvedThreads);
+}
+
+} // namespace memcon::bench

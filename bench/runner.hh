@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The deterministic parallel experiment runner the figure/table
+ * benches are built on.
+ *
+ * A bench is expressed as a vector of independent SweepPoint tasks.
+ * Each task receives a TaskContext whose seed is derived purely from
+ * (campaign seed, task index) - see deriveTaskSeed() - and returns an
+ * ordered list of named metrics. The runner executes the points on a
+ * fixed ThreadPool and reduces the results in task-index order, so
+ * the reduced metrics (and therefore every table and JSON file a
+ * bench emits) are bit-identical for any --threads value, including
+ * 1. Wall-clock time and thread count are recorded but excluded from
+ * the determinism contract.
+ *
+ * Alongside the human-readable banner/table output, finish() writes
+ * BENCH_<artifact>.json - campaign config, per-point metrics,
+ * wall-clock, thread count - so successive revisions can track the
+ * perf and accuracy trajectory of every artifact mechanically.
+ */
+
+#ifndef MEMCON_BENCH_RUNNER_HH
+#define MEMCON_BENCH_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace memcon::bench
+{
+
+/** Campaign-level options shared by every ported bench binary. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+
+    /** Campaign seed; every task seed is derived from it. */
+    std::uint64_t campaignSeed = 42;
+
+    /** Tiny-config mode for smoke tests (each bench scales itself). */
+    bool quick = false;
+
+    /** Output path; empty means BENCH_<artifact>.json in the CWD. */
+    std::string jsonPath;
+
+    /** Disable the JSON emitter (unit tests, ad-hoc runs). */
+    bool writeJson = true;
+};
+
+/**
+ * Parse the common sweep flags: --threads N, --seed S, --quick,
+ * --json PATH, --no-json, --help. Unknown arguments are fatal so a
+ * typo cannot silently fall back to defaults.
+ */
+SweepOptions parseSweepArgs(int argc, char **argv);
+
+/** What a SweepPoint task is given to run with. */
+struct TaskContext
+{
+    std::uint64_t seed; //!< deriveTaskSeed(campaignSeed, index)
+    std::size_t index;  //!< the task's position in the sweep
+    bool quick;         //!< shrink the config for smoke testing
+};
+
+/** One named measurement produced by a sweep point. */
+struct Metric
+{
+    std::string name;
+    double value;
+};
+
+using Metrics = std::vector<Metric>;
+
+/** One independent unit of work in a sweep. */
+struct SweepPoint
+{
+    std::string label;
+    std::function<Metrics(const TaskContext &)> run;
+};
+
+/** A completed point: its label plus the metrics it returned. */
+struct PointResult
+{
+    std::string label;
+    Metrics metrics;
+
+    /** Look up a metric by name; fatal if absent. */
+    double metric(const std::string &name) const;
+};
+
+/**
+ * Canonical serialization of reduced results ("label|name=value;..."
+ * with %.17g doubles, one line per point). Two campaigns are
+ * bit-identical iff their digests are byte-identical; the determinism
+ * tests compare digests across thread counts.
+ */
+std::string resultsDigest(const std::vector<PointResult> &results);
+
+class SweepRunner
+{
+  public:
+    /**
+     * @param artifact  bench identity, e.g. "fig14_refresh_reduction";
+     *                  names the emitted BENCH_<artifact>.json
+     */
+    SweepRunner(std::string artifact, SweepOptions options);
+
+    /** Append a sweep point; tasks run in submission (index) order. */
+    void add(std::string label,
+             std::function<Metrics(const TaskContext &)> fn);
+
+    std::size_t numPoints() const { return points.size(); }
+
+    /**
+     * Execute every point on the pool and reduce in task-index order.
+     * Prints the campaign line (seed, threads, points) so any run is
+     * reproducible from its own output. If tasks threw, the exception
+     * of the lowest-index failing task is rethrown. Runs once;
+     * subsequent calls return the same results.
+     */
+    const std::vector<PointResult> &run();
+
+    /** Results of run(); fatal if called before run(). */
+    const std::vector<PointResult> &results() const;
+
+    /** Metric of one point, by index and name; fatal on mismatch. */
+    double metric(std::size_t point_index, const std::string &name) const;
+
+    /**
+     * Write BENCH_<artifact>.json (unless --no-json) and print where
+     * it went. Call after rendering the human-readable output.
+     */
+    void finish() const;
+
+    const SweepOptions &options() const { return opts; }
+    const std::string &artifactName() const { return artifact; }
+
+    /** Worker threads the campaign actually used. */
+    unsigned threadsUsed() const { return resolvedThreads; }
+
+    /** Wall-clock of the parallel section (not deterministic). */
+    double wallSeconds() const { return wallClockSeconds; }
+
+  private:
+    std::string artifact;
+    SweepOptions opts;
+    std::vector<SweepPoint> points;
+    std::vector<PointResult> reduced;
+    unsigned resolvedThreads = 1;
+    double wallClockSeconds = 0.0;
+    bool executed = false;
+};
+
+} // namespace memcon::bench
+
+#endif // MEMCON_BENCH_RUNNER_HH

@@ -42,7 +42,7 @@ class BitVector
     bool test(std::size_t idx) const;
 
     /**
-     * Set the bit and report whether it was previously clear, the
+     * Set the bit and report whether it was already set, the
      * single-probe "first write this quantum?" check PRIL performs.
      */
     bool testAndSet(std::size_t idx);

@@ -23,6 +23,18 @@ hashMix64(std::uint64_t value)
     return splitmix64(state);
 }
 
+std::uint64_t
+deriveTaskSeed(std::uint64_t campaign_seed, std::uint64_t task_index)
+{
+    // Two SplitMix64 steps: one from the campaign seed, one from the
+    // golden-ratio-strided task index, so neighbouring indices (and
+    // neighbouring campaign seeds) land in unrelated streams.
+    std::uint64_t state = campaign_seed ^ 0xa0761d6478bd642fULL;
+    std::uint64_t mixed = splitmix64(state);
+    state = mixed ^ (task_index * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(state);
+}
+
 namespace
 {
 

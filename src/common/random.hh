@@ -24,6 +24,16 @@ std::uint64_t splitmix64(std::uint64_t &state);
 std::uint64_t hashMix64(std::uint64_t value);
 
 /**
+ * Derive the seed of one task of a sweep campaign from the campaign
+ * seed and the task's index. Every parallel experiment runner uses
+ * this derivation, which makes each task's random stream a pure
+ * function of (campaign seed, task index) - independent of thread
+ * count, scheduling, and which shard of a campaign executes it.
+ */
+std::uint64_t deriveTaskSeed(std::uint64_t campaign_seed,
+                             std::uint64_t task_index);
+
+/**
  * Deterministic xoshiro256** generator with the samplers used across
  * the library. Cheap to copy; independent streams are derived by
  * seeding with distinct values.

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A fixed-size worker pool with a bounded task queue.
+ *
+ * The experiment runner (bench/runner) executes independent sweep
+ * points on this pool; determinism is preserved because the pool
+ * never reorders *results* - callers hold one future per task and
+ * reduce in submission order. The queue is bounded so a producer
+ * enumerating a huge sweep cannot outrun the workers by an unbounded
+ * amount of memory; submit() blocks when the queue is full.
+ *
+ * Exceptions thrown by a task are captured in its future and rethrow
+ * at get(), never on the worker thread. Destruction is graceful: all
+ * tasks already submitted (queued or running) complete before the
+ * workers join.
+ */
+
+#ifndef MEMCON_COMMON_THREAD_POOL_HH
+#define MEMCON_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memcon
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads     worker count; 0 is clamped to 1
+     * @param queue_capacity  queued (not yet running) task bound;
+     *                        submit() blocks while the queue is full
+     */
+    explicit ThreadPool(unsigned num_threads,
+                        std::size_t queue_capacity = 256);
+
+    /** Completes every submitted task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task; blocks while the queue is at capacity. The
+     * returned future yields the task's completion or rethrows the
+     * exception it exited with.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /** Block until every task submitted so far has finished. */
+    void waitIdle();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    std::size_t queueCapacity() const { return capacity; }
+
+  private:
+    void workerLoop();
+
+    std::size_t capacity;
+    std::deque<std::packaged_task<void()>> queue;
+    mutable std::mutex mtx;
+    std::condition_variable notEmpty; //!< queue gained work / stopping
+    std::condition_variable notFull;  //!< queue lost work
+    std::condition_variable idle;     //!< all work drained
+    std::size_t inFlight = 0;         //!< tasks popped but not finished
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace memcon
+
+#endif // MEMCON_COMMON_THREAD_POOL_HH

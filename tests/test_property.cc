@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Randomized property tests: common/bitvector against a
+ * std::vector<bool> reference, and the PRIL write-buffer machinery
+ * against a naive reference model that implements the Figure 13 spec
+ * with plain containers. Seeded; every run replays the same
+ * sequences.
+ */
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.hh"
+#include "common/random.hh"
+#include "core/pril.hh"
+
+using namespace memcon;
+
+TEST(Property, BitVectorMatchesBoolVectorReference)
+{
+    Rng rng(0xb17ULL);
+    const std::size_t bits = 301; // deliberately not a word multiple
+    BitVector bv(bits);
+    std::vector<bool> ref(bits, false);
+
+    for (int step = 0; step < 20000; ++step) {
+        std::size_t idx = rng.uniformInt(bits);
+        switch (rng.uniformInt(4)) {
+        case 0:
+            bv.set(idx);
+            ref[idx] = true;
+            break;
+        case 1:
+            bv.clear(idx);
+            ref[idx] = false;
+            break;
+        case 2:
+            // Returns whether the bit was already set.
+            EXPECT_EQ(bv.testAndSet(idx), static_cast<bool>(ref[idx]));
+            ref[idx] = true;
+            break;
+        case 3:
+            EXPECT_EQ(bv.test(idx), static_cast<bool>(ref[idx]));
+            break;
+        }
+        if (step % 500 == 0) {
+            std::size_t expect_count = static_cast<std::size_t>(
+                std::count(ref.begin(), ref.end(), true));
+            EXPECT_EQ(bv.count(), expect_count);
+            std::vector<std::size_t> expect_bits;
+            for (std::size_t i = 0; i < bits; ++i)
+                if (ref[i])
+                    expect_bits.push_back(i);
+            EXPECT_EQ(bv.setBits(), expect_bits);
+        }
+    }
+
+    bv.clearAll();
+    EXPECT_EQ(bv.count(), 0u);
+    EXPECT_TRUE(bv.setBits().empty());
+    EXPECT_EQ(bv.size(), bits);
+
+    bv.resizeAndClear(64);
+    EXPECT_EQ(bv.size(), 64u);
+    EXPECT_EQ(bv.count(), 0u);
+}
+
+namespace
+{
+
+/**
+ * Figure 13 implemented naively: the write-maps are std::sets of
+ * written pages, the write-buffers plain vectors with linear-scan
+ * membership. Deliberately different data structures from
+ * PrilPredictor so a bug in the real bit-map/hash-set bookkeeping
+ * cannot hide in the reference.
+ */
+class NaivePril
+{
+  public:
+    NaivePril(std::uint64_t num_pages, std::size_t buffer_capacity)
+        : pages(num_pages), capacity(buffer_capacity)
+    {
+    }
+
+    void onWrite(std::uint64_t page)
+    {
+        ASSERT_LT(page, pages);
+        eraseFrom(prevBuf, page);
+        bool first_this_quantum = curWritten.insert(page).second;
+        if (first_this_quantum) {
+            if (curBuf.size() >= capacity) {
+                ++drops;
+                return;
+            }
+            curBuf.push_back(page);
+        } else {
+            eraseFrom(curBuf, page);
+        }
+    }
+
+    std::vector<std::uint64_t> endQuantum()
+    {
+        std::vector<std::uint64_t> candidates = prevBuf;
+        std::sort(candidates.begin(), candidates.end());
+        prevBuf = std::move(curBuf);
+        curBuf.clear();
+        prevWritten = std::move(curWritten);
+        curWritten.clear();
+        return candidates;
+    }
+
+    bool isTracked(std::uint64_t page) const
+    {
+        return contains(curBuf, page) || contains(prevBuf, page);
+    }
+
+    std::uint64_t bufferDrops() const { return drops; }
+
+  private:
+    static void eraseFrom(std::vector<std::uint64_t> &v,
+                          std::uint64_t page)
+    {
+        v.erase(std::remove(v.begin(), v.end(), page), v.end());
+    }
+
+    static bool contains(const std::vector<std::uint64_t> &v,
+                         std::uint64_t page)
+    {
+        return std::find(v.begin(), v.end(), page) != v.end();
+    }
+
+    std::uint64_t pages;
+    std::size_t capacity;
+    std::set<std::uint64_t> curWritten, prevWritten;
+    std::vector<std::uint64_t> curBuf, prevBuf;
+    std::uint64_t drops = 0;
+};
+
+} // namespace
+
+TEST(Property, PrilMatchesNaiveReferenceModel)
+{
+    // Small page count and buffer so collisions, re-writes, and
+    // capacity drops all occur frequently.
+    const std::uint64_t num_pages = 64;
+    const std::size_t cap = 8;
+    Rng rng(0x9e11ULL);
+
+    core::PrilPredictor pril(num_pages, cap);
+    NaivePril naive(num_pages, cap);
+
+    for (int quantum = 0; quantum < 400; ++quantum) {
+        std::uint64_t writes = rng.uniformInt(40);
+        for (std::uint64_t w = 0; w < writes; ++w) {
+            // Zipf-ish skew: some pages written repeatedly within a
+            // quantum, most once or never.
+            std::uint64_t page = rng.chance(0.3)
+                                     ? rng.uniformInt(4)
+                                     : rng.uniformInt(num_pages);
+            pril.onWrite(page);
+            naive.onWrite(page);
+        }
+        for (std::uint64_t p = 0; p < num_pages; p += 7)
+            EXPECT_EQ(pril.isTracked(p), naive.isTracked(p)) << p;
+
+        EXPECT_EQ(pril.endQuantum(), naive.endQuantum())
+            << "quantum " << quantum;
+        EXPECT_EQ(pril.bufferDrops(), naive.bufferDrops())
+            << "quantum " << quantum;
+    }
+}
+
+TEST(Property, PrilCandidatesHadExactlyOneWriteTwoQuantaAgo)
+{
+    // The defining candidate property (Section 4.2): a page returned
+    // by endQuantum() saw exactly one write in the quantum before
+    // last and none in the last quantum. (The converse can fail:
+    // capacity drops legitimately lose candidates.)
+    const std::uint64_t num_pages = 96;
+    core::PrilPredictor pril(num_pages, 4000);
+    Rng rng(0x51edULL);
+
+    std::vector<std::uint64_t> prev_counts(num_pages, 0);
+    std::vector<std::uint64_t> cur_counts(num_pages, 0);
+    for (int quantum = 0; quantum < 300; ++quantum) {
+        std::uint64_t writes = rng.uniformInt(60);
+        for (std::uint64_t w = 0; w < writes; ++w) {
+            std::uint64_t page = rng.uniformInt(num_pages);
+            pril.onWrite(page);
+            ++cur_counts[page];
+        }
+        for (std::uint64_t page : pril.endQuantum()) {
+            EXPECT_EQ(prev_counts[page], 1u)
+                << "page " << page << " quantum " << quantum;
+            EXPECT_EQ(cur_counts[page], 0u)
+                << "page " << page << " quantum " << quantum;
+        }
+        prev_counts = cur_counts;
+        std::fill(cur_counts.begin(), cur_counts.end(), 0);
+    }
+}
