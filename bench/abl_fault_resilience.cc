@@ -91,13 +91,13 @@ runOne(double transient_rate, Layer layer, std::uint64_t seed, bool quick)
     failure::FaultInjector injector(inj_cfg, geom.totalRows());
     injector.attachVrt(&vrt);
 
-    Tick now = 0;
+    Tick now{};
 
     OnlineMemcon *slot = nullptr;
     sim::ControllerConfig mc_cfg;
     OnlineMemcon::installObserver(mc_cfg, slot);
     mc_cfg.eccProbe = [&](std::uint64_t addr, Tick t) {
-        std::uint64_t row = geom.flatRowIndex(geom.decompose(addr));
+        RowId row = geom.flatRowIndex(geom.decompose(addr));
         bool lo = slot && slot->isLoRef(row);
         return injector.onRead(row, t, lo);
     };
@@ -125,12 +125,12 @@ runOne(double transient_rate, Layer layer, std::uint64_t seed, bool quick)
     // close the idle-row window without crowding certification out
     // of the test slots.
     om_cfg.resilience.scrubPeriod =
-        layer == Layer::OnScrub ? usToTicks(60.0) : 0;
+        layer == Layer::OnScrub ? usToTicks(60.0) : Tick{};
     om_cfg.resilience.scrubRowsPerSweep = 8;
     // The test verdicts consult the injector's latent state: a row
     // holding unsurfaced corruption fails its (re-)certification.
     auto om = std::make_unique<OnlineMemcon>(
-        geom, mc, om_cfg, [&](std::uint64_t row) {
+        geom, mc, om_cfg, [&](RowId row) {
             return injector.hasLatentFault(row, now, true);
         });
     slot = om.get();
@@ -154,8 +154,8 @@ runOne(double transient_rate, Layer layer, std::uint64_t seed, bool quick)
             next_sample += sample_period;
             std::uint64_t latent = 0;
             for (std::uint64_t r = 0; r < geom.totalRows(); ++r)
-                if (om->isLoRef(r) &&
-                    injector.hasLatentFault(r, now, true))
+                if (om->isLoRef(RowId{r}) &&
+                    injector.hasLatentFault(RowId{r}, now, true))
                     ++latent;
             ++samples;
             latent_sum += latent;

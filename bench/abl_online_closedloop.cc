@@ -64,7 +64,7 @@ runOne(const char *persona_name, bool with_memcon, std::uint64_t seed,
                          geom.totalBlocks());
     // Run for a fixed simulated duration so the closed loop has the
     // same wall-clock opportunity under every workload.
-    Tick now = 0;
+    Tick now{};
     const Tick horizon = msToTicks(quick ? 0.2 : 1.0);
     while (now < horizon) {
         now += timing.tCk;
@@ -77,7 +77,7 @@ runOne(const char *persona_name, bool with_memcon, std::uint64_t seed,
 
     return bench::Metrics{
         {"ipc", core.ipc()},
-        {"refresh_per_ms", mc.stats().value("refresh") / ticksToMs(now)},
+        {"refresh_per_ms", mc.stats().value("refresh") / ticksToMs(now).value()},
         {"lo_fraction", om ? om->loRefFraction() : 0.0},
         {"emergent_reduction", om ? om->emergentReduction() : 0.0},
         {"tests", om ? static_cast<double>(om->testsStarted()) : 0.0},

@@ -41,12 +41,12 @@ main()
     // Baseline profile at t ~ 0.
     std::vector<bool> profiled(rows);
     for (std::uint64_t r = 0; r < rows; ++r)
-        profiled[r] = pop.rowFailsAt(r, 64.0, 1.0);
+        profiled[r] = pop.rowFailsAt(RowId{r}, 64.0, TimeMs{1.0});
     for (double t_ms :
          {60000.0, 300000.0, 900000.0, 1800000.0, 3600000.0}) {
         std::uint64_t failing = 0, unseen = 0;
         for (std::uint64_t r = 0; r < rows; ++r) {
-            if (pop.rowFailsAt(r, 64.0, t_ms)) {
+            if (pop.rowFailsAt(RowId{r}, 64.0, TimeMs{t_ms})) {
                 ++failing;
                 unseen += !profiled[r];
             }

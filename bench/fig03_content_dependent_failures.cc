@@ -42,7 +42,7 @@ main()
 
     // Assign stable IDs to all observed failing cells, as the figure
     // does for its x axis.
-    std::map<std::pair<std::uint64_t, std::uint64_t>, unsigned> cell_id;
+    std::map<std::pair<RowId, std::uint64_t>, unsigned> cell_id;
     std::map<unsigned, unsigned> patterns_per_cell;
     for (const auto &cells : per_pattern) {
         for (const auto &cell : cells) {
@@ -55,7 +55,7 @@ main()
     TextTable table;
     table.header({"pattern-id", "pattern", "failing-cells",
                   "new-cells-vs-prior"});
-    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    std::set<std::pair<RowId, std::uint64_t>> seen;
     for (std::size_t i = 0; i < battery.size(); ++i) {
         unsigned fresh = 0;
         for (const auto &cell : per_pattern[i])

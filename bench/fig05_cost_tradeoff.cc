@@ -35,9 +35,9 @@ main()
          {16.0, 64.0, 128.0, 256.0, 448.0, 560.0, 864.0, 1024.0, 2048.0,
           8192.0, 32768.0}) {
         double rc = cm.averageCostNsPerMs(TestMode::ReadAndCompare,
-                                          interval);
+                                          TimeMs{interval});
         double cc = cm.averageCostNsPerMs(TestMode::CopyAndCompare,
-                                          interval);
+                                          TimeMs{interval});
         std::string verdict = rc > hi_avg ? "worse (skip test)"
                                           : "better (test)";
         table.row({TextTable::num(interval, 0), TextTable::num(rc, 3),

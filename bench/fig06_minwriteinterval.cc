@@ -30,13 +30,13 @@ main()
     TextTable curve;
     curve.header({"time(ms)", "HI-REF(ns)", "Read&Compare(ns)",
                   "Copy&Compare(ns)"});
-    for (const CostPoint &p : cm.curve(1040.0)) {
+    for (const CostPoint &p : cm.curve(TimeMs{1040.0})) {
         // Sample every 64 ms plus the crossover vicinity.
-        long t = static_cast<long>(p.timeMs);
+        long t = static_cast<long>(p.timeMs.value());
         bool show = t % 64 == 0 || (t >= 544 && t <= 576) ||
                     (t >= 848 && t <= 880);
         if (show) {
-            curve.row({TextTable::num(p.timeMs, 0),
+            curve.row({TextTable::num(p.timeMs.value(), 0),
                        TextTable::num(p.hiRefNs, 0),
                        TextTable::num(p.readCompareNs, 0),
                        TextTable::num(p.copyCompareNs, 0)});
@@ -62,7 +62,7 @@ main()
         cfg.loRefMs = r.lo;
         CostModel m(cfg);
         mwi.row({strprintf("%.0f ms", r.lo), toString(r.mode),
-                 strprintf("%.0f ms", m.minWriteIntervalMs(r.mode)),
+                 strprintf("%.0f ms", m.minWriteIntervalMs(r.mode).value()),
                  r.paper});
     }
     std::printf("%s", mwi.render().c_str());

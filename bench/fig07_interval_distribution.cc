@@ -31,20 +31,20 @@ main()
 
         TextTable table;
         table.header({"interval-bucket(ms)", "% of writes"});
-        table.row({"< 1", TextTable::pct(a.fractionWritesBelow(1.0), 3)});
+        table.row({"< 1", TextTable::pct(a.fractionWritesBelow(TimeMs{1.0}), 3)});
         for (double lo = 1.0; lo <= 16384.0; lo *= 2.0) {
-            double frac = a.fractionWritesAtLeast(lo) -
-                          a.fractionWritesAtLeast(lo * 2.0);
+            double frac = a.fractionWritesAtLeast(TimeMs{lo}) -
+                          a.fractionWritesAtLeast(TimeMs{lo * 2.0});
             table.row({strprintf("[%.0f, %.0f)", lo, lo * 2.0),
                        TextTable::pct(frac, 4)});
         }
         table.row({">= 32768",
-                   TextTable::pct(a.fractionWritesAtLeast(32768.0), 4)});
+                   TextTable::pct(a.fractionWritesAtLeast(TimeMs{32768.0}), 4)});
         std::printf("%s", table.render().c_str());
         note(strprintf("writes < 1 ms: %.2f%%;  writes >= 1024 ms: "
                        "%.3f%%",
-                       a.fractionWritesBelow(1.0) * 100.0,
-                       a.fractionWritesAtLeast(1024.0) * 100.0));
+                       a.fractionWritesBelow(TimeMs{1.0}) * 100.0,
+                       a.fractionWritesAtLeast(TimeMs{1024.0}) * 100.0));
     }
     return 0;
 }

@@ -27,11 +27,11 @@ main()
         std::printf("\n-- %s\n", name);
         TextTable table;
         table.header({"x (ms)", "P(interval > x)"});
-        for (auto [x, p] : a.survivalCurve(32768.0))
+        for (auto [x, p] : a.survivalCurve(TimeMs{32768.0}))
             table.row({TextTable::num(x, 0), strprintf("%.6f", p)});
         std::printf("%s", table.render().c_str());
 
-        LineFit fit = a.paretoFit(1.0, 32768.0);
+        LineFit fit = a.paretoFit(TimeMs{1.0}, TimeMs{32768.0});
         note(strprintf("fit: alpha = %.3f, k = 10^%.3f, R^2 = %.4f",
                        -fit.slope, fit.intercept, fit.rSquared));
     }

@@ -26,7 +26,7 @@ main()
     unsigned n = 0;
     for (const AppPersona &p : AppPersona::table1Suite()) {
         WriteIntervalAnalyzer a = analyzeApp(p);
-        double ge = a.timeFractionAtLeast(1024.0);
+        double ge = a.timeFractionAtLeast(TimeMs{1024.0});
         table.row({p.name, TextTable::pct(1.0 - ge, 1),
                    TextTable::pct(ge, 1)});
         sum += ge;

@@ -39,7 +39,7 @@ main()
         WriteIntervalAnalyzer a = analyzeApp(p);
         std::vector<std::string> row{p.name};
         for (std::size_t i = 0; i < cils.size(); ++i) {
-            double prob = a.probRemainingAtLeast(cils[i], 1024.0);
+            double prob = a.probRemainingAtLeast(TimeMs{cils[i]}, TimeMs{1024.0});
             sums[i] += prob;
             row.push_back(strprintf("%.2f", prob));
         }

@@ -40,7 +40,7 @@ main()
         WriteIntervalAnalyzer a = analyzeApp(p);
         std::vector<std::string> row{p.name};
         for (std::size_t i = 0; i < cils.size(); ++i) {
-            double cov = a.coverageAtCil(cils[i], 1024.0);
+            double cov = a.coverageAtCil(TimeMs{cils[i]}, TimeMs{1024.0});
             sums[i] += cov;
             row.push_back(strprintf("%.2f", cov));
         }

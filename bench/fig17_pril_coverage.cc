@@ -51,7 +51,7 @@ main(int argc, char **argv)
                             std::min(local.durationSec, 60.0);
                     }
                     MemconConfig cfg;
-                    cfg.quantumMs = cil;
+                    cfg.quantumMs = TimeMs{cil};
                     MemconEngine engine(cfg);
                     return bench::Metrics{
                         {"coverage",

@@ -33,7 +33,7 @@ main()
 
     const double module_rows = 1 << 20;
     MemconConfig cfg;
-    cfg.quantumMs = 512.0;
+    cfg.quantumMs = TimeMs{512.0};
     MemconEngine engine(cfg);
     CostModelConfig cm_cfg;
     CostModel cm(cm_cfg);
@@ -51,7 +51,7 @@ main()
         // rows behave like unwritten pages (HI for the first two
         // quanta, then LO) and are tested once each.
         double untracked = module_rows - static_cast<double>(r.pages);
-        double ro_hi_ms = 2.0 * cfg.quantumMs;
+        double ro_hi_ms = 2.0 * cfg.quantumMs.value();
         double ro_ops = untracked * (ro_hi_ms / cfg.hiRefMs +
                                      (r.durationMs - ro_hi_ms) /
                                          cfg.loRefMs);

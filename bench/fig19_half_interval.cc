@@ -30,8 +30,8 @@ main()
     dist.header({"x (ms)", "P(>x) full", "P(>x) half"});
     for (double x = 1.0; x <= 32768.0; x *= 4.0) {
         dist.row({TextTable::num(x, 0),
-                  strprintf("%.5f", full.fractionWritesAtLeast(x)),
-                  strprintf("%.5f", half.fractionWritesAtLeast(x))});
+                  strprintf("%.5f", full.fractionWritesAtLeast(TimeMs{x})),
+                  strprintf("%.5f", half.fractionWritesAtLeast(TimeMs{x}))});
     }
     std::printf("%s", dist.render().c_str());
 
@@ -40,8 +40,8 @@ main()
     prob.header({"CIL (ms)", "full", "half"});
     for (double c : {512.0, 1024.0, 2048.0}) {
         prob.row({TextTable::num(c, 0),
-                  strprintf("%.3f", full.probRemainingAtLeast(c, 1024.0)),
-                  strprintf("%.3f", half.probRemainingAtLeast(c, 1024.0))});
+                  strprintf("%.3f", full.probRemainingAtLeast(TimeMs{c}, TimeMs{1024.0})),
+                  strprintf("%.3f", half.probRemainingAtLeast(TimeMs{c}, TimeMs{1024.0}))});
     }
     std::printf("%s", prob.render().c_str());
     note("Paper conclusion: the distribution shifts slightly left but "

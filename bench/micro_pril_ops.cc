@@ -31,7 +31,7 @@ BM_PrilOnWrite(benchmark::State &state)
         p = rng.uniformInt(1 << 20);
     std::size_t i = 0;
     for (auto _ : state) {
-        pril.onWrite(pages[i++ & 4095]);
+        pril.onWrite(PageId{pages[i++ & 4095]});
         if ((i & 0xfff) == 0)
             pril.endQuantum();
     }
@@ -48,7 +48,7 @@ BM_PrilQuantumTurnover(benchmark::State &state)
     for (auto _ : state) {
         state.PauseTiming();
         for (std::int64_t w = 0; w < writes; ++w)
-            pril.onWrite(rng.uniformInt(1 << 20));
+            pril.onWrite(PageId{rng.uniformInt(1 << 20)});
         state.ResumeTiming();
         benchmark::DoNotOptimize(pril.endQuantum());
     }
@@ -65,7 +65,7 @@ BM_FailureModelRowEvaluation(benchmark::State &state)
     std::uint64_t row = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            model.evaluatePhysicalRow(row, content, 64.0));
+            model.evaluatePhysicalRow(RowId{row}, content, 64.0));
         row = (row + 1) & ((1 << 14) - 1);
     }
     state.SetItemsProcessed(state.iterations());
@@ -93,18 +93,18 @@ BM_ChannelCommandIssue(benchmark::State &state)
     g.rowsPerBank = 1 << 12;
     auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
     dram::Channel chan(g, timing);
-    Tick now = 0;
+    Tick now{};
     std::uint64_t row = 0;
     unsigned bank = 0;
     for (auto _ : state) {
         now = std::max(now + timing.tCk,
                        chan.earliestIssueTick(dram::Command::Act, 0,
-                                              bank, row));
-        chan.issue(dram::Command::Act, 0, bank, row, now);
+                                              bank, RowId{row}));
+        chan.issue(dram::Command::Act, 0, bank, RowId{row}, now);
         now = std::max(now + timing.tCk,
                        chan.earliestIssueTick(dram::Command::RdA, 0,
-                                              bank, row));
-        chan.issue(dram::Command::RdA, 0, bank, row, now);
+                                              bank, RowId{row}));
+        chan.issue(dram::Command::RdA, 0, bank, RowId{row}, now);
         bank = (bank + 1) % g.banks;
         row = (row + 1) & (g.rowsPerBank - 1);
     }

@@ -173,6 +173,7 @@ SweepRunner::run()
     std::vector<std::future<void>> futures;
     futures.reserve(points.size());
 
+    // lint:allow(wall-clock) - wallClockSeconds is reporting-only
     auto start = std::chrono::steady_clock::now();
     {
         ThreadPool pool(resolvedThreads);
@@ -194,7 +195,9 @@ SweepRunner::run()
         for (std::future<void> &f : futures)
             f.get();
     }
+    // lint:allow(wall-clock) - never feeds metrics or seeds
     wallClockSeconds = std::chrono::duration<double>(
+                           // lint:allow(wall-clock)
                            std::chrono::steady_clock::now() - start)
                            .count();
     return reduced;

@@ -41,7 +41,7 @@ main(int argc, char **argv)
             cost_table.row(
                 {strprintf("%.0f ms", lo), toString(mode),
                  strprintf("%.0f ns", cm.testCostNs(mode)),
-                 strprintf("%.0f ms", cm.minWriteIntervalMs(mode)),
+                 strprintf("%.0f ms", cm.minWriteIntervalMs(mode).value()),
                  TextTable::pct(1.0 - 16.0 / lo, 0)});
         }
     }
@@ -56,7 +56,7 @@ main(int argc, char **argv)
     for (double quantum : {512.0, 1024.0, 2048.0}) {
         for (std::size_t buffer : {std::size_t{500}, std::size_t{4000}}) {
             MemconConfig cfg;
-            cfg.quantumMs = quantum;
+            cfg.quantumMs = TimeMs{quantum};
             cfg.writeBufferCapacity = buffer;
             MemconEngine engine(cfg);
             MemconResult r = engine.runOnApp(app);

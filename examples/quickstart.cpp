@@ -50,8 +50,8 @@ main()
     // cannot survive the LO-REF interval.
     auto oracle = [&](std::uint64_t page, std::uint64_t write_count) {
         failure::ProgramContent content(data, write_count);
-        return module.logicalRowFails(page % module.numRows(), content,
-                                      config.loRefMs);
+        return module.logicalRowFails(RowId{page % module.numRows()},
+                                      content, config.loRefMs);
     };
 
     core::MemconResult result = memcon.runOnApp(app, oracle);

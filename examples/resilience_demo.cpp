@@ -55,13 +55,13 @@ main()
     failure::FaultInjector injector(inj_cfg, geom.totalRows());
     injector.attachVrt(&vrt);
 
-    Tick now = 0;
+    Tick now{};
 
     OnlineMemcon *slot = nullptr;
     sim::ControllerConfig mc_cfg;
     OnlineMemcon::installObserver(mc_cfg, slot);
     mc_cfg.eccProbe = [&](std::uint64_t addr, Tick t) {
-        std::uint64_t row = geom.flatRowIndex(geom.decompose(addr));
+        RowId row = geom.flatRowIndex(geom.decompose(addr));
         return injector.onRead(row, t, slot && slot->isLoRef(row));
     };
     auto inner = mc_cfg.writeObserver;
@@ -83,7 +83,7 @@ main()
     om_cfg.resilience.fallbackHold = usToTicks(60.0);
     om_cfg.resilience.scrubPeriod = usToTicks(60.0);
     auto om = std::make_unique<OnlineMemcon>(
-        geom, mc, om_cfg, [&](std::uint64_t row) {
+        geom, mc, om_cfg, [&](RowId row) {
             return injector.hasLatentFault(row, now, true);
         });
     slot = om.get();

@@ -38,12 +38,12 @@ main(int argc, char **argv)
 
     std::printf("\nheadline statistics:\n");
     std::printf("  writes within 1 ms        : %.2f%%\n",
-                a.fractionWritesBelow(1.0) * 100);
+                a.fractionWritesBelow(TimeMs{1.0}) * 100);
     std::printf("  writes starting >=1024 ms : %.3f%%\n",
-                a.fractionWritesAtLeast(1024.0) * 100);
+                a.fractionWritesAtLeast(TimeMs{1024.0}) * 100);
     std::printf("  time in >=1024 ms gaps    : %.1f%%\n",
-                a.timeFractionAtLeast(1024.0) * 100);
-    LineFit fit = a.paretoFit(1.0, 32768.0);
+                a.timeFractionAtLeast(TimeMs{1024.0}) * 100);
+    LineFit fit = a.paretoFit(TimeMs{1.0}, TimeMs{32768.0});
     std::printf("  Pareto tail fit           : alpha=%.3f R^2=%.3f\n",
                 -fit.slope, fit.rSquared);
 
@@ -52,8 +52,8 @@ main(int argc, char **argv)
     t.header({"CIL (ms)", "P(RIL>1024)", "coverage"});
     for (double c : {64.0, 256.0, 512.0, 1024.0, 2048.0, 8192.0}) {
         t.row({TextTable::num(c, 0),
-               strprintf("%.2f", a.probRemainingAtLeast(c, 1024.0)),
-               TextTable::pct(a.coverageAtCil(c, 1024.0), 1)});
+               strprintf("%.2f", a.probRemainingAtLeast(TimeMs{c}, TimeMs{1024.0})),
+               TextTable::pct(a.coverageAtCil(TimeMs{c}, TimeMs{1024.0}), 1)});
     }
     std::printf("%s", t.render().c_str());
 
@@ -63,7 +63,7 @@ main(int argc, char **argv)
               "mispredicted"});
     for (double q : {512.0, 1024.0, 2048.0}) {
         core::MemconConfig cfg;
-        cfg.quantumMs = q;
+        cfg.quantumMs = TimeMs{q};
         core::MemconEngine engine(cfg);
         core::MemconResult r = engine.runOnApp(app);
         e.row({strprintf("%.0f ms", q),

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic iteration over unordered containers.
+ *
+ * Hash-map iteration order depends on the implementation, the load
+ * factor, and the insertion history - none of which the determinism
+ * contract (DESIGN.md §9) lets near stats, logs, or bench JSON. Any
+ * code that walks an unordered_map/unordered_set on a path that can
+ * reach an observable output must do it through these helpers, which
+ * materialise a key-sorted snapshot first. memcon_lint bans bare
+ * range-for (and begin()/end()) over unordered containers in src/
+ * and bench/ to enforce this.
+ *
+ * The copies are deliberate: every current call site iterates either
+ * a bounded container (test sessions, write buffers) or runs once at
+ * reporting time, so the O(n log n) snapshot is noise. If a hot path
+ * ever needs ordered iteration, the fix is an ordered container, not
+ * a faster helper here.
+ */
+
+#ifndef MEMCON_COMMON_ORDERED_HH
+#define MEMCON_COMMON_ORDERED_HH
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace memcon::ordered
+{
+
+/** Key of a map entry (the pair's first). */
+template <typename K, typename V>
+const K &
+keyOf(const std::pair<const K, V> &entry)
+{
+    return entry.first;
+}
+
+/** Key of a set element (the element itself). */
+template <typename K>
+const K &
+keyOf(const K &element)
+{
+    return element;
+}
+
+/** Keys of an associative container (map or set), ascending. */
+template <typename Assoc>
+std::vector<typename Assoc::key_type>
+sortedKeys(const Assoc &container)
+{
+    std::vector<typename Assoc::key_type> keys;
+    keys.reserve(container.size());
+    // lint:allow(unordered-iter) - this helper is the sanctioned wrapper
+    for (const auto &entry : container)
+        keys.push_back(keyOf(entry));
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+/** Elements of a set-like container, ascending. */
+template <typename Set>
+std::vector<typename Set::value_type>
+sortedValues(const Set &container)
+{
+    // lint:allow(unordered-iter) - this helper is the sanctioned wrapper
+    std::vector<typename Set::value_type> values(container.begin(),
+                                                 container.end());
+    std::sort(values.begin(), values.end());
+    return values;
+}
+
+/** (key, value) pairs of a map-like container, ascending by key. */
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+sortedItems(const Map &container)
+{
+    std::vector<std::pair<typename Map::key_type,
+                          typename Map::mapped_type>>
+        items;
+    items.reserve(container.size());
+    // lint:allow(unordered-iter) - this helper is the sanctioned wrapper
+    for (const auto &entry : container)
+        items.emplace_back(entry.first, entry.second);
+    std::sort(items.begin(), items.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return items;
+}
+
+/** Visit a map-like container in ascending key order. */
+template <typename Map, typename Fn>
+void
+forEachOrdered(const Map &container, Fn &&fn)
+{
+    for (const auto &item : sortedItems(container))
+        fn(item.first, item.second);
+}
+
+} // namespace memcon::ordered
+
+#endif // MEMCON_COMMON_ORDERED_HH

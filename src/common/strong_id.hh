@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Strongly-typed entity identifiers.
+ *
+ * The library addresses several distinct spaces with plain 64-bit
+ * integers: DRAM rows (the unit MEMCON tests and refreshes) and OS
+ * pages (the unit PRIL tracks). Handing a page index to a row API
+ * compiles fine with bare aliases and silently corrupts an
+ * experiment; StrongId makes every such mix-up a compile error while
+ * costing nothing at runtime (the wrapper is a single register).
+ *
+ * Conversions are explicit in both directions:
+ *
+ *     RowId row{17};            // in: explicit constructor
+ *     std::uint64_t raw = row.value(); // out: named accessor
+ *     PageId page{row};         // error: no cross-id conversion
+ *
+ * Ids order and hash like their underlying integer, so they work as
+ * keys in ordered and unordered containers and sort deterministically
+ * through the common/ordered.hh helpers.
+ */
+
+#ifndef MEMCON_COMMON_STRONG_ID_HH
+#define MEMCON_COMMON_STRONG_ID_HH
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace memcon
+{
+
+/**
+ * A transparent integer wrapper distinguished by its Tag type. Ids
+ * are regular (copyable, comparable, hashable) but deliberately
+ * support no arithmetic beyond successor/predecessor stepping -
+ * "row 3 + row 5" has no meaning, but iterating a dense id range
+ * does.
+ */
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId
+{
+  public:
+    using rep = Rep;
+
+    constexpr StrongId() = default;
+    explicit constexpr StrongId(Rep raw) : raw_(raw) {}
+
+    /** The underlying integer, for printing and raw-keyed storage. */
+    constexpr Rep value() const { return raw_; }
+
+    constexpr auto operator<=>(const StrongId &) const = default;
+
+    /** Dense-range stepping (next/previous id). */
+    constexpr StrongId &
+    operator++()
+    {
+        ++raw_;
+        return *this;
+    }
+    constexpr StrongId
+    operator++(int)
+    {
+        StrongId old = *this;
+        ++raw_;
+        return old;
+    }
+    constexpr StrongId &
+    operator--()
+    {
+        --raw_;
+        return *this;
+    }
+
+  private:
+    Rep raw_ = Rep{};
+};
+
+/** Hash functor usable with any StrongId instantiation. */
+struct StrongIdHash
+{
+    template <typename Tag, typename Rep>
+    std::size_t
+    operator()(const StrongId<Tag, Rep> &id) const
+    {
+        return std::hash<Rep>{}(id.value());
+    }
+};
+
+/**
+ * A dense index over the DRAM rows of one module (the
+ * Geometry::flatRowIndex() space), and equally the per-bank row
+ * coordinate inside the cycle model - the unit of testing,
+ * refresh-rate binning, and failure records.
+ */
+using RowId = StrongId<struct RowIdTag>;
+
+/** An OS page index - the unit PRIL write-tracking operates on. In
+ * every modelled configuration one page maps onto one DRAM row, but
+ * the two spaces must never mix silently. */
+using PageId = StrongId<struct PageIdTag>;
+
+} // namespace memcon
+
+/** std::hash support so ids drop into unordered containers. */
+template <typename Tag, typename Rep>
+struct std::hash<memcon::StrongId<Tag, Rep>>
+{
+    std::size_t
+    operator()(const memcon::StrongId<Tag, Rep> &id) const noexcept
+    {
+        return std::hash<Rep>{}(id.value());
+    }
+};
+
+#endif // MEMCON_COMMON_STRONG_ID_HH

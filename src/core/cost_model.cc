@@ -45,30 +45,30 @@ CostModel::refreshOpNs() const
 double
 CostModel::hiRefAccumulatedNs(TimeMs t_ms) const
 {
-    panic_if(t_ms < 0.0, "time must be non-negative");
+    panic_if(t_ms < TimeMs{0.0}, "time must be non-negative");
     // Refreshes at 0, hi, 2hi, ... <= t.
-    double count = std::floor(t_ms / cfg.hiRefMs) + 1.0;
+    double count = std::floor(t_ms.value() / cfg.hiRefMs) + 1.0;
     return count * refreshOpNs();
 }
 
 double
 CostModel::memconAccumulatedNs(TestMode mode, TimeMs t_ms) const
 {
-    panic_if(t_ms < 0.0, "time must be non-negative");
+    panic_if(t_ms < TimeMs{0.0}, "time must be non-negative");
     // The test replaces the refresh at t = 0 (the row is fully
     // charged by the test's own accesses); LO-REF refreshes follow
     // at lo, 2lo, ... <= t.
-    double count = std::floor(t_ms / cfg.loRefMs);
+    double count = std::floor(t_ms.value() / cfg.loRefMs);
     return testCostNs(mode) + count * refreshOpNs();
 }
 
 TimeMs
 CostModel::minWriteIntervalMs(TestMode mode) const
 {
-    for (TimeMs t = cfg.hiRefMs;; t += cfg.hiRefMs) {
+    for (TimeMs t{cfg.hiRefMs};; t += TimeMs{cfg.hiRefMs}) {
         if (hiRefAccumulatedNs(t) >= memconAccumulatedNs(mode, t))
             return t;
-        panic_if(t > 1e7, "MinWriteInterval search diverged");
+        panic_if(t > TimeMs{1e7}, "MinWriteInterval search diverged");
     }
 }
 
@@ -76,7 +76,7 @@ std::vector<CostPoint>
 CostModel::curve(TimeMs horizon_ms) const
 {
     std::vector<CostPoint> points;
-    for (TimeMs t = cfg.hiRefMs; t <= horizon_ms; t += cfg.hiRefMs) {
+    for (TimeMs t{cfg.hiRefMs}; t <= horizon_ms; t += TimeMs{cfg.hiRefMs}) {
         points.push_back({t, hiRefAccumulatedNs(t),
                           memconAccumulatedNs(TestMode::ReadAndCompare, t),
                           memconAccumulatedNs(TestMode::CopyAndCompare, t)});
@@ -87,8 +87,8 @@ CostModel::curve(TimeMs horizon_ms) const
 double
 CostModel::averageCostNsPerMs(TestMode mode, TimeMs interval_ms) const
 {
-    panic_if(interval_ms <= 0.0, "interval must be positive");
-    return memconAccumulatedNs(mode, interval_ms) / interval_ms;
+    panic_if(interval_ms <= TimeMs{0.0}, "interval must be positive");
+    return memconAccumulatedNs(mode, interval_ms) / interval_ms.value();
 }
 
 double

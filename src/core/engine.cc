@@ -34,7 +34,7 @@ MemconEngine::MemconEngine(const MemconConfig &config) : cfg(config)
 {
     fatal_if(cfg.hiRefMs <= 0.0 || cfg.loRefMs <= cfg.hiRefMs,
              "need 0 < hiRefMs < loRefMs");
-    fatal_if(cfg.quantumMs <= 0.0, "quantum must be positive");
+    fatal_if(cfg.quantumMs <= TimeMs{0.0}, "quantum must be positive");
     fatal_if(cfg.testSlotsPer64ms == 0, "test budget must be positive");
     fatal_if(cfg.silentWriteFraction < 0.0 ||
                  cfg.silentWriteFraction > 1.0,
@@ -58,10 +58,10 @@ MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
     // Merge all write events into one ordered stream.
     std::vector<Event> events;
     for (std::uint32_t p = 0; p < page_writes.size(); ++p) {
-        for (double t : page_writes[p]) {
-            panic_if(t < 0.0, "negative write time");
-            if (t < duration_ms)
-                events.push_back({t, p});
+        for (TimeMs t : page_writes[p]) {
+            panic_if(t < TimeMs{0.0}, "negative write time");
+            if (t.value() < duration_ms)
+                events.push_back({t.value(), p});
         }
     }
     std::stable_sort(events.begin(), events.end(),
@@ -75,12 +75,13 @@ MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
     cm_cfg.hiRefMs = cfg.hiRefMs;
     cm_cfg.loRefMs = cfg.loRefMs;
     CostModel cost(cm_cfg);
-    const double min_write_interval = cost.minWriteIntervalMs(cfg.mode);
+    const double min_write_interval =
+        cost.minWriteIntervalMs(cfg.mode).value();
     const double test_cost_ns = cost.testCostNs(cfg.mode);
     const double refresh_op_ns = cost.refreshOpNs();
 
     const std::uint64_t tests_per_quantum = static_cast<std::uint64_t>(
-        cfg.testSlotsPer64ms * (cfg.quantumMs / 64.0));
+        cfg.testSlotsPer64ms * (cfg.quantumMs.value() / 64.0));
 
     PrilPredictor pril(page_writes.size(), cfg.writeBufferCapacity);
     std::vector<PageState> state(page_writes.size());
@@ -110,7 +111,7 @@ MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
         ps.lastTestAt = -1.0;
     };
 
-    double next_quantum_end = cfg.quantumMs;
+    double next_quantum_end = cfg.quantumMs.value();
     std::size_t event_idx = 0;
 
     // Read-only identification (§6.1): pages that never saw a write
@@ -150,15 +151,15 @@ MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
     };
 
     auto process_quantum_end = [&](double tq) {
-        std::vector<std::uint64_t> candidates = pril.endQuantum();
+        std::vector<PageId> candidates = pril.endQuantum();
         std::uint64_t budget = tests_per_quantum;
-        for (std::uint64_t page : candidates) {
+        for (PageId page : candidates) {
             if (budget == 0) {
                 ++res.testsSkippedBudget;
                 continue;
             }
             --budget;
-            run_test(page, tq);
+            run_test(page.value(), tq);
         }
 
         ++quanta_seen;
@@ -210,7 +211,7 @@ MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
              next_quantum_end <= events[event_idx].time);
         if (take_quantum) {
             process_quantum_end(next_quantum_end);
-            next_quantum_end += cfg.quantumMs;
+            next_quantum_end += cfg.quantumMs.value();
             continue;
         }
         if (event_idx >= events.size())
@@ -243,7 +244,7 @@ MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
                 observer(ev.page, ev.time, false, ps.writeCount + 1);
         }
         ++ps.writeCount;
-        pril.onWrite(ev.page);
+        pril.onWrite(PageId{ev.page});
     }
 
     // Close out every page at the horizon. Tests with no later write

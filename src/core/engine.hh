@@ -40,7 +40,7 @@ struct MemconConfig
     double loRefMs = 64.0;
 
     /** PRIL quantum = the current-interval-length threshold. */
-    TimeMs quantumMs = 1024.0;
+    TimeMs quantumMs{1024.0};
 
     /** Write-buffer entries (§6.4: 4000 suffices). */
     std::size_t writeBufferCapacity = 4000;

@@ -19,9 +19,9 @@ namespace
  * the same machinery a real decayed cell would.
  */
 std::uint64_t
-syntheticWord(std::uint64_t row, std::size_t word)
+syntheticWord(RowId row, std::size_t word)
 {
-    return hashMix64(row * 0x9e3779b97f4a7c15ULL + word);
+    return hashMix64(row.value() * 0x9e3779b97f4a7c15ULL + word);
 }
 
 } // namespace
@@ -38,8 +38,8 @@ OnlineMemcon::OnlineMemcon(const dram::Geometry &geometry,
       resilience(config.resilience, geometry.totalRows(), statGroup),
       nextQuantumEnd(config.quantum), nextRetarget(config.retargetPeriod)
 {
-    fatal_if(cfg.quantum == 0, "quantum must be positive");
-    fatal_if(cfg.testIdle == 0, "test idle period must be positive");
+    fatal_if(cfg.quantum == Tick{}, "quantum must be positive");
+    fatal_if(cfg.testIdle == Tick{}, "test idle period must be positive");
     fatal_if(cfg.hiRefMs <= 0.0 || cfg.loRefMs <= cfg.hiRefMs,
              "need 0 < hiRefMs < loRefMs");
 }
@@ -59,7 +59,7 @@ OnlineMemcon::installObserver(sim::ControllerConfig &cfg,
     };
 }
 
-std::uint64_t
+RowId
 OnlineMemcon::rowOfAddr(std::uint64_t addr) const
 {
     return geom.flatRowIndex(geom.decompose(addr));
@@ -69,17 +69,17 @@ void
 OnlineMemcon::observeWrite(std::uint64_t addr, Tick now)
 {
     (void)now;
-    std::uint64_t row = rowOfAddr(addr);
+    RowId row = rowOfAddr(addr);
     ++writeCount;
-    everWritten.set(row);
-    pril.onWrite(row);
+    everWritten.set(row.value());
+    pril.onWrite(PageId{row.value()});
 
     abortTestOn(row);
     demoteRow(row, "demote.write");
 }
 
 void
-OnlineMemcon::abortTestOn(std::uint64_t row)
+OnlineMemcon::abortTestOn(RowId row)
 {
     if (!engine.onWrite(row))
         return;
@@ -94,11 +94,11 @@ OnlineMemcon::abortTestOn(std::uint64_t row)
 }
 
 void
-OnlineMemcon::demoteRow(std::uint64_t row, const char *cause)
+OnlineMemcon::demoteRow(RowId row, const char *cause)
 {
-    if (!loRows.test(row))
+    if (!loRows.test(row.value()))
         return;
-    loRows.clear(row);
+    loRows.clear(row.value());
     --loCount;
     ++demotionCount;
     statGroup.inc(cause);
@@ -108,9 +108,10 @@ void
 OnlineMemcon::observeEccEvent(std::uint64_t addr,
                               dram::EccStatus status, Tick now)
 {
-    std::uint64_t row = rowOfAddr(addr);
+    RowId row = rowOfAddr(addr);
     using EccAction = ResilienceManager::EccAction;
-    switch (resilience.onEccEvent(row, status, loRows.test(row), now)) {
+    switch (resilience.onEccEvent(row, status, loRows.test(row.value()),
+                                  now)) {
     case EccAction::None:
         break;
     case EccAction::DemoteAndRetest:
@@ -134,14 +135,14 @@ OnlineMemcon::enterFallback(Tick now)
     // Blanket HI-REF: every LO verdict is revoked, remembered, and
     // re-earned through a full re-certification once trust returns.
     for (std::size_t row : loRows.setBits()) {
-        recoveryQueue.push_back(row);
-        demoteRow(row, "demote.fallback");
+        recoveryQueue.push_back(RowId{row});
+        demoteRow(RowId{row}, "demote.fallback");
     }
     // Drain the test slots: verdicts in flight are no longer safe to
     // act on.
-    std::vector<std::uint64_t> in_test = engine.rowsUnderTest();
+    std::vector<RowId> in_test = engine.rowsUnderTest();
     statGroup.inc("fallback.drained", in_test.size());
-    for (std::uint64_t row : in_test)
+    for (RowId row : in_test)
         engine.onWrite(row);
     activeTests.clear();
     scrubQueue.clear();
@@ -157,17 +158,16 @@ OnlineMemcon::startCandidateTests(Tick now)
     std::size_t reserve =
         scrubQueue.empty() ? 0 : cfg.resilience.scrubReservedSlots;
     while (!pendingCandidates.empty() && engine.freeSlots() > reserve) {
-        std::uint64_t row = pendingCandidates.front();
+        RowId row = pendingCandidates.front();
         pendingCandidates.pop_front();
         // A write since candidacy disqualifies the row: PRIL would
         // have evicted it, but it may already sit in our queue (a
         // stale read-only candidate re-enters through PRIL later).
         // Pinned rows are never worth re-certifying.
-        if (engine.isUnderTest(row) || loRows.test(row) ||
+        if (engine.isUnderTest(row) || loRows.test(row.value()) ||
             resilience.isPinned(row))
             continue;
-        bool ok = engine.beginTest(row, [](std::uint64_t r,
-                                           std::size_t w) {
+        bool ok = engine.beginTest(row, [](RowId r, std::size_t w) {
             return syntheticWord(r, w);
         });
         if (!ok)
@@ -191,13 +191,12 @@ OnlineMemcon::startScrubTests(Tick now)
     // leftover slots). The row keeps its LO-REF state while the
     // re-certification is in flight; only a failure demotes it.
     while (!scrubQueue.empty() && engine.freeSlots() > 0) {
-        std::uint64_t row = scrubQueue.front();
+        RowId row = scrubQueue.front();
         scrubQueue.pop_front();
         // Demoted or re-queued since the sweep picked it: skip.
-        if (!loRows.test(row) || engine.isUnderTest(row))
+        if (!loRows.test(row.value()) || engine.isUnderTest(row))
             continue;
-        bool ok = engine.beginTest(row, [](std::uint64_t r,
-                                           std::size_t w) {
+        bool ok = engine.beginTest(row, [](RowId r, std::size_t w) {
             return syntheticWord(r, w);
         });
         if (!ok) {
@@ -273,11 +272,11 @@ OnlineMemcon::completeDueTests(Tick now)
             ++it;
             continue;
         }
-        std::uint64_t row = it->row;
+        RowId row = it->row;
         bool is_scrub = it->isScrub;
         bool decayed = oracle && oracle(row);
         TestOutcome outcome = engine.completeTest(
-            row, [decayed](std::uint64_t r, std::size_t w) {
+            row, [decayed](RowId r, std::size_t w) {
                 std::uint64_t word = syntheticWord(r, w);
                 // A condemned row reads back with a flipped cell.
                 if (decayed && w == 0)
@@ -295,8 +294,9 @@ OnlineMemcon::completeDueTests(Tick now)
                 demoteRow(row, "demote.scrub");
             }
         } else if (outcome == TestOutcome::Pass &&
-                   !resilience.isPinned(row) && !loRows.test(row)) {
-            loRows.set(row);
+                   !resilience.isPinned(row) &&
+                   !loRows.test(row.value())) {
+            loRows.set(row.value());
             ++loCount;
         }
         it = activeTests.erase(it);
@@ -323,14 +323,14 @@ OnlineMemcon::tick(Tick now)
         resilience.exitFallback();
         // Trust returns gradually: every formerly-LO row re-enters
         // the ordinary test pipeline and re-earns its verdict.
-        for (std::uint64_t row : recoveryQueue)
+        for (RowId row : recoveryQueue)
             pendingCandidates.push_back(row);
         recoveryQueue.clear();
     }
 
     if (now >= nextQuantumEnd) {
-        for (std::uint64_t row : pril.endQuantum())
-            pendingCandidates.push_back(row);
+        for (PageId page : pril.endQuantum())
+            pendingCandidates.push_back(RowId{page.value()});
         nextQuantumEnd += cfg.quantum;
         ++quantaSeen;
         if (quantaSeen == 2) {
@@ -339,24 +339,24 @@ OnlineMemcon::tick(Tick now)
             // paces them behind PRIL's candidates.
             for (std::uint64_t r = 0; r < geom.totalRows(); ++r)
                 if (!everWritten.test(r))
-                    pendingCandidates.push_back(r);
+                    pendingCandidates.push_back(RowId{r});
         }
     }
 
     if (!resilience.inFallback()) {
         // Backoff re-tests of corrected-error rows jump the queue:
         // their refresh state is the one most in doubt.
-        for (std::uint64_t row : resilience.dueRetests(now)) {
-            if (!loRows.test(row) && !engine.isUnderTest(row))
+        for (RowId row : resilience.dueRetests(now)) {
+            if (!loRows.test(row.value()) && !engine.isUnderTest(row))
                 pendingCandidates.push_front(row);
         }
         // Top up the sweep only once the previous batch drained: a
         // starved backlog must not grow without bound.
         if (scrubQueue.empty() && resilience.scrubDue(now)) {
-            auto under_test = [this](std::uint64_t r) {
+            auto under_test = [this](RowId r) {
                 return engine.isUnderTest(r);
             };
-            for (std::uint64_t row :
+            for (RowId row :
                  resilience.nextScrubRows(now, loRows, under_test))
                 scrubQueue.push_back(row);
         }

@@ -83,7 +83,7 @@ class OnlineMemcon
 {
   public:
     /** Decides whether a row's current content fails at LO-REF. */
-    using RowFailureOracle = std::function<bool(std::uint64_t row)>;
+    using RowFailureOracle = std::function<bool(RowId row)>;
 
     /**
      * @param geometry    module geometry (page = row granularity)
@@ -120,7 +120,7 @@ class OnlineMemcon
     double loRefFraction() const;
 
     /** @return true if the row currently sits at LO-REF. */
-    bool isLoRef(std::uint64_t row) const { return loRows.test(row); }
+    bool isLoRef(RowId row) const { return loRows.test(row.value()); }
 
     /** The refresh reduction implied by the current LO fraction. */
     double emergentReduction() const;
@@ -147,7 +147,7 @@ class OnlineMemcon
   private:
     struct ActiveTest
     {
-        std::uint64_t row;
+        RowId row;
         Tick readbackAt; //!< when the idle period ends
         unsigned requestsLeft; //!< traffic not yet accepted
         unsigned column = 0;
@@ -158,10 +158,10 @@ class OnlineMemcon
     void startScrubTests(Tick now);
     void pumpTestTraffic(Tick now);
     void completeDueTests(Tick now);
-    void demoteRow(std::uint64_t row, const char *cause);
-    void abortTestOn(std::uint64_t row);
+    void demoteRow(RowId row, const char *cause);
+    void abortTestOn(RowId row);
     void enterFallback(Tick now);
-    std::uint64_t rowOfAddr(std::uint64_t addr) const;
+    RowId rowOfAddr(std::uint64_t addr) const;
 
     dram::Geometry geom;
     sim::MemoryController &mc;
@@ -176,12 +176,12 @@ class OnlineMemcon
     unsigned quantaSeen = 0;
 
     std::deque<ActiveTest> activeTests;
-    std::deque<std::uint64_t> pendingCandidates;
-    std::deque<std::uint64_t> scrubQueue;
+    std::deque<RowId> pendingCandidates;
+    std::deque<RowId> scrubQueue;
 
     /** Rows whose LO verdict was revoked by a fallback; re-certified
      * when the fallback exits. */
-    std::deque<std::uint64_t> recoveryQueue;
+    std::deque<RowId> recoveryQueue;
 
     StatGroup statGroup{"memcon"};
     ResilienceManager resilience;

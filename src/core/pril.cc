@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/ordered.hh"
 
 namespace memcon::core
 {
@@ -18,10 +19,10 @@ PrilPredictor::PrilPredictor(std::uint64_t num_pages,
 }
 
 void
-PrilPredictor::onWrite(std::uint64_t page)
+PrilPredictor::onWrite(PageId page)
 {
-    panic_if(page >= pages, "page %llu out of range",
-             static_cast<unsigned long long>(page));
+    panic_if(page.value() >= pages, "page %llu out of range",
+             static_cast<unsigned long long>(page.value()));
 
     unsigned cur = current;
     unsigned prev = 1 - current;
@@ -30,7 +31,7 @@ PrilPredictor::onWrite(std::uint64_t page)
     // previous quantum (step 3 in Figure 13).
     writeBuffer[prev].erase(page);
 
-    bool already_written = writeMap[cur].testAndSet(page);
+    bool already_written = writeMap[cur].testAndSet(page.value());
     if (!already_written) {
         // First write this quantum (step 1): track it, unless full.
         if (writeBuffer[cur].size() >= capacity) {
@@ -45,16 +46,17 @@ PrilPredictor::onWrite(std::uint64_t page)
     }
 }
 
-std::vector<std::uint64_t>
+std::vector<PageId>
 PrilPredictor::endQuantum()
 {
     unsigned prev = 1 - current;
 
     // Pages surviving in the previous buffer had exactly one write
-    // in the quantum before last and none since (step 4).
-    std::vector<std::uint64_t> candidates(writeBuffer[prev].begin(),
-                                          writeBuffer[prev].end());
-    std::sort(candidates.begin(), candidates.end());
+    // in the quantum before last and none since (step 4). The
+    // candidate list feeds test scheduling and stats, so it must not
+    // inherit hash-set iteration order.
+    std::vector<PageId> candidates =
+        ordered::sortedValues(writeBuffer[prev]);
 
     // Step 5: clear the previous structures and swap roles.
     writeBuffer[prev].clear();
@@ -74,7 +76,7 @@ PrilPredictor::storageBytes() const
 }
 
 bool
-PrilPredictor::isTracked(std::uint64_t page) const
+PrilPredictor::isTracked(PageId page) const
 {
     return writeBuffer[0].count(page) || writeBuffer[1].count(page);
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/bitvector.hh"
+#include "common/strong_id.hh"
 #include "common/units.hh"
 
 namespace memcon::core
@@ -47,14 +48,14 @@ class PrilPredictor
     PrilPredictor(std::uint64_t num_pages, std::size_t buffer_capacity);
 
     /** Record a write access to a page (Figure 13 left half). */
-    void onWrite(std::uint64_t page);
+    void onWrite(PageId page);
 
     /**
      * Close the current quantum (Figure 13 right half).
      * @return pages predicted to have long remaining intervals -
      *         MEMCON initiates tests on these.
      */
-    std::vector<std::uint64_t> endQuantum();
+    std::vector<PageId> endQuantum();
 
     std::uint64_t numPages() const { return pages; }
     std::size_t bufferCapacity() const { return capacity; }
@@ -69,7 +70,7 @@ class PrilPredictor
     std::size_t storageBytes() const;
 
     /** @return true if the page currently sits in either buffer. */
-    bool isTracked(std::uint64_t page) const;
+    bool isTracked(PageId page) const;
 
   private:
     std::uint64_t pages;
@@ -78,7 +79,7 @@ class PrilPredictor
     // Index 0/1 with `current` selecting the active pair; the other
     // pair is the previous quantum's.
     BitVector writeMap[2];
-    std::unordered_set<std::uint64_t> writeBuffer[2];
+    std::unordered_set<PageId> writeBuffer[2];
     unsigned current = 0;
 
     std::uint64_t drops = 0;

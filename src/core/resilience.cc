@@ -11,16 +11,16 @@ ResilienceManager::ResilienceManager(const ResilienceConfig &config,
     : cfg(config), rows(num_rows), stats(stat_group),
       pinned(num_rows), nextScrub(config.scrubPeriod)
 {
-    fatal_if(cfg.retestBackoff == 0, "retest backoff must be positive");
+    fatal_if(cfg.retestBackoff == Tick{}, "retest backoff must be positive");
 }
 
 ResilienceManager::EccAction
-ResilienceManager::onEccEvent(std::uint64_t row,
+ResilienceManager::onEccEvent(RowId row,
                               dram::EccStatus status, bool lo_ref,
                               Tick now)
 {
-    panic_if(row >= rows, "row %llu out of range",
-             static_cast<unsigned long long>(row));
+    panic_if(row.value() >= rows, "row %llu out of range",
+             static_cast<unsigned long long>(row.value()));
     switch (status) {
     case dram::EccStatus::Ok:
         return EccAction::None;
@@ -30,25 +30,25 @@ ResilienceManager::onEccEvent(std::uint64_t row,
             return EccAction::None;
         // The page behind this row is gone; never trust it at LO-REF
         // again, and stop trusting every other LO verdict too.
-        if (!pinned.test(row)) {
-            pinned.set(row);
+        if (!pinned.test(row.value())) {
+            pinned.set(row.value());
             stats.inc("pinned");
         }
         return EccAction::Fallback;
     case dram::EccStatus::CorrectedData:
     case dram::EccStatus::CorrectedCheck:
         stats.inc("ecc.corrected");
-        if (!cfg.enabled || !lo_ref || pinned.test(row))
+        if (!cfg.enabled || !lo_ref || pinned.test(row.value()))
             return EccAction::None;
         unsigned episodes = ++correctedEpisodes[row];
         if (episodes > cfg.maxCorrectedRetries) {
-            pinned.set(row);
+            pinned.set(row.value());
             stats.inc("pinned");
             return EccAction::DemoteAndPin;
         }
         // Exponential backoff: a row that keeps producing corrected
         // errors is re-tested less and less eagerly.
-        Tick backoff = cfg.retestBackoff << (episodes - 1);
+        Tick backoff{cfg.retestBackoff.value() << (episodes - 1)};
         retestQueue.emplace(now + backoff, row);
         stats.inc("retest.scheduled");
         return EccAction::DemoteAndRetest;
@@ -56,10 +56,10 @@ ResilienceManager::onEccEvent(std::uint64_t row,
     return EccAction::None;
 }
 
-std::vector<std::uint64_t>
+std::vector<RowId>
 ResilienceManager::dueRetests(Tick now)
 {
-    std::vector<std::uint64_t> due;
+    std::vector<RowId> due;
     auto end = retestQueue.upper_bound(now);
     for (auto it = retestQueue.begin(); it != end; ++it)
         due.push_back(it->second);
@@ -95,25 +95,25 @@ ResilienceManager::exitFallback()
 bool
 ResilienceManager::scrubDue(Tick now) const
 {
-    return cfg.enabled && cfg.scrubPeriod > 0 && now >= nextScrub;
+    return cfg.enabled && cfg.scrubPeriod > Tick{} && now >= nextScrub;
 }
 
-std::vector<std::uint64_t>
+std::vector<RowId>
 ResilienceManager::nextScrubRows(
     Tick now, const BitVector &lo_rows,
-    const std::function<bool(std::uint64_t)> &skip)
+    const std::function<bool(RowId)> &skip)
 {
     nextScrub = now + cfg.scrubPeriod;
-    std::vector<std::uint64_t> picked;
+    std::vector<RowId> picked;
     // One full lap from the cursor at most: the sweep must terminate
     // even when fewer LO rows exist than the batch wants.
     for (std::uint64_t step = 0;
          step < rows && picked.size() < cfg.scrubRowsPerSweep; ++step) {
         std::uint64_t row = scrubCursor;
         scrubCursor = (scrubCursor + 1) % rows;
-        if (!lo_rows.test(row) || (skip && skip(row)))
+        if (!lo_rows.test(row) || (skip && skip(RowId{row})))
             continue;
-        picked.push_back(row);
+        picked.push_back(RowId{row});
     }
     stats.inc("scrub.scheduled", picked.size());
     return picked;

@@ -44,6 +44,7 @@
 
 #include "common/bitvector.hh"
 #include "common/stats.hh"
+#include "common/strong_id.hh"
 #include "common/units.hh"
 #include "dram/ecc.hh"
 
@@ -64,7 +65,7 @@ struct ResilienceConfig
     Tick retestBackoff = usToTicks(30.0);
 
     /** Period of the idle-row re-scrub sweep (0 disables scrub). */
-    Tick scrubPeriod = 0;
+    Tick scrubPeriod{};
 
     /** LO-REF rows queued per sweep step; bounds scrub burstiness so
      * the TestEngine slots are never monopolised. */
@@ -102,17 +103,17 @@ class ResilienceManager
      * state at observation time. Updates retry counts, the pin set,
      * and the retest queue; the caller actuates the returned action.
      */
-    EccAction onEccEvent(std::uint64_t row, dram::EccStatus status,
+    EccAction onEccEvent(RowId row, dram::EccStatus status,
                          bool lo_ref, Tick now);
 
     /** @return true if the row is permanently held at HI-REF. */
-    bool isPinned(std::uint64_t row) const { return pinned.test(row); }
+    bool isPinned(RowId row) const { return pinned.test(row.value()); }
 
     /** Rows currently pinned at HI-REF. */
     std::uint64_t pinnedRows() const { return pinned.count(); }
 
     /** Pop every scheduled re-test whose backoff has elapsed. */
-    std::vector<std::uint64_t> dueRetests(Tick now);
+    std::vector<RowId> dueRetests(Tick now);
 
     // --- panic-fallback timer ---
 
@@ -141,21 +142,21 @@ class ResilienceManager
      * the round-robin cursor, skipping rows the predicate rejects
      * (already under test). Re-arms the period timer.
      */
-    std::vector<std::uint64_t>
+    std::vector<RowId>
     nextScrubRows(Tick now, const BitVector &lo_rows,
-                  const std::function<bool(std::uint64_t)> &skip);
+                  const std::function<bool(RowId)> &skip);
 
   private:
     ResilienceConfig cfg;
     std::uint64_t rows;
     StatGroup &stats;
 
-    std::unordered_map<std::uint64_t, unsigned> correctedEpisodes;
+    std::unordered_map<RowId, unsigned> correctedEpisodes;
     BitVector pinned;
-    std::multimap<Tick, std::uint64_t> retestQueue;
+    std::multimap<Tick, RowId> retestQueue;
 
     bool fallback = false;
-    Tick fallbackUntil = 0;
+    Tick fallbackUntil{};
 
     Tick nextScrub;
     std::uint64_t scrubCursor = 0;

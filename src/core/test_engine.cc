@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/ordered.hh"
 
 namespace memcon::core
 {
@@ -34,13 +35,13 @@ TestEngine::freeSlots() const
 }
 
 bool
-TestEngine::isUnderTest(std::uint64_t row) const
+TestEngine::isUnderTest(RowId row) const
 {
     return sessions.count(row) != 0;
 }
 
 bool
-TestEngine::beginTest(std::uint64_t row, const RowReader &reader)
+TestEngine::beginTest(RowId row, const RowReader &reader)
 {
     panic_if(isUnderTest(row), "row is already under test");
     if (sessions.size() >= cfg.slots)
@@ -77,7 +78,7 @@ TestEngine::beginTest(std::uint64_t row, const RowReader &reader)
 }
 
 std::optional<Redirection>
-TestEngine::redirect(std::uint64_t row) const
+TestEngine::redirect(RowId row) const
 {
     auto it = sessions.find(row);
     if (it == sessions.end())
@@ -103,7 +104,7 @@ TestEngine::releaseSession(const Session &session)
 }
 
 bool
-TestEngine::onWrite(std::uint64_t row)
+TestEngine::onWrite(RowId row)
 {
     auto it = sessions.find(row);
     if (it == sessions.end())
@@ -115,7 +116,7 @@ TestEngine::onWrite(std::uint64_t row)
 }
 
 TestOutcome
-TestEngine::completeTest(std::uint64_t row, const RowReader &reader)
+TestEngine::completeTest(RowId row, const RowReader &reader)
 {
     auto it = sessions.find(row);
     panic_if(it == sessions.end(), "completing a test that never began");
@@ -144,15 +145,12 @@ TestEngine::completeTest(std::uint64_t row, const RowReader &reader)
     return clean ? TestOutcome::Pass : TestOutcome::Fail;
 }
 
-std::vector<std::uint64_t>
+std::vector<RowId>
 TestEngine::rowsUnderTest() const
 {
-    std::vector<std::uint64_t> rows;
-    rows.reserve(sessions.size());
-    for (const auto &kv : sessions)
-        rows.push_back(kv.first);
-    std::sort(rows.begin(), rows.end());
-    return rows;
+    // Session bookkeeping is hash-keyed; the public view is sorted
+    // so downstream stats and logs stay deterministic.
+    return ordered::sortedKeys(sessions);
 }
 
 std::size_t

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/strong_id.hh"
 #include "core/cost_model.hh"
 #include "dram/ecc.hh"
 
@@ -76,8 +77,7 @@ class TestEngine
   public:
     /** Reads the current content of (row, word) from the device. */
     using RowReader =
-        std::function<std::uint64_t(std::uint64_t row,
-                                    std::size_t word_idx)>;
+        std::function<std::uint64_t(RowId row, std::size_t word_idx)>;
 
     explicit TestEngine(const TestEngineConfig &config);
 
@@ -87,7 +87,7 @@ class TestEngine
     std::size_t freeSlots() const;
 
     /** @return true if the row is currently under test. */
-    bool isUnderTest(std::uint64_t row) const;
+    bool isUnderTest(RowId row) const;
 
     /**
      * Begin testing a row against its current content. Captures the
@@ -96,14 +96,14 @@ class TestEngine
      *
      * @return false if no slot or (in C&C) no reserve row is free.
      */
-    bool beginTest(std::uint64_t row, const RowReader &reader);
+    bool beginTest(RowId row, const RowReader &reader);
 
     /**
      * Where to serve a program access to this row from during the
      * test; empty if the row is not under test (access the row
      * normally).
      */
-    std::optional<Redirection> redirect(std::uint64_t row) const;
+    std::optional<Redirection> redirect(RowId row) const;
 
     /**
      * Notify a program write to the row. If it is under test, the
@@ -111,16 +111,16 @@ class TestEngine
      *
      * @return true if an in-flight test was aborted
      */
-    bool onWrite(std::uint64_t row);
+    bool onWrite(RowId row);
 
     /**
      * Finish the test: read the decayed row back and compare against
      * the captured state.
      */
-    TestOutcome completeTest(std::uint64_t row, const RowReader &reader);
+    TestOutcome completeTest(RowId row, const RowReader &reader);
 
     /** Rows currently under test, ascending. */
-    std::vector<std::uint64_t> rowsUnderTest() const;
+    std::vector<RowId> rowsUnderTest() const;
 
     /**
      * Controller SRAM this configuration costs: slot buffers for
@@ -151,7 +151,7 @@ class TestEngine
     void releaseSession(const Session &session);
 
     TestEngineConfig cfg;
-    std::unordered_map<std::uint64_t, Session> sessions;
+    std::unordered_map<RowId, Session> sessions;
     std::vector<bool> slotBusy;
     std::vector<std::uint64_t> freeReserveRows;
 

@@ -66,7 +66,7 @@ Channel::isRowOpen(unsigned rank, unsigned bank_idx) const
     return bank(rank, bank_idx).rowOpen;
 }
 
-std::uint64_t
+RowId
 Channel::openRow(unsigned rank, unsigned bank_idx) const
 {
     const BankState &b = bank(rank, bank_idx);
@@ -85,12 +85,12 @@ Channel::allBanksPrecharged(unsigned rank) const
 
 Tick
 Channel::earliestIssueTick(Command cmd, unsigned rank, unsigned bank_idx,
-                           std::uint64_t row) const
+                           RowId row) const
 {
     checkIds(rank, bank_idx);
     const BankState &b = bank(rank, bank_idx);
     const RankState &r = rankState[rank];
-    Tick earliest = 0;
+    Tick earliest{};
 
     switch (cmd) {
       case Command::Act: {
@@ -138,7 +138,7 @@ Channel::earliestIssueTick(Command cmd, unsigned rank, unsigned bank_idx,
 
 bool
 Channel::canIssue(Command cmd, unsigned rank, unsigned bank_idx,
-                  std::uint64_t row, Tick now) const
+                  RowId row, Tick now) const
 {
     // State preconditions first; earliestIssueTick panics on them, so
     // screen here to give callers a boolean answer.
@@ -168,13 +168,14 @@ Channel::canIssue(Command cmd, unsigned rank, unsigned bank_idx,
 
 Tick
 Channel::issue(Command cmd, unsigned rank, unsigned bank_idx,
-               std::uint64_t row, Tick now)
+               RowId row, Tick now)
 {
     Tick earliest = earliestIssueTick(cmd, rank, bank_idx, row);
     panic_if(now < earliest,
              "%s issued at tick %llu, legal only from %llu",
-             toString(cmd).c_str(), static_cast<unsigned long long>(now),
-             static_cast<unsigned long long>(earliest));
+             toString(cmd).c_str(),
+             static_cast<unsigned long long>(now.value()),
+             static_cast<unsigned long long>(earliest.value()));
 
     BankState &b = bank(rank, bank_idx);
     RankState &r = rankState[rank];

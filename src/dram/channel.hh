@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/strong_id.hh"
 #include "common/units.hh"
 #include "dram/command.hh"
 #include "dram/organization.hh"
@@ -32,12 +33,12 @@ namespace memcon::dram
 struct BankState
 {
     bool rowOpen = false;
-    std::uint64_t openRow = 0;
+    RowId openRow{};
 
-    Tick nextAct = 0;
-    Tick nextPre = 0;
-    Tick nextRead = 0;
-    Tick nextWrite = 0;
+    Tick nextAct{};
+    Tick nextPre{};
+    Tick nextRead{};
+    Tick nextWrite{};
 
     /** Cache blocks served from the open row since the last ACT. */
     std::uint64_t rowHitStreak = 0;
@@ -50,11 +51,11 @@ class Channel
 
     /** Earliest tick at which the command would satisfy all timings. */
     Tick earliestIssueTick(Command cmd, unsigned rank, unsigned bank,
-                           std::uint64_t row) const;
+                           RowId row) const;
 
     /** @return true if the command is legal at the given tick. */
     bool canIssue(Command cmd, unsigned rank, unsigned bank,
-                  std::uint64_t row, Tick now) const;
+                  RowId row, Tick now) const;
 
     /**
      * Apply a command. Panics if it violates a timing or state
@@ -65,13 +66,13 @@ class Channel
      * usable again (e.g. now + tRFC for Ref).
      */
     Tick issue(Command cmd, unsigned rank, unsigned bank,
-               std::uint64_t row, Tick now);
+               RowId row, Tick now);
 
     /** @return true if the bank has a row open. */
     bool isRowOpen(unsigned rank, unsigned bank) const;
 
     /** @return the open row (valid only when isRowOpen). */
-    std::uint64_t openRow(unsigned rank, unsigned bank) const;
+    RowId openRow(unsigned rank, unsigned bank) const;
 
     /** @return true if every bank in the rank is precharged. */
     bool allBanksPrecharged(unsigned rank) const;
@@ -86,8 +87,8 @@ class Channel
   private:
     struct RankState
     {
-        Tick nextAct = 0;          //!< tRRD horizon
-        Tick nextRefOk = 0;        //!< end of tRFC
+        Tick nextAct{};            //!< tRRD horizon
+        Tick nextRefOk{};          //!< end of tRFC
         std::deque<Tick> actTimes; //!< last ACTs for the tFAW window
     };
 
@@ -102,8 +103,8 @@ class Channel
     std::vector<BankState> bankState; // [rank * banks + bank]
 
     // Channel-global data-bus and command-turnaround horizons.
-    Tick nextReadGlobal = 0;
-    Tick nextWriteGlobal = 0;
+    Tick nextReadGlobal{};
+    Tick nextWriteGlobal{};
 
     StatGroup statGroup{"channel"};
 };

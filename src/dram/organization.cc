@@ -72,24 +72,24 @@ Geometry::decompose(std::uint64_t byte_addr) const
         c.column = static_cast<unsigned>(sliceLow(addr, co_bits));
         c.rank = static_cast<unsigned>(sliceLow(addr, ra_bits));
         c.bank = static_cast<unsigned>(sliceLow(addr, ba_bits));
-        c.row = addr;
+        c.row = RowId{addr};
         break;
       case AddressMapping::RoRaBaCoCh:
         c.channel = static_cast<unsigned>(sliceLow(addr, ch_bits));
         c.column = static_cast<unsigned>(sliceLow(addr, co_bits));
         c.bank = static_cast<unsigned>(sliceLow(addr, ba_bits));
         c.rank = static_cast<unsigned>(sliceLow(addr, ra_bits));
-        c.row = addr;
+        c.row = RowId{addr};
         break;
       case AddressMapping::RoCoBaRaCh:
         c.channel = static_cast<unsigned>(sliceLow(addr, ch_bits));
         c.rank = static_cast<unsigned>(sliceLow(addr, ra_bits));
         c.bank = static_cast<unsigned>(sliceLow(addr, ba_bits));
         c.column = static_cast<unsigned>(sliceLow(addr, co_bits));
-        c.row = addr;
+        c.row = RowId{addr};
         break;
     }
-    panic_if(c.row >= rowsPerBank,
+    panic_if(c.row.value() >= rowsPerBank,
              "address 0x%llx decodes past the last row",
              static_cast<unsigned long long>(byte_addr));
     return c;
@@ -103,7 +103,7 @@ Geometry::compose(const Coordinates &coords) const
     unsigned ba_bits = log2Exact(banks, "banks");
     unsigned co_bits = log2Exact(columnsPerRow, "columnsPerRow");
 
-    std::uint64_t addr = coords.row;
+    std::uint64_t addr = coords.row.value();
     auto push = [&addr](std::uint64_t field, unsigned bits) {
         addr = (addr << bits) | field;
     };
@@ -131,28 +131,30 @@ Geometry::compose(const Coordinates &coords) const
     return addr << log2Exact(blockBytes, "blockBytes");
 }
 
-std::uint64_t
+RowId
 Geometry::flatRowIndex(const Coordinates &coords) const
 {
     std::uint64_t idx = coords.channel;
     idx = idx * ranks + coords.rank;
     idx = idx * banks + coords.bank;
-    idx = idx * rowsPerBank + coords.row;
-    return idx;
+    idx = idx * rowsPerBank + coords.row.value();
+    return RowId{idx};
 }
 
 Coordinates
-Geometry::rowFromFlatIndex(std::uint64_t row_index) const
+Geometry::rowFromFlatIndex(RowId row_index) const
 {
-    panic_if(row_index >= totalRows(), "flat row index out of range");
+    panic_if(row_index.value() >= totalRows(),
+             "flat row index out of range");
+    std::uint64_t idx = row_index.value();
     Coordinates c;
-    c.row = row_index % rowsPerBank;
-    row_index /= rowsPerBank;
-    c.bank = static_cast<unsigned>(row_index % banks);
-    row_index /= banks;
-    c.rank = static_cast<unsigned>(row_index % ranks);
-    row_index /= ranks;
-    c.channel = static_cast<unsigned>(row_index);
+    c.row = RowId{idx % rowsPerBank};
+    idx /= rowsPerBank;
+    c.bank = static_cast<unsigned>(idx % banks);
+    idx /= banks;
+    c.rank = static_cast<unsigned>(idx % ranks);
+    idx /= ranks;
+    c.channel = static_cast<unsigned>(idx);
     return c;
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/strong_id.hh"
 #include "common/units.hh"
 #include "dram/timing.hh"
 
@@ -28,7 +29,7 @@ struct Coordinates
     unsigned channel = 0;
     unsigned rank = 0;
     unsigned bank = 0;
-    std::uint64_t row = 0;
+    RowId row{}; //!< per-bank row coordinate
     unsigned column = 0;
 
     bool operator==(const Coordinates &) const = default;
@@ -92,10 +93,10 @@ struct Geometry
      * A dense index over all rows in the module, used to key per-row
      * refresh state and failure records.
      */
-    std::uint64_t flatRowIndex(const Coordinates &coords) const;
+    RowId flatRowIndex(const Coordinates &coords) const;
 
     /** Inverse of flatRowIndex (column/channel fields are zero). */
-    Coordinates rowFromFlatIndex(std::uint64_t row_index) const;
+    Coordinates rowFromFlatIndex(RowId row_index) const;
 
     /**
      * The paper's 8 GB DDR3 DIMM (Table 2): 1 channel, 1 rank,

@@ -29,19 +29,20 @@ FaultInjector::attachContent(const FailureModel *model,
 }
 
 FaultInjector::RowFaults &
-FaultInjector::rowState(std::uint64_t row) const
+FaultInjector::rowState(RowId row) const
 {
-    panic_if(row >= rows, "row %llu out of range (%llu rows)",
-             static_cast<unsigned long long>(row),
+    panic_if(row.value() >= rows, "row %llu out of range (%llu rows)",
+             static_cast<unsigned long long>(row.value()),
              static_cast<unsigned long long>(rows));
     auto [it, inserted] = transients.try_emplace(row);
     if (inserted)
-        it->second.rng.seed(hashMix64(cfg.seed ^ (row * 0x9e3779b97f4a7c15ULL)));
+        it->second.rng.seed(
+            hashMix64(cfg.seed ^ (row.value() * 0x9e3779b97f4a7c15ULL)));
     return it->second;
 }
 
 void
-FaultInjector::advance(RowFaults &state, std::uint64_t row,
+FaultInjector::advance(RowFaults &state, RowId row,
                        TimeMs now_ms) const
 {
     (void)row;
@@ -50,7 +51,7 @@ FaultInjector::advance(RowFaults &state, std::uint64_t row,
     double mean_ms = 1.0 / cfg.transientPerRowPerMs;
     if (!state.started) {
         state.started = true;
-        state.nextArrival = state.rng.exponential(mean_ms);
+        state.nextArrival = TimeMs{state.rng.exponential(mean_ms)};
     }
     while (state.nextArrival <= now_ms) {
         if (budgetSpent < cfg.faultBudget) {
@@ -65,12 +66,12 @@ FaultInjector::advance(RowFaults &state, std::uint64_t row,
         } else {
             statGroup.inc("budgetDropped");
         }
-        state.nextArrival += state.rng.exponential(mean_ms);
+        state.nextArrival += TimeMs{state.rng.exponential(mean_ms)};
     }
 }
 
 bool
-FaultInjector::retentionFails(std::uint64_t row, TimeMs now_ms,
+FaultInjector::retentionFails(RowId row, TimeMs now_ms,
                               bool &uncorrectable) const
 {
     uncorrectable = false;
@@ -100,7 +101,7 @@ FaultInjector::retentionFails(std::uint64_t row, TimeMs now_ms,
 }
 
 dram::EccStatus
-FaultInjector::onRead(std::uint64_t row, Tick now, bool lo_ref)
+FaultInjector::onRead(RowId row, Tick now, bool lo_ref)
 {
     RowFaults &state = rowState(row);
     TimeMs now_ms = ticksToMs(now);
@@ -126,7 +127,7 @@ FaultInjector::onRead(std::uint64_t row, Tick now, bool lo_ref)
 }
 
 void
-FaultInjector::onRowRestored(std::uint64_t row, Tick now)
+FaultInjector::onRowRestored(RowId row, Tick now)
 {
     RowFaults &state = rowState(row);
     advance(state, row, ticksToMs(now));
@@ -137,7 +138,7 @@ FaultInjector::onRowRestored(std::uint64_t row, Tick now)
 }
 
 bool
-FaultInjector::hasLatentFault(std::uint64_t row, Tick now,
+FaultInjector::hasLatentFault(RowId row, Tick now,
                               bool lo_ref) const
 {
     RowFaults &state = rowState(row);

@@ -35,6 +35,7 @@
 #include <unordered_map>
 
 #include "common/random.hh"
+#include "common/strong_id.hh"
 #include "common/stats.hh"
 #include "common/units.hh"
 #include "dram/ecc.hh"
@@ -96,20 +97,20 @@ class FaultInjector
      * faults (the machine-check path remaps the page); corrected
      * faults persist until the row is restored.
      */
-    dram::EccStatus onRead(std::uint64_t row, Tick now, bool lo_ref);
+    dram::EccStatus onRead(RowId row, Tick now, bool lo_ref);
 
     /**
      * The row's content was rewritten or re-certified (demand write,
      * passed test): pending transient corruption is repaired.
      */
-    void onRowRestored(std::uint64_t row, Tick now);
+    void onRowRestored(RowId row, Tick now);
 
     /**
      * Does the row hold corruption no read has surfaced yet? This is
      * the undetected-corruption predicate the resilience ablation
      * scores LO-REF rows against.
      */
-    bool hasLatentFault(std::uint64_t row, Tick now, bool lo_ref) const;
+    bool hasLatentFault(RowId row, Tick now, bool lo_ref) const;
 
     /** Transient upsets injected so far (budget consumption). */
     std::uint64_t injectedFaults() const { return budgetSpent; }
@@ -121,17 +122,17 @@ class FaultInjector
     struct RowFaults
     {
         Rng rng{1};
-        TimeMs nextArrival = 0.0;
+        TimeMs nextArrival{};
         bool started = false;
         unsigned pendingSingle = 0;
         unsigned pendingDouble = 0;
     };
 
     /** Generate the row's transient arrivals up to `now_ms`. */
-    void advance(RowFaults &state, std::uint64_t row,
+    void advance(RowFaults &state, RowId row,
                  TimeMs now_ms) const;
-    RowFaults &rowState(std::uint64_t row) const;
-    bool retentionFails(std::uint64_t row, TimeMs now_ms,
+    RowFaults &rowState(RowId row) const;
+    bool retentionFails(RowId row, TimeMs now_ms,
                         bool &uncorrectable) const;
 
     FaultInjectorConfig cfg;
@@ -140,7 +141,7 @@ class FaultInjector
     const FailureModel *contentModel = nullptr;
     const ContentProvider *installedContent = nullptr;
 
-    mutable std::unordered_map<std::uint64_t, RowFaults> transients;
+    mutable std::unordered_map<RowId, RowFaults> transients;
     mutable std::uint64_t budgetSpent = 0;
     mutable StatGroup statGroup{"inject"};
 };

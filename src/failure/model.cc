@@ -43,15 +43,15 @@ FailureModel::FailureModel(const FailureModelParams &params,
 }
 
 const FailureModel::RowPopulation &
-FailureModel::population(std::uint64_t physical_row) const
+FailureModel::population(RowId physical_row) const
 {
-    panic_if(physical_row >= rows, "physical row out of range");
+    panic_if(physical_row.value() >= rows, "physical row out of range");
     auto it = cache.find(physical_row);
     if (it != cache.end())
         return it->second;
 
     Rng rng(hashMix64(modelParams.seed * 0x9e3779b97f4a7c15ULL ^
-                      (physical_row + 0x1234)));
+                      (physical_row.value() + 0x1234)));
     RowPopulation pop;
 
     std::uint64_t total_cols = remapper_.totalColumns();
@@ -87,21 +87,23 @@ FailureModel::population(std::uint64_t physical_row) const
 }
 
 const std::vector<VulnerableCell> &
-FailureModel::cellsOfRow(std::uint64_t physical_row) const
+FailureModel::cellsOfRow(RowId physical_row) const
 {
     return population(physical_row).vulnerable;
 }
 
 const std::vector<WeakCell> &
-FailureModel::weakCellsOfRow(std::uint64_t physical_row) const
+FailureModel::weakCellsOfRow(RowId physical_row) const
 {
     return population(physical_row).weak;
 }
 
 bool
-FailureModel::rowPolarity(std::uint64_t physical_row) const
+FailureModel::rowPolarity(RowId physical_row) const
 {
-    return hashMix64(modelParams.seed ^ (physical_row * 0x6b43a9b5)) & 1;
+    return hashMix64(modelParams.seed ^
+                     (physical_row.value() * 0x6b43a9b5)) &
+           1;
 }
 
 double
@@ -113,7 +115,7 @@ FailureModel::leakScale(double interval_ms) const
 }
 
 bool
-FailureModel::chargedAt(std::uint64_t physical_row,
+FailureModel::chargedAt(RowId physical_row,
                         std::uint64_t storage_col,
                         const ContentProvider &content) const
 {
@@ -122,13 +124,13 @@ FailureModel::chargedAt(std::uint64_t physical_row,
         return false; // unused spare or fused-off column: not driven
 
     std::uint64_t logical_col = scrambler_.logicalColumn(addressed);
-    std::uint64_t logical_row = scrambler_.logicalRow(physical_row);
+    std::uint64_t logical_row = scrambler_.logicalRow(physical_row.value());
     bool bit = content.bit(logical_row, logical_col);
     return bit == rowPolarity(physical_row);
 }
 
 std::vector<CellFailure>
-FailureModel::evaluatePhysicalRow(std::uint64_t physical_row,
+FailureModel::evaluatePhysicalRow(RowId physical_row,
                                   const ContentProvider &content,
                                   double interval_ms) const
 {
@@ -161,7 +163,7 @@ FailureModel::evaluatePhysicalRow(std::uint64_t physical_row,
 }
 
 bool
-FailureModel::physicalRowFails(std::uint64_t physical_row,
+FailureModel::physicalRowFails(RowId physical_row,
                                const ContentProvider &content,
                                double interval_ms) const
 {
@@ -169,16 +171,16 @@ FailureModel::physicalRowFails(std::uint64_t physical_row,
 }
 
 bool
-FailureModel::logicalRowFails(std::uint64_t logical_row,
+FailureModel::logicalRowFails(RowId logical_row,
                               const ContentProvider &content,
                               double interval_ms) const
 {
-    return physicalRowFails(scrambler_.physicalRow(logical_row), content,
-                            interval_ms);
+    return physicalRowFails(RowId{scrambler_.physicalRow(logical_row.value())},
+                            content, interval_ms);
 }
 
 bool
-FailureModel::physicalRowCanFail(std::uint64_t physical_row,
+FailureModel::physicalRowCanFail(RowId physical_row,
                                  double interval_ms) const
 {
     const RowPopulation &pop = population(physical_row);
@@ -207,7 +209,7 @@ FailureModel::failingRowFraction(const ContentProvider &content,
     panic_if(limit > rows, "row limit exceeds module size");
     std::uint64_t failing = 0;
     for (std::uint64_t r = 0; r < limit; ++r)
-        if (physicalRowFails(r, content, interval_ms))
+        if (physicalRowFails(RowId{r}, content, interval_ms))
             ++failing;
     return static_cast<double>(failing) / static_cast<double>(limit);
 }
@@ -220,7 +222,7 @@ FailureModel::worstCaseRowFraction(double interval_ms,
     panic_if(limit > rows, "row limit exceeds module size");
     std::uint64_t failing = 0;
     for (std::uint64_t r = 0; r < limit; ++r)
-        if (physicalRowCanFail(r, interval_ms))
+        if (physicalRowCanFail(RowId{r}, interval_ms))
             ++failing;
     return static_cast<double>(failing) / static_cast<double>(limit);
 }

@@ -51,6 +51,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/strong_id.hh"
+
 #include "failure/content.hh"
 #include "failure/remap.hh"
 #include "failure/scrambler.hh"
@@ -77,7 +79,7 @@ struct WeakCell
 /** One observed failure: where, and why. */
 struct CellFailure
 {
-    std::uint64_t physicalRow;
+    RowId physicalRow;
     std::uint64_t column;
     bool dataDependent; //!< false for retention-weak failures
 };
@@ -141,31 +143,31 @@ class FailureModel
 
     /** Deterministic vulnerable-cell population of a physical row. */
     const std::vector<VulnerableCell> &
-    cellsOfRow(std::uint64_t physical_row) const;
+    cellsOfRow(RowId physical_row) const;
 
     /** Deterministic weak-cell population of a physical row. */
     const std::vector<WeakCell> &
-    weakCellsOfRow(std::uint64_t physical_row) const;
+    weakCellsOfRow(RowId physical_row) const;
 
     /** True/anti polarity of a physical row (true = charged on 1). */
-    bool rowPolarity(std::uint64_t physical_row) const;
+    bool rowPolarity(RowId physical_row) const;
 
     /**
      * Failures in one physical row with the given logical content
      * installed, after the row idles for interval_ms.
      */
     std::vector<CellFailure>
-    evaluatePhysicalRow(std::uint64_t physical_row,
+    evaluatePhysicalRow(RowId physical_row,
                         const ContentProvider &content,
                         double interval_ms) const;
 
     /** @return true if the row has any failure under the content. */
-    bool physicalRowFails(std::uint64_t physical_row,
+    bool physicalRowFails(RowId physical_row,
                           const ContentProvider &content,
                           double interval_ms) const;
 
     /** Logical-row variant (applies the row scrambler first). */
-    bool logicalRowFails(std::uint64_t logical_row,
+    bool logicalRowFails(RowId logical_row,
                          const ContentProvider &content,
                          double interval_ms) const;
 
@@ -174,7 +176,7 @@ class FailureModel
      * interval? This is what exhaustive manufacturer testing with
      * physical-layout knowledge establishes ("ALL FAIL").
      */
-    bool physicalRowCanFail(std::uint64_t physical_row,
+    bool physicalRowCanFail(RowId physical_row,
                             double interval_ms) const;
 
     /**
@@ -193,7 +195,7 @@ class FailureModel
      * Unused spare columns and fused-off faulty columns are never
      * charged.
      */
-    bool chargedAt(std::uint64_t physical_row, std::uint64_t storage_col,
+    bool chargedAt(RowId physical_row, std::uint64_t storage_col,
                    const ContentProvider &content) const;
 
   private:
@@ -203,7 +205,7 @@ class FailureModel
         std::vector<WeakCell> weak;
     };
 
-    const RowPopulation &population(std::uint64_t physical_row) const;
+    const RowPopulation &population(RowId physical_row) const;
     double leakScale(double interval_ms) const;
 
     FailureModelParams modelParams;
@@ -212,7 +214,7 @@ class FailureModel
     AddressScrambler scrambler_;
     ColumnRemapper remapper_;
 
-    mutable std::unordered_map<std::uint64_t, RowPopulation> cache;
+    mutable std::unordered_map<RowId, RowPopulation> cache;
 };
 
 } // namespace memcon::failure

@@ -39,7 +39,8 @@ DramTester::testWithContent(const ContentProvider &content,
     TestResult result;
     result.rowsTested = limit;
     for (std::uint64_t r = 0; r < limit; ++r) {
-        auto fails = model.evaluatePhysicalRow(r, content, interval_ms);
+        auto fails =
+            model.evaluatePhysicalRow(RowId{r}, content, interval_ms);
         if (!fails.empty()) {
             ++result.rowsFailing;
             result.failures.insert(result.failures.end(), fails.begin(),
@@ -58,12 +59,12 @@ DramTester::testWithPatternBattery(
     TestResult result;
     result.rowsTested = limit;
 
-    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    std::set<std::pair<RowId, std::uint64_t>> seen;
     std::vector<bool> row_failed(limit, false);
     for (const PatternContent &pattern : battery) {
         for (std::uint64_t r = 0; r < limit; ++r) {
             auto fails =
-                model.evaluatePhysicalRow(r, pattern, interval_ms);
+                model.evaluatePhysicalRow(RowId{r}, pattern, interval_ms);
             for (const CellFailure &f : fails) {
                 if (seen.insert({f.physicalRow, f.column}).second)
                     result.failures.push_back(f);
@@ -85,25 +86,26 @@ DramTester::exhaustivePhysicalTest(double interval_ms,
     TestResult result;
     result.rowsTested = limit;
     for (std::uint64_t r = 0; r < limit; ++r) {
-        if (model.physicalRowCanFail(r, interval_ms))
+        if (model.physicalRowCanFail(RowId{r}, interval_ms))
             ++result.rowsFailing;
     }
     return result;
 }
 
-std::vector<std::set<std::pair<std::uint64_t, std::uint64_t>>>
+std::vector<std::set<std::pair<RowId, std::uint64_t>>>
 DramTester::perPatternFailingCells(
     const std::vector<PatternContent> &battery, double interval_ms,
     std::uint64_t row_limit) const
 {
     std::uint64_t limit = rowLimitOrAll(row_limit);
-    std::vector<std::set<std::pair<std::uint64_t, std::uint64_t>>> out;
+    std::vector<std::set<std::pair<RowId, std::uint64_t>>> out;
     out.reserve(battery.size());
     for (const PatternContent &pattern : battery) {
-        std::set<std::pair<std::uint64_t, std::uint64_t>> cells;
+        std::set<std::pair<RowId, std::uint64_t>> cells;
         for (std::uint64_t r = 0; r < limit; ++r) {
             for (const CellFailure &f :
-                 model.evaluatePhysicalRow(r, pattern, interval_ms)) {
+                 model.evaluatePhysicalRow(RowId{r}, pattern,
+                                           interval_ms)) {
                 cells.insert({f.physicalRow, f.column});
             }
         }

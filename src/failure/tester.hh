@@ -93,7 +93,7 @@ class DramTester
      * element i is the set of (row, column) cells that fail under
      * battery[i].
      */
-    std::vector<std::set<std::pair<std::uint64_t, std::uint64_t>>>
+    std::vector<std::set<std::pair<RowId, std::uint64_t>>>
     perPatternFailingCells(const std::vector<PatternContent> &battery,
                            double interval_ms,
                            std::uint64_t row_limit = 0) const;

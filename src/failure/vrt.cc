@@ -18,15 +18,15 @@ VrtPopulation::VrtPopulation(const VrtParams &params,
 }
 
 const std::vector<VrtCell> &
-VrtPopulation::cellsOfRow(std::uint64_t row) const
+VrtPopulation::cellsOfRow(RowId row) const
 {
-    panic_if(row >= rows, "row out of range");
+    panic_if(row.value() >= rows, "row out of range");
     auto it = cache.find(row);
     if (it != cache.end())
         return it->second;
 
     Rng rng(hashMix64(vrtParams.seed * 0x9e3779b97f4a7c15ULL ^
-                      (row + 0x7777)));
+                      (row.value() + 0x7777)));
     std::vector<VrtCell> cells;
     std::uint64_t n = rng.poisson(vrtParams.vrtCellsPerRow);
     cells.reserve(n);
@@ -41,7 +41,7 @@ VrtPopulation::cellsOfRow(std::uint64_t row) const
 bool
 VrtPopulation::isLeakyAt(const VrtCell &cell, TimeMs time_ms) const
 {
-    panic_if(time_ms < 0.0, "time must be non-negative");
+    panic_if(time_ms < TimeMs{0.0}, "time must be non-negative");
     // Replay the telegraph process from t = 0 (healthy).
     Rng rng(cell.processSeed);
     double t = 0.0;
@@ -49,7 +49,7 @@ VrtPopulation::isLeakyAt(const VrtCell &cell, TimeMs time_ms) const
     while (true) {
         double dwell = rng.exponential(
             leaky ? vrtParams.dwellLowMs : vrtParams.dwellHighMs);
-        if (t + dwell > time_ms)
+        if (t + dwell > time_ms.value())
             return leaky;
         t += dwell;
         leaky = !leaky;
@@ -57,7 +57,7 @@ VrtPopulation::isLeakyAt(const VrtCell &cell, TimeMs time_ms) const
 }
 
 bool
-VrtPopulation::rowFailsAt(std::uint64_t row, double interval_ms,
+VrtPopulation::rowFailsAt(RowId row, double interval_ms,
                           TimeMs time_ms) const
 {
     if (interval_ms < vrtParams.leakyFailIntervalMs)
@@ -77,7 +77,7 @@ VrtPopulation::failingRowFraction(double interval_ms, TimeMs time_ms,
     panic_if(limit > rows, "row limit exceeds population");
     std::uint64_t failing = 0;
     for (std::uint64_t r = 0; r < limit; ++r)
-        failing += rowFailsAt(r, interval_ms, time_ms);
+        failing += rowFailsAt(RowId{r}, interval_ms, time_ms);
     return static_cast<double>(failing) / static_cast<double>(limit);
 }
 

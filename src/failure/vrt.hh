@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/strong_id.hh"
 #include "common/units.hh"
 
 namespace memcon::failure
@@ -65,7 +66,7 @@ class VrtPopulation
     std::uint64_t numRows() const { return rows; }
 
     /** Deterministic VRT cells of a row. */
-    const std::vector<VrtCell> &cellsOfRow(std::uint64_t row) const;
+    const std::vector<VrtCell> &cellsOfRow(RowId row) const;
 
     /**
      * @return true if the cell is in its leaky state at the given
@@ -79,7 +80,7 @@ class VrtPopulation
      * interval at the given instant (any VRT cell leaky and the
      * interval beyond its leaky threshold).
      */
-    bool rowFailsAt(std::uint64_t row, double interval_ms,
+    bool rowFailsAt(RowId row, double interval_ms,
                     TimeMs time_ms) const;
 
     /**
@@ -92,7 +93,7 @@ class VrtPopulation
   private:
     VrtParams vrtParams;
     std::uint64_t rows;
-    mutable std::unordered_map<std::uint64_t, std::vector<VrtCell>>
+    mutable std::unordered_map<RowId, std::vector<VrtCell>>
         cache;
 };
 

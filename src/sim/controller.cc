@@ -20,8 +20,8 @@ MemoryController::MemoryController(const dram::Geometry &geometry,
              "write drain high watermark above queue capacity");
 
     double stretch = 1.0 / (1.0 - cfg.refreshReduction);
-    effectiveTrefi = static_cast<Tick>(
-        static_cast<double>(params.cyc(params.tREFI)) * stretch);
+    effectiveTrefi = Tick{static_cast<std::uint64_t>(
+        static_cast<double>(params.cyc(params.tREFI).value()) * stretch)};
     nextRefresh.assign(geom.ranks, effectiveTrefi);
 }
 
@@ -32,8 +32,8 @@ MemoryController::setRefreshReduction(double reduction)
              "refresh reduction must lie in [0, 1)");
     cfg.refreshReduction = reduction;
     double stretch = 1.0 / (1.0 - reduction);
-    effectiveTrefi = static_cast<Tick>(
-        static_cast<double>(params.cyc(params.tREFI)) * stretch);
+    effectiveTrefi = Tick{static_cast<std::uint64_t>(
+        static_cast<double>(params.cyc(params.tREFI).value()) * stretch)};
 }
 
 bool
@@ -77,8 +77,8 @@ MemoryController::completeFinishedReads(Tick now)
             inflight[i] = std::move(inflight.back());
             inflight.pop_back();
             statGroup.accum("readLatencyTicks",
-                            static_cast<double>(done.dataDone -
-                                                done.req.arrival));
+                            static_cast<double>(
+                                (done.dataDone - done.req.arrival).value()));
             statGroup.inc("completed.read");
             if (!done.req.isTest && cfg.eccProbe) {
                 dram::EccStatus st = cfg.eccProbe(done.req.addr, now);
@@ -117,15 +117,15 @@ MemoryController::handleRefresh(Tick now)
         if (!chan.allBanksPrecharged(rank)) {
             for (unsigned b = 0; b < geom.banks; ++b) {
                 if (chan.isRowOpen(rank, b) &&
-                    chan.canIssue(dram::Command::Pre, rank, b, 0, now)) {
-                    chan.issue(dram::Command::Pre, rank, b, 0, now);
+                    chan.canIssue(dram::Command::Pre, rank, b, RowId{}, now)) {
+                    chan.issue(dram::Command::Pre, rank, b, RowId{}, now);
                     return; // one command per tick
                 }
             }
             return; // waiting for a PRE to become legal
         }
-        if (chan.canIssue(dram::Command::Ref, rank, 0, 0, now)) {
-            chan.issue(dram::Command::Ref, rank, 0, 0, now);
+        if (chan.canIssue(dram::Command::Ref, rank, 0, RowId{}, now)) {
+            chan.issue(dram::Command::Ref, rank, 0, RowId{}, now);
             statGroup.inc("refresh");
             nextRefresh[rank] += effectiveTrefi;
             return;
@@ -203,8 +203,8 @@ MemoryController::serviceQueue(std::deque<Request> &queue, Tick now)
             return true;
         }
         // Row conflict: close the current row.
-        if (chan.canIssue(dram::Command::Pre, c.rank, c.bank, 0, now)) {
-            chan.issue(dram::Command::Pre, c.rank, c.bank, 0, now);
+        if (chan.canIssue(dram::Command::Pre, c.rank, c.bank, RowId{}, now)) {
+            chan.issue(dram::Command::Pre, c.rank, c.bank, RowId{}, now);
             statGroup.inc("rowConflict");
             return true;
         }

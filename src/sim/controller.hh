@@ -53,7 +53,7 @@ struct ControllerConfig
      * before younger row hits. Pure FR-FCFS can starve a row-miss
      * request indefinitely behind streaming row-hit traffic.
      */
-    Tick starvationThreshold = 2 * tickPerUs;
+    Tick starvationThreshold = Tick{2 * tickPerUs};
 
     /**
      * Test-traffic admission limit: test requests are only accepted

@@ -26,7 +26,7 @@ struct Request
     Type type = Type::Read;
     std::uint64_t addr = 0; //!< block-aligned byte address
     dram::Coordinates coords;
-    Tick arrival = 0;
+    Tick arrival{};
     int coreId = -1;   //!< -1 for controller-generated traffic
     bool isTest = false; //!< MEMCON test traffic (lowest priority)
 

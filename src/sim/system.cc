@@ -24,7 +24,7 @@ TestTrafficSource::startTest()
 {
     // Pick a random row; stream it block-aligned.
     std::uint64_t row_index = rng.uniformInt(geom.totalRows());
-    dram::Coordinates c = geom.rowFromFlatIndex(row_index);
+    dram::Coordinates c = geom.rowFromFlatIndex(RowId{row_index});
     c.column = 0;
     currentRowBase = geom.compose(c);
     // Two full read passes (before/after the idle period) plus, in
@@ -125,7 +125,7 @@ System::run(InstCount insts_per_core, Tick max_ticks)
     std::vector<bool> finished(cfg.cores, false);
     unsigned finished_count = 0;
 
-    Tick now = 0;
+    Tick now{};
     std::uint64_t dram_cycle = 0;
     while (finished_count < cfg.cores && now < max_ticks) {
         now += timing.tCk;

@@ -61,7 +61,7 @@ class TestTrafficSource
     MemoryController &mc;
     bool copyMode;
     Tick interTestGap; //!< ticks between test starts
-    Tick nextTestAt = 0;
+    Tick nextTestAt{};
     std::uint64_t started = 0;
 
     // Remaining accesses of the in-progress test.
@@ -101,7 +101,7 @@ struct RunResult
 {
     std::vector<double> ipc;        //!< per core, at its finish point
     std::vector<InstCount> retired; //!< per core, total at run end
-    Tick totalTicks = 0;
+    Tick totalTicks{};
     std::uint64_t refreshCount = 0;
     std::uint64_t testsStarted = 0;
 
@@ -120,7 +120,7 @@ class System
      * instructions (hard-capped at max_ticks as a safety net).
      */
     RunResult run(InstCount insts_per_core,
-                  Tick max_ticks = 400ULL * 1000 * 1000 * 1000);
+                  Tick max_ticks = Tick{400ULL * 1000 * 1000 * 1000});
 
     MemoryController &controller() { return *mc; }
 

@@ -17,10 +17,10 @@ WriteIntervalAnalyzer::WriteIntervalAnalyzer() : hist(26)
 void
 WriteIntervalAnalyzer::addInterval(TimeMs interval_ms)
 {
-    panic_if(interval_ms < 0.0, "negative write interval");
-    intervals.push_back(interval_ms);
-    totalTime += interval_ms;
-    hist.add(interval_ms, interval_ms);
+    panic_if(interval_ms < TimeMs{0.0}, "negative write interval");
+    intervals.push_back(interval_ms.value());
+    totalTime += interval_ms.value();
+    hist.add(interval_ms.value(), interval_ms.value());
     sorted = false;
 }
 
@@ -51,7 +51,8 @@ WriteIntervalAnalyzer::fractionWritesBelow(TimeMs ms) const
     if (intervals.empty())
         return 0.0;
     finalize();
-    auto it = std::lower_bound(intervals.begin(), intervals.end(), ms);
+    auto it = std::lower_bound(intervals.begin(), intervals.end(),
+                               ms.value());
     return static_cast<double>(it - intervals.begin()) /
            static_cast<double>(intervals.size());
 }
@@ -70,7 +71,8 @@ WriteIntervalAnalyzer::timeFractionAtLeast(TimeMs ms) const
     if (intervals.empty() || totalTime <= 0.0)
         return 0.0;
     finalize();
-    auto it = std::lower_bound(intervals.begin(), intervals.end(), ms);
+    auto it = std::lower_bound(intervals.begin(), intervals.end(),
+                               ms.value());
     std::size_t idx = static_cast<std::size_t>(it - intervals.begin());
     return suffixSum[idx] / totalTime;
 }
@@ -79,8 +81,8 @@ std::vector<std::pair<double, double>>
 WriteIntervalAnalyzer::survivalCurve(TimeMs max_x_ms) const
 {
     std::vector<std::pair<double, double>> points;
-    for (double x = 1.0; x <= max_x_ms; x *= 2.0)
-        points.emplace_back(x, fractionWritesAtLeast(x));
+    for (double x = 1.0; x <= max_x_ms.value(); x *= 2.0)
+        points.emplace_back(x, fractionWritesAtLeast(TimeMs{x}));
     return points;
 }
 
@@ -89,7 +91,7 @@ WriteIntervalAnalyzer::paretoFit(TimeMs min_x_ms, TimeMs max_x_ms) const
 {
     std::vector<double> xs, survival;
     for (auto [x, p] : survivalCurve(max_x_ms)) {
-        if (x >= min_x_ms && p > 0.0) {
+        if (x >= min_x_ms.value() && p > 0.0) {
             xs.push_back(x);
             survival.push_back(p);
         }
@@ -112,13 +114,13 @@ WriteIntervalAnalyzer::coverageAtCil(TimeMs cil, TimeMs ril) const
     if (intervals.empty() || totalTime <= 0.0)
         return 0.0;
     finalize();
-    double threshold = cil + ril;
+    double threshold = (cil + ril).value();
     auto it =
         std::lower_bound(intervals.begin(), intervals.end(), threshold);
     std::size_t idx = static_cast<std::size_t>(it - intervals.begin());
     std::size_t n_long = intervals.size() - idx;
     double exploitable =
-        suffixSum[idx] - cil * static_cast<double>(n_long);
+        suffixSum[idx] - cil.value() * static_cast<double>(n_long);
     return exploitable / totalTime;
 }
 
@@ -137,9 +139,9 @@ analyzeAppScaled(const AppPersona &persona, double interval_scale)
         PageWriteProcess process(persona, page);
         std::vector<TimeMs> times = process.writeTimes();
         if (interval_scale != 1.0) {
-            double prev_original = times.empty() ? 0.0 : times[0];
+            TimeMs prev_original = times.empty() ? TimeMs{} : times[0];
             for (std::size_t i = 1; i < times.size(); ++i) {
-                double interval = times[i] - prev_original;
+                TimeMs interval = times[i] - prev_original;
                 prev_original = times[i];
                 times[i] = times[i - 1] + interval * interval_scale;
             }

@@ -61,11 +61,11 @@ class WriteIntervalAnalyzer
      * 1 ms up to max_x_ms (Figure 8 input).
      */
     std::vector<std::pair<double, double>>
-    survivalCurve(TimeMs max_x_ms = 32768.0) const;
+    survivalCurve(TimeMs max_x_ms = TimeMs{32768.0}) const;
 
     /** Log-log least-squares fit of the survival curve (Figure 8). */
-    LineFit paretoFit(TimeMs min_x_ms = 1.0,
-                      TimeMs max_x_ms = 32768.0) const;
+    LineFit paretoFit(TimeMs min_x_ms = TimeMs{1.0},
+                      TimeMs max_x_ms = TimeMs{32768.0}) const;
 
     /**
      * P(remaining length > ril | elapsed length >= cil): of the

@@ -116,11 +116,11 @@ PageWriteProcess::truncatedParetoMs(double x_min, double alpha)
 {
     double duration_ms = persona.durationSec * 1000.0;
     if (x_min >= duration_ms)
-        return duration_ms;
+        return TimeMs{duration_ms};
     for (;;) {
         double x = rng.pareto(x_min, alpha);
         if (x <= duration_ms)
-            return x;
+            return TimeMs{x};
     }
 }
 
@@ -143,7 +143,7 @@ PageWriteProcess::nextIntervalMs()
         return truncatedParetoMs(persona.mediumXmMs, persona.mediumAlpha);
     }
     --burstRemaining;
-    return rng.exponential(persona.burstGapMeanMs);
+    return TimeMs{rng.exponential(persona.burstGapMeanMs)};
 }
 
 std::vector<TimeMs>
@@ -155,9 +155,9 @@ PageWriteProcess::writeTimes()
         return times;
     // Random phase so pages do not start synchronized; cold pages may
     // phase in anywhere in their first long gap.
-    TimeMs t = isHot() ? rng.uniform(0.0, 2000.0)
-                       : rng.uniform(0.0, persona.coldXmMs * 4.0);
-    while (t < duration_ms) {
+    TimeMs t{isHot() ? rng.uniform(0.0, 2000.0)
+                     : rng.uniform(0.0, persona.coldXmMs * 4.0)};
+    while (t < TimeMs{duration_ms}) {
         times.push_back(t);
         t += nextIntervalMs();
     }

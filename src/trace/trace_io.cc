@@ -41,8 +41,8 @@ writeWriteTrace(std::ostream &os, const WriteTrace &trace)
     os << "wtrace v1 " << trace.pageWrites.size() << ' '
        << trace.durationMs << '\n';
     for (std::size_t p = 0; p < trace.pageWrites.size(); ++p)
-        for (double t : trace.pageWrites[p])
-            os << p << ' ' << t << '\n';
+        for (TimeMs t : trace.pageWrites[p])
+            os << p << ' ' << t.value() << '\n';
 }
 
 WriteTrace
@@ -73,7 +73,7 @@ readWriteTrace(std::istream &is)
         fatal_if(page >= pages, "page %zu out of range in trace", page);
         fatal_if(t < 0.0 || t >= duration,
                  "write time %f outside [0, %f)", t, duration);
-        trace.pageWrites[page].push_back(t);
+        trace.pageWrites[page].push_back(TimeMs{t});
     }
     for (auto &writes : trace.pageWrites)
         std::sort(writes.begin(), writes.end());

@@ -42,11 +42,11 @@ TEST(Logging, QuietSuppressesOutput)
 
 TEST(Units, Conversions)
 {
-    EXPECT_EQ(nsToTicks(1.25), 1250u);
-    EXPECT_EQ(usToTicks(1.95), 1950000u);
-    EXPECT_EQ(msToTicks(64.0), 64ull * 1000 * 1000 * 1000);
-    EXPECT_DOUBLE_EQ(ticksToNs(1250), 1.25);
-    EXPECT_DOUBLE_EQ(ticksToMs(msToTicks(16.0)), 16.0);
+    EXPECT_EQ(nsToTicks(1.25), Tick{1250});
+    EXPECT_EQ(usToTicks(1.95), Tick{1950000});
+    EXPECT_EQ(msToTicks(64.0), Tick{64ull * 1000 * 1000 * 1000});
+    EXPECT_DOUBLE_EQ(ticksToNs(Tick{1250}), 1.25);
+    EXPECT_DOUBLE_EQ(ticksToMs(msToTicks(16.0)).value(), 16.0);
 }
 
 TEST(Rng, DeterministicAcrossInstances)

@@ -34,9 +34,11 @@ TEST(CostModel, AppendixLatencies)
 TEST(CostModel, MinWriteIntervalsMatchPaper)
 {
     CostModel cm; // HI 16 ms, LO 64 ms
-    EXPECT_DOUBLE_EQ(cm.minWriteIntervalMs(TestMode::ReadAndCompare),
+    EXPECT_DOUBLE_EQ(cm.minWriteIntervalMs(TestMode::ReadAndCompare)
+                         .value(),
                      560.0);
-    EXPECT_DOUBLE_EQ(cm.minWriteIntervalMs(TestMode::CopyAndCompare),
+    EXPECT_DOUBLE_EQ(cm.minWriteIntervalMs(TestMode::CopyAndCompare)
+                         .value(),
                      864.0);
 }
 
@@ -52,7 +54,8 @@ TEST_P(MinWriteIntervalByLoRef, MatchesPaper)
     CostModelConfig cfg;
     cfg.loRefMs = lo_ms;
     CostModel cm(cfg);
-    EXPECT_DOUBLE_EQ(cm.minWriteIntervalMs(TestMode::ReadAndCompare),
+    EXPECT_DOUBLE_EQ(cm.minWriteIntervalMs(TestMode::ReadAndCompare)
+                         .value(),
                      expected);
 }
 
@@ -66,18 +69,18 @@ TEST(CostModel, AccumulatedCostsCrossExactlyAtMinWriteInterval)
     CostModel cm;
     for (TestMode mode :
          {TestMode::ReadAndCompare, TestMode::CopyAndCompare}) {
-        double mwi = cm.minWriteIntervalMs(mode);
+        TimeMs mwi = cm.minWriteIntervalMs(mode);
         EXPECT_GE(cm.hiRefAccumulatedNs(mwi),
                   cm.memconAccumulatedNs(mode, mwi));
-        EXPECT_LT(cm.hiRefAccumulatedNs(mwi - 16.0),
-                  cm.memconAccumulatedNs(mode, mwi - 16.0));
+        EXPECT_LT(cm.hiRefAccumulatedNs(mwi - TimeMs{16.0}),
+                  cm.memconAccumulatedNs(mode, mwi - TimeMs{16.0}));
     }
 }
 
 TEST(CostModel, CurveIsMonotoneAndStartsWithTestCost)
 {
     CostModel cm;
-    auto curve = cm.curve(2000.0);
+    auto curve = cm.curve(TimeMs{2000.0});
     ASSERT_FALSE(curve.empty());
     for (std::size_t i = 1; i < curve.size(); ++i) {
         EXPECT_GE(curve[i].hiRefNs, curve[i - 1].hiRefNs);
@@ -94,9 +97,9 @@ TEST(CostModel, AverageCostTradeoff)
     // testing costs less.
     CostModel cm;
     double hi_avg = cm.hiRefAverageNsPerMs();
-    EXPECT_GT(cm.averageCostNsPerMs(TestMode::ReadAndCompare, 100.0),
+    EXPECT_GT(cm.averageCostNsPerMs(TestMode::ReadAndCompare, TimeMs{100.0}),
               hi_avg);
-    EXPECT_LT(cm.averageCostNsPerMs(TestMode::ReadAndCompare, 5000.0),
+    EXPECT_LT(cm.averageCostNsPerMs(TestMode::ReadAndCompare, TimeMs{5000.0}),
               hi_avg);
 }
 
@@ -121,13 +124,13 @@ TEST(CostModel, ModeNames)
 TEST(Pril, SingleWriteBecomesCandidateAfterTwoQuanta)
 {
     PrilPredictor pril(64, 16);
-    pril.onWrite(5);
+    pril.onWrite(PageId{5});
     // End of the write's quantum: page 5 moves to "previous".
     EXPECT_TRUE(pril.endQuantum().empty());
     // It stayed idle for the next quantum: now a candidate.
     auto cands = pril.endQuantum();
     ASSERT_EQ(cands.size(), 1u);
-    EXPECT_EQ(cands[0], 5u);
+    EXPECT_EQ(cands[0], PageId{5});
     // Not re-reported afterwards.
     EXPECT_TRUE(pril.endQuantum().empty());
 }
@@ -135,8 +138,8 @@ TEST(Pril, SingleWriteBecomesCandidateAfterTwoQuanta)
 TEST(Pril, SecondWriteSameQuantumDisqualifies)
 {
     PrilPredictor pril(64, 16);
-    pril.onWrite(5);
-    pril.onWrite(5); // interval < quantum (Figure 13 step 2)
+    pril.onWrite(PageId{5});
+    pril.onWrite(PageId{5}); // interval < quantum (Figure 13 step 2)
     EXPECT_TRUE(pril.endQuantum().empty());
     EXPECT_TRUE(pril.endQuantum().empty());
 }
@@ -144,33 +147,34 @@ TEST(Pril, SecondWriteSameQuantumDisqualifies)
 TEST(Pril, WriteInNextQuantumDisqualifies)
 {
     PrilPredictor pril(64, 16);
-    pril.onWrite(5);
+    pril.onWrite(PageId{5});
     EXPECT_TRUE(pril.endQuantum().empty());
-    pril.onWrite(5); // evicts from the previous buffer (step 3)
+    pril.onWrite(PageId{5}); // evicts from the previous buffer (step 3)
     EXPECT_TRUE(pril.endQuantum().empty());
     // ... but that second write itself becomes a candidate a
     // quantum later.
     auto cands = pril.endQuantum();
     ASSERT_EQ(cands.size(), 1u);
-    EXPECT_EQ(cands[0], 5u);
+    EXPECT_EQ(cands[0], PageId{5});
 }
 
 TEST(Pril, MultiplePagesSortedCandidates)
 {
     PrilPredictor pril(64, 16);
-    pril.onWrite(9);
-    pril.onWrite(3);
-    pril.onWrite(7);
+    pril.onWrite(PageId{9});
+    pril.onWrite(PageId{3});
+    pril.onWrite(PageId{7});
     pril.endQuantum();
     auto cands = pril.endQuantum();
-    EXPECT_EQ(cands, (std::vector<std::uint64_t>{3, 7, 9}));
+    EXPECT_EQ(cands,
+              (std::vector<PageId>{PageId{3}, PageId{7}, PageId{9}}));
 }
 
 TEST(Pril, BufferCapacityDropsExcessPages)
 {
     PrilPredictor pril(100, 4);
     for (std::uint64_t p = 0; p < 10; ++p)
-        pril.onWrite(p);
+        pril.onWrite(PageId{p});
     EXPECT_EQ(pril.bufferDrops(), 6u);
     pril.endQuantum();
     EXPECT_EQ(pril.endQuantum().size(), 4u);
@@ -179,24 +183,24 @@ TEST(Pril, BufferCapacityDropsExcessPages)
 TEST(Pril, DroppedPageCanReenterLater)
 {
     PrilPredictor pril(100, 1);
-    pril.onWrite(1);
-    pril.onWrite(2); // dropped (footnote 10)
+    pril.onWrite(PageId{1});
+    pril.onWrite(PageId{2}); // dropped (footnote 10)
     EXPECT_EQ(pril.bufferDrops(), 1u);
     pril.endQuantum();
     pril.endQuantum(); // page 1 reported, structures cleared
-    pril.onWrite(2);   // fresh quantum: fits now
+    pril.onWrite(PageId{2});   // fresh quantum: fits now
     pril.endQuantum();
     auto cands = pril.endQuantum();
     ASSERT_EQ(cands.size(), 1u);
-    EXPECT_EQ(cands[0], 2u);
+    EXPECT_EQ(cands[0], PageId{2});
 }
 
 TEST(Pril, TrackingQueryAndStorage)
 {
     PrilPredictor pril(1000, 50);
-    EXPECT_FALSE(pril.isTracked(3));
-    pril.onWrite(3);
-    EXPECT_TRUE(pril.isTracked(3));
+    EXPECT_FALSE(pril.isTracked(PageId{3}));
+    pril.onWrite(PageId{3});
+    EXPECT_TRUE(pril.isTracked(PageId{3}));
     // Two 1000-bit maps plus 2 * 50 entries * 5 bytes.
     EXPECT_EQ(pril.storageBytes(), 2 * 16 * 8 + 2 * 50 * 5u);
 }
@@ -213,7 +217,7 @@ TEST(Pril, PaperStorageBudget)
 TEST(Pril, OutOfRangePagePanics)
 {
     PrilPredictor pril(10, 4);
-    EXPECT_DEATH(pril.onWrite(10), "out of range");
+    EXPECT_DEATH(pril.onWrite(PageId{10}), "out of range");
 }
 
 /**
@@ -237,13 +241,13 @@ TEST_P(PrilReference, MatchesBruteForce)
         unsigned writes = rng.uniformInt(30);
         for (unsigned w = 0; w < writes; ++w) {
             std::uint64_t page = rng.uniformInt(pages);
-            pril.onWrite(page);
+            pril.onWrite(PageId{page});
             ++cur_counts[page];
         }
-        std::vector<std::uint64_t> expected;
+        std::vector<PageId> expected;
         for (const auto &[page, count] : prev_counts)
             if (count == 1 && !cur_counts.count(page))
-                expected.push_back(page);
+                expected.push_back(PageId{page});
         ASSERT_EQ(pril.endQuantum(), expected) << "quantum " << quantum;
         prev_counts = std::move(cur_counts);
         cur_counts.clear();
@@ -295,7 +299,7 @@ MemconConfig
 testConfig()
 {
     MemconConfig cfg;
-    cfg.quantumMs = 100.0;
+    cfg.quantumMs = TimeMs{100.0};
     cfg.writeBufferCapacity = 1000;
     cfg.testSlotsPer64ms = 1024;
     return cfg;
@@ -328,7 +332,7 @@ TEST(Engine, SingleIdlePageLifecycle)
     // [0,100) plus the full idle quantum [100,200), so PRIL reports
     // it at t=200 and it stays at LO-REF until the horizon.
     MemconEngine eng(testConfig());
-    std::vector<std::vector<TimeMs>> writes{{50.0}};
+    std::vector<std::vector<TimeMs>> writes{{TimeMs{50.0}}};
     MemconResult r = eng.run(writes, 1000.0);
     EXPECT_EQ(r.testsRun, 1u);
     EXPECT_EQ(r.testsPassed, 1u);
@@ -345,7 +349,8 @@ TEST(Engine, WriteDemotesToHiRef)
     MemconEngine eng(cfg);
     // Written at 50, tested at 200, written again at 650 -> HI
     // again, candidate again at 800, LO until 2000.
-    std::vector<std::vector<TimeMs>> writes{{50.0, 650.0}};
+    std::vector<std::vector<TimeMs>> writes{
+        {TimeMs{50.0}, TimeMs{650.0}}};
     std::vector<std::tuple<std::uint64_t, double, bool>> transitions;
     MemconResult r = eng.run(
         writes, 2000.0, {},
@@ -369,7 +374,8 @@ TEST(Engine, WriteDemotesToHiRef)
 TEST(Engine, FailingRowsStayAtHiRef)
 {
     MemconEngine eng(testConfig());
-    std::vector<std::vector<TimeMs>> writes{{50.0}, {50.0}};
+    std::vector<std::vector<TimeMs>> writes{{TimeMs{50.0}},
+                                            {TimeMs{50.0}}};
     // Page 0 fails with its current content; page 1 passes.
     auto oracle = [](std::uint64_t page, std::uint64_t) {
         return page == 0;
@@ -388,7 +394,8 @@ TEST(Engine, TestBudgetSkipsExcessCandidates)
     MemconConfig cfg = testConfig();
     cfg.testSlotsPer64ms = 1; // ~1.5 tests per 100 ms quantum
     MemconEngine eng(cfg);
-    std::vector<std::vector<TimeMs>> writes(10, std::vector<TimeMs>{50.0});
+    std::vector<std::vector<TimeMs>> writes(
+        10, std::vector<TimeMs>{TimeMs{50.0}});
     MemconResult r = eng.run(writes, 400.0);
     EXPECT_GT(r.testsSkippedBudget, 0u);
     EXPECT_LT(r.testsRun, 10u);
@@ -399,7 +406,8 @@ TEST(Engine, BufferDropsSurfaceInResult)
     MemconConfig cfg = testConfig();
     cfg.writeBufferCapacity = 2;
     MemconEngine eng(cfg);
-    std::vector<std::vector<TimeMs>> writes(10, std::vector<TimeMs>{50.0});
+    std::vector<std::vector<TimeMs>> writes(
+        10, std::vector<TimeMs>{TimeMs{50.0}});
     MemconResult r = eng.run(writes, 400.0);
     EXPECT_EQ(r.bufferDrops, 8u);
 }
@@ -414,7 +422,7 @@ TEST(Engine, ReductionConsistencyIdentity)
     for (auto &w : writes) {
         double t = rng.uniform(0.0, 500.0);
         while (t < 5000.0) {
-            w.push_back(t);
+            w.push_back(TimeMs{t});
             t += rng.pareto(1.0, 0.5);
         }
     }
@@ -448,7 +456,7 @@ TEST_P(EngineInvariant, LoRefAlwaysTestedContent)
     for (auto &w : writes) {
         double t = rng.uniform(0.0, 300.0);
         while (t < 4000.0) {
-            w.push_back(t);
+            w.push_back(TimeMs{t});
             t += rng.pareto(2.0, 0.45);
         }
     }
@@ -485,14 +493,15 @@ TEST_P(EngineInvariant, LoRefAlwaysTestedContent)
                 ASSERT_FALSE(oracle(p, tr.writeCount));
                 // ...and that write count is consistent with the
                 // writes that happened up to this time.
-                while (wi < writes[p].size() && writes[p][wi] < tr.time)
+                while (wi < writes[p].size() &&
+                       writes[p][wi].value() < tr.time)
                     ++wi;
                 ASSERT_EQ(tr.writeCount, wi);
             } else {
                 ASSERT_TRUE(at_lo);
                 // Demotion happens exactly at a write.
                 ASSERT_LT(wi, writes[p].size());
-                ASSERT_DOUBLE_EQ(writes[p][wi], tr.time);
+                ASSERT_DOUBLE_EQ(writes[p][wi].value(), tr.time);
             }
             at_lo = tr.toLo;
         }
@@ -508,7 +517,7 @@ TEST(Engine, QuantumSweepKeepsReductionStable)
     std::vector<double> reductions;
     for (double q : {512.0, 1024.0, 2048.0}) {
         MemconConfig cfg;
-        cfg.quantumMs = q;
+        cfg.quantumMs = TimeMs{q};
         MemconEngine eng(cfg);
         // AllSysMark's long trace keeps quantum-scale delays small
         // relative to its minute-scale idle gaps, as in the paper.
@@ -527,7 +536,7 @@ TEST(Engine, CopyModeCostsMoreTestTime)
     MemconConfig rc = testConfig();
     MemconConfig cc = testConfig();
     cc.mode = TestMode::CopyAndCompare;
-    std::vector<std::vector<TimeMs>> writes{{50.0}};
+    std::vector<std::vector<TimeMs>> writes{{TimeMs{50.0}}};
     MemconResult r1 = MemconEngine(rc).run(writes, 1000.0);
     MemconResult r2 = MemconEngine(cc).run(writes, 1000.0);
     EXPECT_DOUBLE_EQ(r1.testTimeNs, 1068.0);
@@ -541,7 +550,7 @@ TEST(Engine, InvalidConfigsAreFatal)
     EXPECT_EXIT(MemconEngine eng(bad), ::testing::ExitedWithCode(1),
                 "hiRefMs");
     MemconConfig bad2 = testConfig();
-    bad2.quantumMs = 0.0;
+    bad2.quantumMs = TimeMs{};
     EXPECT_EXIT(MemconEngine eng(bad2), ::testing::ExitedWithCode(1),
                 "quantum");
 }

@@ -97,13 +97,13 @@ TEST(Geometry, DecomposeKnownAddress)
 {
     Geometry g = Geometry::dimm8GB(); // RoBaRaCoCh, 1 ch, 1 rank
     Coordinates c = g.decompose(0);
-    EXPECT_EQ(c.row, 0u);
+    EXPECT_EQ(c.row, RowId{});
     EXPECT_EQ(c.bank, 0u);
     EXPECT_EQ(c.column, 0u);
     // Next block goes to the next column (single channel).
     c = g.decompose(64);
     EXPECT_EQ(c.column, 1u);
-    EXPECT_EQ(c.row, 0u);
+    EXPECT_EQ(c.row, RowId{});
     // One full row of columns later, the bank advances.
     c = g.decompose(g.rowBytes());
     EXPECT_EQ(c.column, 0u);
@@ -134,7 +134,7 @@ TEST_P(MappingRoundTrip, ComposeInvertsDecompose)
         EXPECT_LT(c.channel, g.channels);
         EXPECT_LT(c.rank, g.ranks);
         EXPECT_LT(c.bank, g.banks);
-        EXPECT_LT(c.row, g.rowsPerBank);
+        EXPECT_LT(c.row.value(), g.rowsPerBank);
         EXPECT_LT(c.column, g.columnsPerRow);
         ASSERT_EQ(g.compose(c), addr);
     }
@@ -154,8 +154,8 @@ TEST(Geometry, FlatRowIndexRoundTrip)
     g.rowsPerBank = 256;
     g.validate();
     for (std::uint64_t i = 0; i < g.totalRows(); i += 7) {
-        Coordinates c = g.rowFromFlatIndex(i);
-        ASSERT_EQ(g.flatRowIndex(c), i);
+        Coordinates c = g.rowFromFlatIndex(RowId{i});
+        ASSERT_EQ(g.flatRowIndex(c), RowId{i});
     }
 }
 
@@ -194,145 +194,145 @@ class ChannelTest : public ::testing::Test
 
 TEST_F(ChannelTest, ActThenReadRespectsTrcd)
 {
-    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 0, 5, 0));
-    chan.issue(Command::Act, 0, 0, 5, 0);
+    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 0, RowId{5}, Tick{}));
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
     EXPECT_TRUE(chan.isRowOpen(0, 0));
-    EXPECT_EQ(chan.openRow(0, 0), 5u);
+    EXPECT_EQ(chan.openRow(0, 0), RowId{5});
 
-    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, 5, cyc(timing.tRCD) - 1));
-    EXPECT_TRUE(chan.canIssue(Command::Rd, 0, 0, 5, cyc(timing.tRCD)));
+    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, RowId{5}, cyc(timing.tRCD) - Tick{1}));
+    EXPECT_TRUE(chan.canIssue(Command::Rd, 0, 0, RowId{5}, cyc(timing.tRCD)));
 }
 
 TEST_F(ChannelTest, ReadDataReturnTime)
 {
-    chan.issue(Command::Act, 0, 0, 5, 0);
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
     Tick t = cyc(timing.tRCD);
-    Tick done = chan.issue(Command::Rd, 0, 0, 5, t);
+    Tick done = chan.issue(Command::Rd, 0, 0, RowId{5}, t);
     EXPECT_EQ(done, t + cyc(timing.tCL + timing.tBL));
 }
 
 TEST_F(ChannelTest, PrechargeRespectsTras)
 {
-    chan.issue(Command::Act, 0, 0, 5, 0);
-    EXPECT_FALSE(chan.canIssue(Command::Pre, 0, 0, 0, cyc(timing.tRAS) - 1));
-    EXPECT_TRUE(chan.canIssue(Command::Pre, 0, 0, 0, cyc(timing.tRAS)));
-    chan.issue(Command::Pre, 0, 0, 0, cyc(timing.tRAS));
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
+    EXPECT_FALSE(chan.canIssue(Command::Pre, 0, 0, RowId{0}, cyc(timing.tRAS) - Tick{1}));
+    EXPECT_TRUE(chan.canIssue(Command::Pre, 0, 0, RowId{0}, cyc(timing.tRAS)));
+    chan.issue(Command::Pre, 0, 0, RowId{0}, cyc(timing.tRAS));
     EXPECT_FALSE(chan.isRowOpen(0, 0));
 }
 
 TEST_F(ChannelTest, ActToActSameBankRespectsTrc)
 {
-    chan.issue(Command::Act, 0, 0, 1, 0);
-    chan.issue(Command::Pre, 0, 0, 0, cyc(timing.tRAS));
+    chan.issue(Command::Act, 0, 0, RowId{1}, Tick{});
+    chan.issue(Command::Pre, 0, 0, RowId{0}, cyc(timing.tRAS));
     // tRC from the first ACT, tRP from the PRE - both must hold.
     Tick pre_done = cyc(timing.tRAS) + cyc(timing.tRP);
     Tick trc_done = cyc(timing.tRC);
     Tick earliest = std::max(pre_done, trc_done);
-    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 0, 2, earliest - 1));
-    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 0, 2, earliest));
+    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 0, RowId{2}, earliest - Tick{1}));
+    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 0, RowId{2}, earliest));
 }
 
 TEST_F(ChannelTest, ColumnCommandNeedsMatchingOpenRow)
 {
-    chan.issue(Command::Act, 0, 0, 5, 0);
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
     // Wrong row: not issuable.
-    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, 6, cyc(timing.tRCD)));
+    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, RowId{6}, cyc(timing.tRCD)));
     // Closed bank: not issuable.
-    EXPECT_FALSE(chan.canIssue(Command::Wr, 0, 1, 5, cyc(timing.tRCD)));
+    EXPECT_FALSE(chan.canIssue(Command::Wr, 0, 1, RowId{5}, cyc(timing.tRCD)));
 }
 
 TEST_F(ChannelTest, ConsecutiveReadsRespectTccd)
 {
-    chan.issue(Command::Act, 0, 0, 5, 0);
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
     Tick t = cyc(timing.tRCD);
-    chan.issue(Command::Rd, 0, 0, 5, t);
-    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, 5, t + cyc(timing.tCCD) - 1));
-    EXPECT_TRUE(chan.canIssue(Command::Rd, 0, 0, 5, t + cyc(timing.tCCD)));
+    chan.issue(Command::Rd, 0, 0, RowId{5}, t);
+    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, RowId{5}, t + cyc(timing.tCCD) - Tick{1}));
+    EXPECT_TRUE(chan.canIssue(Command::Rd, 0, 0, RowId{5}, t + cyc(timing.tCCD)));
 }
 
 TEST_F(ChannelTest, ActToActDifferentBanksRespectsTrrd)
 {
-    chan.issue(Command::Act, 0, 0, 5, 0);
-    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 1, 5, cyc(timing.tRRD) - 1));
-    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 1, 5, cyc(timing.tRRD)));
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
+    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 1, RowId{5}, cyc(timing.tRRD) - Tick{1}));
+    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 1, RowId{5}, cyc(timing.tRRD)));
 }
 
 TEST_F(ChannelTest, FawLimitsActivationBursts)
 {
     // Four back-to-back ACTs at tRRD spacing, then the fifth must
     // wait for the tFAW window.
-    Tick t = 0;
+    Tick t{};
     for (unsigned b = 0; b < 4; ++b) {
-        chan.issue(Command::Act, 0, b, 1, t);
+        chan.issue(Command::Act, 0, b, RowId{1}, t);
         t += cyc(timing.tRRD);
     }
     Tick faw_open = cyc(timing.tFAW); // window from the first ACT
-    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 4, 1, faw_open - 1));
-    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 4, 1, faw_open));
+    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 4, RowId{1}, faw_open - Tick{1}));
+    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 4, RowId{1}, faw_open));
 }
 
 TEST_F(ChannelTest, WriteToReadTurnaround)
 {
-    chan.issue(Command::Act, 0, 0, 5, 0);
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
     Tick t = cyc(timing.tRCD);
-    chan.issue(Command::Wr, 0, 0, 5, t);
+    chan.issue(Command::Wr, 0, 0, RowId{5}, t);
     Tick wtr_done = t + cyc(timing.writeToRead());
-    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, 5, wtr_done - 1));
-    EXPECT_TRUE(chan.canIssue(Command::Rd, 0, 0, 5, wtr_done));
+    EXPECT_FALSE(chan.canIssue(Command::Rd, 0, 0, RowId{5}, wtr_done - Tick{1}));
+    EXPECT_TRUE(chan.canIssue(Command::Rd, 0, 0, RowId{5}, wtr_done));
 }
 
 TEST_F(ChannelTest, WriteToPrechargeRespectsTwr)
 {
-    chan.issue(Command::Act, 0, 0, 5, 0);
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
     Tick t = cyc(timing.tRCD);
-    chan.issue(Command::Wr, 0, 0, 5, t);
+    chan.issue(Command::Wr, 0, 0, RowId{5}, t);
     Tick twr_done = t + cyc(timing.writeToPre());
     // tRAS may also bind; take the later of the two.
     Tick earliest = std::max(twr_done, cyc(timing.tRAS));
-    EXPECT_FALSE(chan.canIssue(Command::Pre, 0, 0, 0, earliest - 1));
-    EXPECT_TRUE(chan.canIssue(Command::Pre, 0, 0, 0, earliest));
+    EXPECT_FALSE(chan.canIssue(Command::Pre, 0, 0, RowId{0}, earliest - Tick{1}));
+    EXPECT_TRUE(chan.canIssue(Command::Pre, 0, 0, RowId{0}, earliest));
 }
 
 TEST_F(ChannelTest, RefreshRequiresAllBanksPrecharged)
 {
-    chan.issue(Command::Act, 0, 3, 5, 0);
-    EXPECT_FALSE(chan.canIssue(Command::Ref, 0, 0, 0, cyc(100)));
-    chan.issue(Command::Pre, 0, 3, 0, cyc(timing.tRAS));
+    chan.issue(Command::Act, 0, 3, RowId{5}, Tick{});
+    EXPECT_FALSE(chan.canIssue(Command::Ref, 0, 0, RowId{0}, cyc(100)));
+    chan.issue(Command::Pre, 0, 3, RowId{0}, cyc(timing.tRAS));
     Tick ready = cyc(timing.tRAS) + cyc(timing.tRP);
     EXPECT_TRUE(chan.allBanksPrecharged(0));
-    EXPECT_TRUE(chan.canIssue(Command::Ref, 0, 0, 0, ready));
+    EXPECT_TRUE(chan.canIssue(Command::Ref, 0, 0, RowId{0}, ready));
 }
 
 TEST_F(ChannelTest, RefreshBlocksRankForTrfc)
 {
-    Tick done = chan.issue(Command::Ref, 0, 0, 0, 0);
+    Tick done = chan.issue(Command::Ref, 0, 0, RowId{0}, Tick{});
     EXPECT_EQ(done, cyc(timing.tRFC));
-    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 0, 1, done - 1));
-    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 0, 1, done));
+    EXPECT_FALSE(chan.canIssue(Command::Act, 0, 0, RowId{1}, done - Tick{1}));
+    EXPECT_TRUE(chan.canIssue(Command::Act, 0, 0, RowId{1}, done));
 }
 
 TEST_F(ChannelTest, ReadWithAutoPrecharge)
 {
-    chan.issue(Command::Act, 0, 0, 5, 0);
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
     Tick t = cyc(timing.tRCD);
-    chan.issue(Command::RdA, 0, 0, 5, t);
+    chan.issue(Command::RdA, 0, 0, RowId{5}, t);
     EXPECT_FALSE(chan.isRowOpen(0, 0));
 }
 
 TEST_F(ChannelTest, IllegalIssuePanics)
 {
-    chan.issue(Command::Act, 0, 0, 5, 0);
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
     // Reading before tRCD is a controller bug -> panic (abort).
-    EXPECT_DEATH(chan.issue(Command::Rd, 0, 0, 5, 1), "legal only from");
+    EXPECT_DEATH(chan.issue(Command::Rd, 0, 0, RowId{5}, Tick{1}), "legal only from");
     // ACT on an open bank is a state violation.
-    EXPECT_DEATH(chan.issue(Command::Act, 0, 0, 6, cyc(1000)),
+    EXPECT_DEATH(chan.issue(Command::Act, 0, 0, RowId{6}, cyc(1000)),
                  "open row");
 }
 
 TEST_F(ChannelTest, StatsCountCommands)
 {
-    chan.issue(Command::Act, 0, 0, 5, 0);
-    chan.issue(Command::Rd, 0, 0, 5, cyc(timing.tRCD));
+    chan.issue(Command::Act, 0, 0, RowId{5}, Tick{});
+    chan.issue(Command::Rd, 0, 0, RowId{5}, cyc(timing.tRCD));
     EXPECT_EQ(chan.stats().value("cmd.ACT"), 1.0);
     EXPECT_EQ(chan.stats().value("cmd.RD"), 1.0);
 }
@@ -357,11 +357,11 @@ TEST_P(ChannelFuzz, LegalDriverNeverPanics)
     Channel chan(g, timing);
     Rng rng(GetParam());
 
-    Tick now = 0;
+    Tick now{};
     for (int step = 0; step < 3000; ++step) {
         unsigned rank = rng.uniformInt(g.ranks);
         unsigned bank = rng.uniformInt(g.banks);
-        std::uint64_t row = rng.uniformInt(g.rowsPerBank);
+        RowId row{rng.uniformInt(g.rowsPerBank)};
 
         Command cmd;
         if (chan.isRowOpen(rank, bank)) {

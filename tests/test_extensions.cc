@@ -138,10 +138,10 @@ struct FakeRows
     core::TestEngine::RowReader
     reader()
     {
-        return [this](std::uint64_t row, std::size_t w) {
-            auto &data = rows[row];
+        return [this](RowId row, std::size_t w) {
+            auto &data = rows[row.value()];
             if (data.size() <= w)
-                data.resize(w + 1, row * 1000 + w);
+                data.resize(w + 1, row.value() * 1000 + w);
             return data[w];
         };
     }
@@ -156,11 +156,11 @@ TEST_P(TestEngineModes, PassWhenContentStable)
 {
     core::TestEngine engine(smallEngineCfg(GetParam()));
     FakeRows mem;
-    ASSERT_TRUE(engine.beginTest(7, mem.reader()));
-    EXPECT_TRUE(engine.isUnderTest(7));
-    EXPECT_EQ(engine.completeTest(7, mem.reader()),
+    ASSERT_TRUE(engine.beginTest(RowId{7}, mem.reader()));
+    EXPECT_TRUE(engine.isUnderTest(RowId{7}));
+    EXPECT_EQ(engine.completeTest(RowId{7}, mem.reader()),
               core::TestOutcome::Pass);
-    EXPECT_FALSE(engine.isUnderTest(7));
+    EXPECT_FALSE(engine.isUnderTest(RowId{7}));
     EXPECT_EQ(engine.testsPassed(), 1u);
 }
 
@@ -168,11 +168,11 @@ TEST_P(TestEngineModes, FailWhenCellDecays)
 {
     core::TestEngine engine(smallEngineCfg(GetParam()));
     FakeRows mem;
-    ASSERT_TRUE(engine.beginTest(7, mem.reader()));
+    ASSERT_TRUE(engine.beginTest(RowId{7}, mem.reader()));
     // A cell decays during the idle period.
-    mem.reader()(7, 10); // materialize
+    mem.reader()(RowId{7}, 10); // materialize
     mem.rows[7][10] ^= 0x4;
-    EXPECT_EQ(engine.completeTest(7, mem.reader()),
+    EXPECT_EQ(engine.completeTest(RowId{7}, mem.reader()),
               core::TestOutcome::Fail);
     EXPECT_EQ(engine.testsFailed(), 1u);
 }
@@ -188,25 +188,25 @@ TEST_P(TestEngineModes, SlotExhaustionRejectsBeginTest)
                                                     cfg.banks)
                                : cfg.slots;
     for (std::uint64_t r = 0; r < capacity; ++r)
-        ASSERT_TRUE(engine.beginTest(r, mem.reader()));
-    EXPECT_FALSE(engine.beginTest(99, mem.reader()));
+        ASSERT_TRUE(engine.beginTest(RowId{r}, mem.reader()));
+    EXPECT_FALSE(engine.beginTest(RowId{99}, mem.reader()));
     EXPECT_EQ(engine.freeSlots(), cfg.slots - capacity);
     // Completing one frees capacity again.
-    EXPECT_EQ(engine.completeTest(0, mem.reader()),
+    EXPECT_EQ(engine.completeTest(RowId{0}, mem.reader()),
               core::TestOutcome::Pass);
-    EXPECT_TRUE(engine.beginTest(99, mem.reader()));
+    EXPECT_TRUE(engine.beginTest(RowId{99}, mem.reader()));
 }
 
 TEST_P(TestEngineModes, WriteAbortsInFlightTest)
 {
     core::TestEngine engine(smallEngineCfg(GetParam()));
     FakeRows mem;
-    ASSERT_TRUE(engine.beginTest(3, mem.reader()));
-    EXPECT_TRUE(engine.onWrite(3));
-    EXPECT_FALSE(engine.isUnderTest(3));
+    ASSERT_TRUE(engine.beginTest(RowId{3}, mem.reader()));
+    EXPECT_TRUE(engine.onWrite(RowId{3}));
+    EXPECT_FALSE(engine.isUnderTest(RowId{3}));
     EXPECT_EQ(engine.testsAborted(), 1u);
     // Writes to untested rows are a no-op.
-    EXPECT_FALSE(engine.onWrite(5));
+    EXPECT_FALSE(engine.onWrite(RowId{5}));
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, TestEngineModes,
@@ -218,15 +218,15 @@ TEST(TestEngine, RedirectionByMode)
 {
     FakeRows mem;
     core::TestEngine rc(smallEngineCfg(core::TestMode::ReadAndCompare));
-    ASSERT_TRUE(rc.beginTest(3, mem.reader()));
-    auto r = rc.redirect(3);
+    ASSERT_TRUE(rc.beginTest(RowId{3}, mem.reader()));
+    auto r = rc.redirect(RowId{3});
     ASSERT_TRUE(r.has_value());
     EXPECT_TRUE(r->inController);
-    EXPECT_FALSE(rc.redirect(4).has_value());
+    EXPECT_FALSE(rc.redirect(RowId{4}).has_value());
 
     core::TestEngine cc(smallEngineCfg(core::TestMode::CopyAndCompare));
-    ASSERT_TRUE(cc.beginTest(3, mem.reader()));
-    auto r2 = cc.redirect(3);
+    ASSERT_TRUE(cc.beginTest(RowId{3}, mem.reader()));
+    auto r2 = cc.redirect(RowId{3});
     ASSERT_TRUE(r2.has_value());
     EXPECT_FALSE(r2->inController);
     EXPECT_EQ(cc.redirectedAccesses(), 1u);
@@ -261,10 +261,10 @@ TEST(TestEngine, ReserveRowsRecycled)
     FakeRows mem;
     for (int round = 0; round < 3; ++round) {
         for (std::uint64_t r = 0; r < 4; ++r)
-            ASSERT_TRUE(engine.beginTest(100 + r, mem.reader()));
-        ASSERT_FALSE(engine.beginTest(200, mem.reader()));
+            ASSERT_TRUE(engine.beginTest(RowId{100 + r}, mem.reader()));
+        ASSERT_FALSE(engine.beginTest(RowId{200}, mem.reader()));
         for (std::uint64_t r = 0; r < 4; ++r)
-            engine.completeTest(100 + r, mem.reader());
+            engine.completeTest(RowId{100 + r}, mem.reader());
     }
     EXPECT_EQ(engine.testsStarted(), 12u);
 }
@@ -322,7 +322,9 @@ TEST(TraceIo, WriteTraceRoundTrip)
 {
     trace::WriteTrace trace;
     trace.durationMs = 1000.0;
-    trace.pageWrites = {{1.5, 20.0, 999.0}, {}, {500.25}};
+    trace.pageWrites = {{TimeMs{1.5}, TimeMs{20.0}, TimeMs{999.0}},
+                        {},
+                        {TimeMs{500.25}}};
 
     std::stringstream ss;
     trace::writeWriteTrace(ss, trace);
@@ -391,12 +393,12 @@ TEST(Vrt, DeterministicAndStartsHealthy)
     failure::VrtParams params;
     params.vrtCellsPerRow = 1.0;
     failure::VrtPopulation pop(params, 256);
-    const auto &cells = pop.cellsOfRow(5);
+    const auto &cells = pop.cellsOfRow(RowId{5});
     for (const auto &cell : cells) {
-        EXPECT_FALSE(pop.isLeakyAt(cell, 0.0));
+        EXPECT_FALSE(pop.isLeakyAt(cell, TimeMs{}));
         // Same query, same answer.
-        EXPECT_EQ(pop.isLeakyAt(cell, 123456.0),
-                  pop.isLeakyAt(cell, 123456.0));
+        EXPECT_EQ(pop.isLeakyAt(cell, TimeMs{123456.0}),
+                  pop.isLeakyAt(cell, TimeMs{123456.0}));
     }
 }
 
@@ -410,8 +412,8 @@ TEST(Vrt, LeakyFractionNearSteadyState)
     // After many dwell times, P(leaky) -> dwellLow/(dwellLow+dwellHigh).
     std::uint64_t leaky = 0, total = 0;
     for (std::uint64_t r = 0; r < 4096; ++r) {
-        for (const auto &cell : pop.cellsOfRow(r)) {
-            leaky += pop.isLeakyAt(cell, 50000.0);
+        for (const auto &cell : pop.cellsOfRow(RowId{r})) {
+            leaky += pop.isLeakyAt(cell, TimeMs{50000.0});
             ++total;
         }
     }
@@ -426,9 +428,9 @@ TEST(Vrt, RowFailureRequiresLongIntervalAndLeakyState)
     params.vrtCellsPerRow = 2.0;
     failure::VrtPopulation pop(params, 512);
     // Below the leaky threshold nothing fails, ever.
-    EXPECT_EQ(pop.failingRowFraction(16.0, 1e6), 0.0);
+    EXPECT_EQ(pop.failingRowFraction(16.0, TimeMs{1e6}), 0.0);
     // At LO-REF, some rows fail at late times (cells gone leaky).
-    EXPECT_GT(pop.failingRowFraction(64.0, 500000.0), 0.0);
+    EXPECT_GT(pop.failingRowFraction(64.0, TimeMs{500000.0}), 0.0);
 }
 
 TEST(Vrt, FailingSetChangesOverTime)
@@ -442,9 +444,9 @@ TEST(Vrt, FailingSetChangesOverTime)
     failure::VrtPopulation pop(params, 1024);
     std::vector<std::uint64_t> early, late;
     for (std::uint64_t r = 0; r < 1024; ++r) {
-        if (pop.rowFailsAt(r, 64.0, 10000.0))
+        if (pop.rowFailsAt(RowId{r}, 64.0, TimeMs{10000.0}))
             early.push_back(r);
-        if (pop.rowFailsAt(r, 64.0, 60000.0))
+        if (pop.rowFailsAt(RowId{r}, 64.0, TimeMs{60000.0}))
             late.push_back(r);
     }
     EXPECT_FALSE(early.empty());
@@ -461,10 +463,11 @@ TEST(SilentWrites, DetectionPreservesLoRefTime)
     // Two pages written identically; with detection on, silent
     // writes neither demote nor retrigger tests.
     std::vector<std::vector<TimeMs>> writes(
-        64, std::vector<TimeMs>{50.0, 700.0, 1400.0, 2100.0});
+        64, std::vector<TimeMs>{TimeMs{50.0}, TimeMs{700.0}, TimeMs{1400.0},
+                                TimeMs{2100.0}});
 
     core::MemconConfig base;
-    base.quantumMs = 100.0;
+    base.quantumMs = TimeMs{100.0};
     core::MemconConfig silent = base;
     silent.silentWriteFraction = 0.5;
     silent.detectSilentWrites = true;
@@ -482,13 +485,13 @@ TEST(SilentWrites, DetectionPreservesLoRefTime)
 TEST(SilentWrites, UndetectedSilentWritesChangeNothing)
 {
     std::vector<std::vector<TimeMs>> writes(
-        16, std::vector<TimeMs>{50.0, 900.0});
+        16, std::vector<TimeMs>{TimeMs{50.0}, TimeMs{900.0}});
     core::MemconConfig cfg;
-    cfg.quantumMs = 100.0;
+    cfg.quantumMs = TimeMs{100.0};
     cfg.silentWriteFraction = 0.5; // present but not detected
     cfg.detectSilentWrites = false;
     core::MemconConfig plain;
-    plain.quantumMs = 100.0;
+    plain.quantumMs = TimeMs{100.0};
 
     auto a = core::MemconEngine(cfg).run(writes, 2000.0);
     auto b = core::MemconEngine(plain).run(writes, 2000.0);
@@ -516,15 +519,15 @@ TEST(Scrub, CatchesRowsThatDriftLeakyWhileIdle)
 
     auto timed_oracle = [&pop](std::uint64_t page, std::uint64_t,
                                double time_ms) {
-        return pop.rowFailsAt(page, 64.0, time_ms);
+        return pop.rowFailsAt(RowId{page}, 64.0, TimeMs{time_ms});
     };
 
     // 256 pages, one early write each, 20 s horizon.
     std::vector<std::vector<TimeMs>> writes(
-        256, std::vector<TimeMs>{10.0});
+        256, std::vector<TimeMs>{TimeMs{10.0}});
 
     core::MemconConfig no_scrub;
-    no_scrub.quantumMs = 250.0;
+    no_scrub.quantumMs = TimeMs{250.0};
     core::MemconConfig with_scrub = no_scrub;
     with_scrub.scrubPeriodMs = 1000.0;
 
@@ -543,9 +546,9 @@ TEST(Scrub, CatchesRowsThatDriftLeakyWhileIdle)
 TEST(Scrub, NoDemotionsWhenNothingDrifts)
 {
     std::vector<std::vector<TimeMs>> writes(
-        32, std::vector<TimeMs>{10.0});
+        32, std::vector<TimeMs>{TimeMs{10.0}});
     core::MemconConfig cfg;
-    cfg.quantumMs = 250.0;
+    cfg.quantumMs = TimeMs{250.0};
     cfg.scrubPeriodMs = 1000.0;
     auto r = core::MemconEngine(cfg).run(writes, 10000.0);
     EXPECT_GT(r.scrubTests, 0u);
@@ -564,9 +567,9 @@ TEST(Scrub, ScrubbedRowStaysProtectedUntilRetestPasses)
         return page == 3 && time_ms >= 5000.0;
     };
     std::vector<std::vector<TimeMs>> writes(
-        8, std::vector<TimeMs>{10.0});
+        8, std::vector<TimeMs>{TimeMs{10.0}});
     core::MemconConfig cfg;
-    cfg.quantumMs = 250.0;
+    cfg.quantumMs = TimeMs{250.0};
     cfg.scrubPeriodMs = 500.0;
 
     std::vector<std::pair<double, bool>> row3;

@@ -274,8 +274,8 @@ TEST_F(FailureModelTest, DeterministicPopulations)
 {
     FailureModel a(params, kRows, kCols), b(params, kRows, kCols);
     for (std::uint64_t r = 0; r < 200; ++r) {
-        const auto &ca = a.cellsOfRow(r);
-        const auto &cb = b.cellsOfRow(r);
+        const auto &ca = a.cellsOfRow(RowId{r});
+        const auto &cb = b.cellsOfRow(RowId{r});
         ASSERT_EQ(ca.size(), cb.size());
         for (std::size_t i = 0; i < ca.size(); ++i) {
             EXPECT_EQ(ca[i].column, cb[i].column);
@@ -289,7 +289,7 @@ TEST_F(FailureModelTest, PopulationDensityMatchesPoissonMean)
     FailureModel m(params, kRows, kCols);
     std::uint64_t total = 0;
     for (std::uint64_t r = 0; r < kRows; ++r)
-        total += m.cellsOfRow(r).size();
+        total += m.cellsOfRow(RowId{r}).size();
     double mean = total / double(kRows);
     EXPECT_NEAR(mean, params.vulnerableCellsPerRow, 0.02);
 }
@@ -312,8 +312,8 @@ TEST_F(FailureModelTest, FailuresMonotoneInRefreshInterval)
     FailureModel m(params, kRows, kCols);
     ProgramContent content(ContentPersona::byName("astar"), 0);
     for (std::uint64_t r = 0; r < 4096; ++r) {
-        auto fails_64 = m.evaluatePhysicalRow(r, content, 64.0);
-        auto fails_128 = m.evaluatePhysicalRow(r, content, 128.0);
+        auto fails_64 = m.evaluatePhysicalRow(RowId{r}, content, 64.0);
+        auto fails_128 = m.evaluatePhysicalRow(RowId{r}, content, 128.0);
         // Every failure at 64 ms persists at 128 ms.
         std::set<std::uint64_t> at128;
         for (const auto &f : fails_128)
@@ -329,8 +329,8 @@ TEST_F(FailureModelTest, ContentFailuresSubsetOfWorstCase)
     FailureModel m(params, kRows, kCols);
     ProgramContent content(ContentPersona::byName("lbm"), 0);
     for (std::uint64_t r = 0; r < 4096; ++r) {
-        if (m.physicalRowFails(r, content, 64.0))
-            ASSERT_TRUE(m.physicalRowCanFail(r, 64.0));
+        if (m.physicalRowFails(RowId{r}, content, 64.0))
+            ASSERT_TRUE(m.physicalRowCanFail(RowId{r}, 64.0));
     }
 }
 
@@ -340,11 +340,11 @@ TEST_F(FailureModelTest, DifferentContentDifferentFailures)
     // is stored around them.
     FailureModel m(params, kRows, kCols);
     PatternContent a(PatternKind::Random, 1), b(PatternKind::Random, 2);
-    std::set<std::pair<std::uint64_t, std::uint64_t>> fa, fb;
+    std::set<std::pair<RowId, std::uint64_t>> fa, fb;
     for (std::uint64_t r = 0; r < 4096; ++r) {
-        for (const auto &f : m.evaluatePhysicalRow(r, a, 64.0))
+        for (const auto &f : m.evaluatePhysicalRow(RowId{r}, a, 64.0))
             fa.insert({f.physicalRow, f.column});
-        for (const auto &f : m.evaluatePhysicalRow(r, b, 64.0))
+        for (const auto &f : m.evaluatePhysicalRow(RowId{r}, b, 64.0))
             fb.insert({f.physicalRow, f.column});
     }
     EXPECT_FALSE(fa.empty());
@@ -364,8 +364,8 @@ TEST_F(FailureModelTest, WeakCellsFailRegardlessOfContent)
     double far = params.nominalIntervalMs * params.retentionMaxFrac * 1.01;
     std::uint64_t with_zeros = 0, with_ones = 0;
     for (std::uint64_t r = 0; r < 512; ++r) {
-        with_zeros += m.evaluatePhysicalRow(r, zeros, far).size();
-        with_ones += m.evaluatePhysicalRow(r, ones, far).size();
+        with_zeros += m.evaluatePhysicalRow(RowId{r}, zeros, far).size();
+        with_ones += m.evaluatePhysicalRow(RowId{r}, ones, far).size();
     }
     EXPECT_EQ(with_zeros, with_ones);
     EXPECT_GT(with_zeros, 0u);
@@ -377,8 +377,8 @@ TEST_F(FailureModelTest, LogicalViewConsistentWithScrambler)
     ProgramContent content(ContentPersona::byName("astar"), 0);
     for (std::uint64_t lr = 0; lr < 512; ++lr) {
         std::uint64_t pr = m.scrambler().physicalRow(lr);
-        ASSERT_EQ(m.logicalRowFails(lr, content, 64.0),
-                  m.physicalRowFails(pr, content, 64.0));
+        ASSERT_EQ(m.logicalRowFails(RowId{lr}, content, 64.0),
+                  m.physicalRowFails(RowId{pr}, content, 64.0));
     }
 }
 
@@ -435,7 +435,7 @@ TEST(DramTester, PatternBatteryUnionAndPerPattern)
     ASSERT_EQ(per.size(), battery.size());
 
     auto combined = tester.testWithPatternBattery(battery, 64.0);
-    std::set<std::pair<std::uint64_t, std::uint64_t>> union_cells;
+    std::set<std::pair<RowId, std::uint64_t>> union_cells;
     for (const auto &s : per)
         union_cells.insert(s.begin(), s.end());
     EXPECT_EQ(combined.failures.size(), union_cells.size());

@@ -59,7 +59,8 @@ TEST(Golden, MinWriteIntervalMatchesSection4)
         CostModelConfig cfg;
         cfg.loRefMs = c.loRefMs;
         CostModel m(cfg);
-        EXPECT_NEAR(m.minWriteIntervalMs(c.mode), c.expectMs, 1e-9)
+        EXPECT_NEAR(m.minWriteIntervalMs(c.mode).value(), c.expectMs,
+                    1e-9)
             << "loRef=" << c.loRefMs;
     }
 }
@@ -78,7 +79,7 @@ runPersona(const std::string &name, double cil_ms)
 {
     trace::AppPersona p = trace::AppPersona::byName(name);
     MemconConfig cfg;
-    cfg.quantumMs = cil_ms;
+    cfg.quantumMs = TimeMs{cil_ms};
     return MemconEngine(cfg).runOnApp(p);
 }
 

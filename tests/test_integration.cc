@@ -38,8 +38,8 @@ makeOracle(const failure::FailureModel &model,
     return [&model, persona, lo_ref_ms](std::uint64_t page,
                                         std::uint64_t write_count) {
         failure::ProgramContent content(persona, write_count);
-        return model.logicalRowFails(page % model.numRows(), content,
-                                     lo_ref_ms);
+        return model.logicalRowFails(RowId{page % model.numRows()},
+                                     content, lo_ref_ms);
     };
 }
 
@@ -51,7 +51,7 @@ TEST(FullStack, MemconWithRealFailureModel)
     failure::FailureModel model(params, 1 << 11, 1 << 16);
 
     MemconConfig cfg;
-    cfg.quantumMs = 1024.0;
+    cfg.quantumMs = TimeMs{1024.0};
     MemconEngine engine(cfg);
     trace::AppPersona app = trace::AppPersona::byName("AdobePremiere");
     auto oracle = makeOracle(
@@ -128,7 +128,7 @@ TEST(FullStack, ReliabilityInvariantWithRealModel)
         failure::ContentPersona::byName("omnetpp");
 
     MemconConfig cfg;
-    cfg.quantumMs = 200.0;
+    cfg.quantumMs = TimeMs{200.0};
     MemconEngine engine(cfg);
 
     std::vector<std::vector<TimeMs>> writes(1 << 10);
@@ -136,7 +136,7 @@ TEST(FullStack, ReliabilityInvariantWithRealModel)
     for (auto &w : writes) {
         double t = rng.uniform(0.0, 400.0);
         while (t < 5000.0) {
-            w.push_back(t);
+            w.push_back(TimeMs{t});
             t += rng.pareto(5.0, 0.5);
         }
     }
@@ -170,9 +170,9 @@ TEST(FullStack, ContentChangeCanFlipTestOutcome)
     unsigned flips = 0;
     for (std::uint64_t row = 0; row < 512; ++row) {
         bool prev = model.logicalRowFails(
-            row, failure::ProgramContent(persona, 0), 64.0);
+            RowId{row}, failure::ProgramContent(persona, 0), 64.0);
         bool next = model.logicalRowFails(
-            row, failure::ProgramContent(persona, 1), 64.0);
+            RowId{row}, failure::ProgramContent(persona, 1), 64.0);
         flips += prev != next;
     }
     EXPECT_GT(flips, 0u);
@@ -259,9 +259,9 @@ TEST(FullStack, AnalyzerAndEngineAgreeOnLongIntervalOpportunity)
     trace::AppPersona light = trace::AppPersona::byName("BlurMotion");
 
     double t_heavy =
-        trace::analyzeApp(heavy).timeFractionAtLeast(2048.0);
+        trace::analyzeApp(heavy).timeFractionAtLeast(TimeMs{2048.0});
     double t_light =
-        trace::analyzeApp(light).timeFractionAtLeast(2048.0);
+        trace::analyzeApp(light).timeFractionAtLeast(TimeMs{2048.0});
     ASSERT_GT(t_heavy, t_light);
 
     MemconEngine engine{MemconConfig{}};

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the determinism lint (tools/memcon_lint): a fixture
+ * corpus where every banned pattern is flagged exactly once, the
+ * lint:allow escape hatch, the companion-header declaration lookup,
+ * and a run over the real src/ + bench/ tree asserting zero
+ * violations - the same gate the tier-1 `lint.tree` ctest holds CI
+ * to, but inspectable from a debugger.
+ *
+ * The banned spellings below are assembled from fragments so this
+ * file itself stays lint-clean if the gate ever widens to tests/.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+
+using memcon::lint::lintPaths;
+using memcon::lint::lintSource;
+using memcon::lint::Violation;
+
+namespace
+{
+
+std::vector<std::string>
+rulesOf(const std::vector<Violation> &vs)
+{
+    std::vector<std::string> rules;
+    for (const Violation &v : vs)
+        rules.push_back(v.rule);
+    return rules;
+}
+
+// "random_device" etc., assembled so this file never contains the
+// banned token itself.
+const std::string kRandomDevice = std::string("random_") + "device";
+const std::string kSteadyClock = std::string("steady_") + "clock";
+
+} // namespace
+
+TEST(Lint, CleanFilePasses)
+{
+    const std::string src = R"(
+        #include <vector>
+        int sum(const std::vector<int> &v) {
+            int s = 0;
+            for (int x : v)
+                s += x;
+            return s;
+        }
+    )";
+    EXPECT_TRUE(lintSource("clean.cc", src).empty());
+}
+
+TEST(Lint, RandomDeviceFlaggedOnce)
+{
+    const std::string src = "#include <random>\n"
+                            "unsigned seed() {\n"
+                            "    std::" + kRandomDevice + " rd;\n"
+                            "    return rd();\n"
+                            "}\n";
+    auto vs = lintSource("bad.cc", src);
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "random-device");
+    EXPECT_EQ(vs[0].line, 3u);
+    EXPECT_EQ(vs[0].file, "bad.cc");
+}
+
+TEST(Lint, LibcRandFlagged)
+{
+    const std::string src = "#include <cstdlib>\n"
+                            "int r1() { return std::rand(); }\n"
+                            "void r2(unsigned s) { srand(s); }\n";
+    auto vs = lintSource("bad.cc", src);
+    EXPECT_EQ(rulesOf(vs), (std::vector<std::string>{"rand", "rand"}));
+    // An identifier that merely contains "rand" is not a call of it.
+    EXPECT_TRUE(
+        lintSource("ok.cc", "int operand(int rando) { return rando; }")
+            .empty());
+    // Nor is a member function named rand on some other object.
+    EXPECT_TRUE(
+        lintSource("ok.cc", "int f(Rng &g) { return g.rand(); }")
+            .empty());
+}
+
+TEST(Lint, WallClockSeedingFlagged)
+{
+    auto vs = lintSource(
+        "bad.cc", "#include <ctime>\n"
+                  "long now() { return time(nullptr); }\n");
+    EXPECT_EQ(rulesOf(vs), std::vector<std::string>{"wall-clock"});
+
+    vs = lintSource("bad.cc",
+                    "auto t0 = std::chrono::" + kSteadyClock +
+                        "::now();\n");
+    EXPECT_EQ(rulesOf(vs), std::vector<std::string>{"wall-clock"});
+
+    // Words like "time" in comments and strings never trip the rule.
+    EXPECT_TRUE(lintSource("ok.cc",
+                           "// total interval time (Figure 12)\n"
+                           "const char *s = \"time(s)\";\n")
+                    .empty());
+}
+
+TEST(Lint, UnorderedIterationFlagged)
+{
+    const std::string decl =
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, int> table;\n";
+
+    auto vs = lintSource("bad.cc", decl +
+                                       "int walk() {\n"
+                                       "    int s = 0;\n"
+                                       "    for (auto &kv : table)\n"
+                                       "        s += kv.second;\n"
+                                       "    return s;\n"
+                                       "}\n");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "unordered-iter");
+    EXPECT_EQ(vs[0].line, 5u);
+
+    // Explicit iterator loops are the same hazard.
+    vs = lintSource("bad.cc",
+                    decl + "auto it = table.begin();\n");
+    EXPECT_EQ(rulesOf(vs), std::vector<std::string>{"unordered-iter"});
+
+    // find()/end() membership idiom is deterministic and stays legal.
+    EXPECT_TRUE(
+        lintSource("ok.cc",
+                   decl + "bool has(int k) {\n"
+                          "    return table.find(k) != table.end();\n"
+                          "}\n")
+            .empty());
+
+    // Ordered containers iterate deterministically; never flagged.
+    EXPECT_TRUE(lintSource("ok.cc",
+                           "#include <map>\n"
+                           "std::map<int, int> m;\n"
+                           "int f() {\n"
+                           "    int s = 0;\n"
+                           "    for (auto &kv : m)\n"
+                           "        s += kv.second;\n"
+                           "    return s;\n"
+                           "}\n")
+                    .empty());
+}
+
+TEST(Lint, CompanionHeaderDeclaresTheContainer)
+{
+    // The hazard the ordering satellites fixed: the member lives in
+    // the class header, the iteration in the .cc.
+    const std::string header = "#include <unordered_map>\n"
+                               "struct Engine {\n"
+                               "    std::unordered_map<int, int> "
+                               "sessions;\n"
+                               "};\n";
+    const std::string source = "int Engine_count(Engine &e) {\n"
+                               "    int n = 0;\n"
+                               "    for (auto &kv : e.sessions)\n"
+                               "        n += kv.second;\n"
+                               "    return n;\n"
+                               "}\n";
+    // Without the header context the scanner cannot know.
+    EXPECT_TRUE(lintSource("engine.cc", source).empty());
+    // With it, the iteration is flagged.
+    auto vs = lintSource("engine.cc", source, header);
+    EXPECT_EQ(rulesOf(vs), std::vector<std::string>{"unordered-iter"});
+}
+
+TEST(Lint, AllowEscapeSuppressesSameAndNextLine)
+{
+    const std::string same_line =
+        "std::" + kRandomDevice + " rd; // lint:allow(random-device)\n";
+    EXPECT_TRUE(lintSource("ok.cc", same_line).empty());
+
+    const std::string line_above =
+        "// lint:allow(random-device) - justified here\n"
+        "std::" + kRandomDevice + " rd;\n";
+    EXPECT_TRUE(lintSource("ok.cc", line_above).empty());
+
+    // The escape names a rule; a different rule's escape is inert.
+    const std::string wrong_rule =
+        "// lint:allow(wall-clock)\n"
+        "std::" + kRandomDevice + " rd;\n";
+    EXPECT_EQ(rulesOf(lintSource("bad.cc", wrong_rule)),
+              std::vector<std::string>{"random-device"});
+
+    // And it does not leak further down the file.
+    const std::string too_far =
+        "// lint:allow(random-device)\n"
+        "int x;\n"
+        "std::" + kRandomDevice + " rd;\n";
+    EXPECT_EQ(rulesOf(lintSource("bad.cc", too_far)),
+              std::vector<std::string>{"random-device"});
+}
+
+TEST(Lint, EachRuleOncePerOffendingFixture)
+{
+    // One fixture per rule; each yields exactly its own violation.
+    struct Fixture
+    {
+        std::string rule;
+        std::string code;
+    };
+    const Fixture fixtures[] = {
+        {"random-device", "std::" + kRandomDevice + " rd;\n"},
+        {"rand", "int x = rand();\n"},
+        {"wall-clock", "long t = time(nullptr);\n"},
+        {"unordered-iter",
+         "#include <unordered_set>\n"
+         "std::unordered_set<int> seen;\n"
+         "void f() { for (int x : seen) (void)x; }\n"},
+    };
+    for (const Fixture &f : fixtures) {
+        auto vs = lintSource("fixture.cc", f.code);
+        ASSERT_EQ(vs.size(), 1u) << f.rule;
+        EXPECT_EQ(vs[0].rule, f.rule);
+    }
+}
+
+TEST(Lint, RealTreeIsClean)
+{
+    // The shipping gate: src/ and bench/ hold zero violations. A
+    // failure here prints the same report the lint.tree ctest (and
+    // CI) would.
+    auto vs = lintPaths({std::string(MEMCON_SOURCE_DIR) + "/src",
+                         std::string(MEMCON_SOURCE_DIR) + "/bench"});
+    EXPECT_TRUE(vs.empty()) << memcon::lint::formatReport(vs);
+}

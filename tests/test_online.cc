@@ -72,7 +72,7 @@ struct Rig
     void
     writeRow(std::uint64_t row)
     {
-        dram::Coordinates c = geom.rowFromFlatIndex(row);
+        dram::Coordinates c = geom.rowFromFlatIndex(RowId{row});
         sim::Request req;
         req.type = sim::Request::Type::Write;
         req.addr = geom.compose(c);
@@ -85,7 +85,7 @@ struct Rig
     OnlineMemcon *memconSlot = nullptr;
     std::unique_ptr<sim::MemoryController> mc;
     std::unique_ptr<OnlineMemcon> memcon;
-    Tick now = 0;
+    Tick now{};
 };
 
 TEST(OnlineMemcon, WrittenRowBecomesTestedAndGoesLoRef)
@@ -119,7 +119,7 @@ TEST(OnlineMemcon, WriteDuringTestAborts)
 
 TEST(OnlineMemcon, FailingRowNeverReachesLoRef)
 {
-    auto oracle = [](std::uint64_t row) { return row == 5; };
+    auto oracle = [](RowId row) { return row == RowId{5}; };
     Rig rig(Rig::smallConfig(), oracle);
     rig.writeRow(5);
     rig.writeRow(9);
@@ -127,8 +127,8 @@ TEST(OnlineMemcon, FailingRowNeverReachesLoRef)
     EXPECT_GE(rig.memcon->testsFailed(), 1u);
     EXPECT_GE(rig.memcon->testsPassed(), 1u);
     // The condemned row never reaches LO-REF; the clean one does.
-    EXPECT_FALSE(rig.memcon->isLoRef(5));
-    EXPECT_TRUE(rig.memcon->isLoRef(9));
+    EXPECT_FALSE(rig.memcon->isLoRef(RowId{5}));
+    EXPECT_TRUE(rig.memcon->isLoRef(RowId{9}));
 }
 
 TEST(OnlineMemcon, DemandWriteDemotesLoRow)
@@ -136,11 +136,11 @@ TEST(OnlineMemcon, DemandWriteDemotesLoRow)
     Rig rig;
     rig.writeRow(7);
     rig.spin(250000);
-    ASSERT_TRUE(rig.memcon->isLoRef(7));
+    ASSERT_TRUE(rig.memcon->isLoRef(RowId{7}));
     rig.writeRow(7);
     rig.spin(100);
     EXPECT_EQ(rig.memcon->demotions(), 1u);
-    EXPECT_FALSE(rig.memcon->isLoRef(7));
+    EXPECT_FALSE(rig.memcon->isLoRef(RowId{7}));
 }
 
 TEST(OnlineMemcon, ControllerRefreshReductionTracksLoFraction)
@@ -170,7 +170,7 @@ TEST(OnlineMemcon, SlotBudgetQueuesCandidates)
     // concurrent slots (read-only rows are tested too).
     EXPECT_GE(rig.memcon->testsPassed(), 32u);
     for (std::uint64_t r = 0; r < 32; ++r)
-        EXPECT_TRUE(rig.memcon->isLoRef(r)) << "row " << r;
+        EXPECT_TRUE(rig.memcon->isLoRef(RowId{r})) << "row " << r;
 }
 
 TEST(OnlineMemcon, FullSystemClosedLoop)
@@ -202,7 +202,7 @@ TEST(OnlineMemcon, FullSystemClosedLoop)
             trace::CpuPersona::byName("perlbench"), 1);
         sim::SimpleCore core(0, std::move(stream), mc, 0,
                              geom.totalBlocks());
-        Tick now = 0;
+        Tick now{};
         const Tick horizon = msToTicks(0.8);
         while (now < horizon) {
             now += timing.tCk;
@@ -213,7 +213,7 @@ TEST(OnlineMemcon, FullSystemClosedLoop)
                 core.tick(now);
         }
         return std::pair{mc.stats().value("refresh") /
-                             ticksToMs(now),
+                             ticksToMs(now).value(),
                          om ? om->loRefFraction() : 0.0};
     };
 

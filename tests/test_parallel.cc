@@ -53,7 +53,7 @@ makeEngineSweep(unsigned threads, std::uint64_t campaign_seed)
                     trace::AppPersona p = base;
                     p.seed = ctx.seed;
                     core::MemconConfig cfg;
-                    cfg.quantumMs = cil;
+                    cfg.quantumMs = TimeMs{cil};
                     core::MemconEngine engine(cfg);
                     core::MemconResult r = engine.runOnApp(p);
                     return Metrics{

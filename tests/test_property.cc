@@ -161,13 +161,17 @@ TEST(Property, PrilMatchesNaiveReferenceModel)
             std::uint64_t page = rng.chance(0.3)
                                      ? rng.uniformInt(4)
                                      : rng.uniformInt(num_pages);
-            pril.onWrite(page);
+            pril.onWrite(PageId{page});
             naive.onWrite(page);
         }
         for (std::uint64_t p = 0; p < num_pages; p += 7)
-            EXPECT_EQ(pril.isTracked(p), naive.isTracked(p)) << p;
+            EXPECT_EQ(pril.isTracked(PageId{p}), naive.isTracked(p))
+                << p;
 
-        EXPECT_EQ(pril.endQuantum(), naive.endQuantum())
+        std::vector<std::uint64_t> got;
+        for (PageId c : pril.endQuantum())
+            got.push_back(c.value());
+        EXPECT_EQ(got, naive.endQuantum())
             << "quantum " << quantum;
         EXPECT_EQ(pril.bufferDrops(), naive.bufferDrops())
             << "quantum " << quantum;
@@ -190,10 +194,11 @@ TEST(Property, PrilCandidatesHadExactlyOneWriteTwoQuantaAgo)
         std::uint64_t writes = rng.uniformInt(60);
         for (std::uint64_t w = 0; w < writes; ++w) {
             std::uint64_t page = rng.uniformInt(num_pages);
-            pril.onWrite(page);
+            pril.onWrite(PageId{page});
             ++cur_counts[page];
         }
-        for (std::uint64_t page : pril.endQuantum()) {
+        for (PageId cand : pril.endQuantum()) {
+            std::uint64_t page = cand.value();
             EXPECT_EQ(prev_counts[page], 1u)
                 << "page " << page << " quantum " << quantum;
             EXPECT_EQ(cur_counts[page], 0u)

@@ -104,7 +104,7 @@ struct Rig
     void
     writeRow(std::uint64_t row)
     {
-        dram::Coordinates c = geom.rowFromFlatIndex(row);
+        dram::Coordinates c = geom.rowFromFlatIndex(RowId{row});
         sim::Request req;
         req.type = sim::Request::Type::Write;
         req.addr = geom.compose(c);
@@ -116,7 +116,7 @@ struct Rig
     void
     readRow(std::uint64_t row)
     {
-        dram::Coordinates c = geom.rowFromFlatIndex(row);
+        dram::Coordinates c = geom.rowFromFlatIndex(RowId{row});
         sim::Request req;
         req.type = sim::Request::Type::Read;
         req.addr = geom.compose(c);
@@ -131,7 +131,7 @@ struct Rig
     {
         writeRow(row);
         ASSERT_TRUE(spinUntil(
-            [&] { return memcon->isLoRef(row); }))
+            [&] { return memcon->isLoRef(RowId{row}); }))
             << "row " << row << " never reached LO-REF";
     }
 
@@ -146,9 +146,9 @@ struct Rig
     OnlineMemcon *memconSlot = nullptr;
     std::unique_ptr<sim::MemoryController> mc;
     std::unique_ptr<OnlineMemcon> memcon;
-    std::function<EccStatus(std::uint64_t row, Tick)> rowProbe;
+    std::function<EccStatus(RowId row, Tick)> rowProbe;
     unsigned probeCalls = 0;
-    Tick now = 0;
+    Tick now{};
 };
 
 // --- controller error-event hook -----------------------------------
@@ -156,7 +156,7 @@ struct Rig
 TEST(ErrorEventHook, CorrectedReadFiresObserverAndStats)
 {
     Rig rig;
-    rig.rowProbe = [](std::uint64_t, Tick) {
+    rig.rowProbe = [](RowId, Tick) {
         return EccStatus::CorrectedData;
     };
     rig.readRow(1);
@@ -193,12 +193,12 @@ TEST(GracefulDegradation, CorrectedErrorDemotesWithinOneRetargetPeriod)
     double reduction_before = rig.mc->refreshReduction();
     ASSERT_GT(reduction_before, 0.0);
 
-    rig.rowProbe = [](std::uint64_t row, Tick) {
-        return row == 5 ? EccStatus::CorrectedData : EccStatus::Ok;
+    rig.rowProbe = [](RowId row, Tick) {
+        return row == RowId{5} ? EccStatus::CorrectedData : EccStatus::Ok;
     };
     rig.readRow(5);
     // Demotion is immediate - well inside one retarget period.
-    EXPECT_FALSE(rig.memcon->isLoRef(5));
+    EXPECT_FALSE(rig.memcon->isLoRef(RowId{5}));
     EXPECT_EQ(rig.stat("demote.corrected"), 1.0);
     EXPECT_EQ(rig.stat("retest.scheduled"), 1.0);
     // The controller's cadence follows at the next retarget.
@@ -210,16 +210,16 @@ TEST(GracefulDegradation, BackoffRetestRecertifiesHealedRow)
 {
     Rig rig;
     rig.promote(5);
-    rig.rowProbe = [](std::uint64_t row, Tick) {
-        return row == 5 ? EccStatus::CorrectedData : EccStatus::Ok;
+    rig.rowProbe = [](RowId row, Tick) {
+        return row == RowId{5} ? EccStatus::CorrectedData : EccStatus::Ok;
     };
     rig.readRow(5);
-    ASSERT_FALSE(rig.memcon->isLoRef(5));
+    ASSERT_FALSE(rig.memcon->isLoRef(RowId{5}));
     // The fault clears (VRT cell back in its healthy state); the
     // scheduled backoff re-test re-certifies the row without any
     // demand write.
     rig.rowProbe = {};
-    EXPECT_TRUE(rig.spinUntil([&] { return rig.memcon->isLoRef(5); }));
+    EXPECT_TRUE(rig.spinUntil([&] { return rig.memcon->isLoRef(RowId{5}); }));
     EXPECT_EQ(rig.memcon->pinnedRows(), 0u);
 }
 
@@ -229,24 +229,24 @@ TEST(GracefulDegradation, ChronicCorrectedErrorsPinRowHiRef)
     cfg.resilience.maxCorrectedRetries = 2;
     Rig rig(cfg);
     rig.promote(5);
-    rig.rowProbe = [](std::uint64_t row, Tick) {
-        return row == 5 ? EccStatus::CorrectedData : EccStatus::Ok;
+    rig.rowProbe = [](RowId row, Tick) {
+        return row == RowId{5} ? EccStatus::CorrectedData : EccStatus::Ok;
     };
     // Episode 1 and 2: demote, re-test passes, row returns to LO.
     for (int episode = 1; episode <= 2; ++episode) {
         rig.readRow(5);
-        ASSERT_FALSE(rig.memcon->isLoRef(5));
+        ASSERT_FALSE(rig.memcon->isLoRef(RowId{5}));
         ASSERT_TRUE(rig.spinUntil(
-            [&] { return rig.memcon->isLoRef(5); }))
+            [&] { return rig.memcon->isLoRef(RowId{5}); }))
             << "episode " << episode;
     }
     // Episode 3 exhausts the retries: pinned at HI-REF for good.
     rig.readRow(5);
-    EXPECT_FALSE(rig.memcon->isLoRef(5));
+    EXPECT_FALSE(rig.memcon->isLoRef(RowId{5}));
     EXPECT_EQ(rig.memcon->pinnedRows(), 1u);
     EXPECT_EQ(rig.stat("pinned"), 1.0);
     rig.spin(600000);
-    EXPECT_FALSE(rig.memcon->isLoRef(5));
+    EXPECT_FALSE(rig.memcon->isLoRef(RowId{5}));
     EXPECT_EQ(rig.stat("demote.corrected"), 3.0);
 }
 
@@ -261,8 +261,8 @@ TEST(GracefulDegradation, UncorrectableEntersAndExitsFallback)
         [&] { return rig.memcon->loRefFraction() > 0.0 &&
                      rig.mc->refreshReduction() > 0.0; }));
 
-    rig.rowProbe = [](std::uint64_t row, Tick) {
-        return row == 3 ? EccStatus::Uncorrectable : EccStatus::Ok;
+    rig.rowProbe = [](RowId row, Tick) {
+        return row == RowId{3} ? EccStatus::Uncorrectable : EccStatus::Ok;
     };
     rig.readRow(3);
     // Panic-fallback: blanket HI-REF, cadence re-targeted at once.
@@ -279,7 +279,7 @@ TEST(GracefulDegradation, UncorrectableEntersAndExitsFallback)
         [&] { return !rig.memcon->inFallback() &&
                      rig.memcon->loRefFraction() > 0.0; }));
     EXPECT_EQ(rig.stat("fallback.exits"), 1.0);
-    EXPECT_FALSE(rig.memcon->isLoRef(3));
+    EXPECT_FALSE(rig.memcon->isLoRef(RowId{3}));
 }
 
 TEST(GracefulDegradation, FallbackDrainsTestSlots)
@@ -291,7 +291,7 @@ TEST(GracefulDegradation, FallbackDrainsTestSlots)
         [&] { return rig.memcon->testsStarted() >= 1; }));
     if (rig.memcon->testsPassed() > 0)
         GTEST_SKIP() << "test completed before the drain window";
-    rig.rowProbe = [](std::uint64_t, Tick) {
+    rig.rowProbe = [](RowId, Tick) {
         return EccStatus::Uncorrectable;
     };
     rig.readRow(9);
@@ -306,8 +306,8 @@ TEST(GracefulDegradation, DisabledLayerOnlyCounts)
     cfg.resilience.enabled = false;
     Rig rig(cfg);
     rig.promote(5);
-    rig.rowProbe = [](std::uint64_t row, Tick) {
-        return row == 5 ? EccStatus::CorrectedData
+    rig.rowProbe = [](RowId row, Tick) {
+        return row == RowId{5} ? EccStatus::CorrectedData
                         : EccStatus::Uncorrectable;
     };
     rig.readRow(5);
@@ -316,7 +316,7 @@ TEST(GracefulDegradation, DisabledLayerOnlyCounts)
     // mechanism acts on none of them.
     EXPECT_GE(rig.stat("ecc.corrected"), 1.0);
     EXPECT_GE(rig.stat("ecc.uncorrectable"), 1.0);
-    EXPECT_TRUE(rig.memcon->isLoRef(5));
+    EXPECT_TRUE(rig.memcon->isLoRef(RowId{5}));
     EXPECT_FALSE(rig.memcon->inFallback());
     EXPECT_EQ(rig.memcon->pinnedRows(), 0u);
 }
@@ -329,8 +329,8 @@ TEST(Scrub, DetectsStaleLoRefVerdict)
     cfg.resilience.scrubPeriod = usToTicks(30.0);
     cfg.resilience.scrubRowsPerSweep = 16;
     bool condemned = false;
-    auto oracle = [&condemned](std::uint64_t row) {
-        return condemned && row == 5;
+    auto oracle = [&condemned](RowId row) {
+        return condemned && row == RowId{5};
     };
     Rig rig(cfg, oracle);
     rig.promote(5);
@@ -340,11 +340,11 @@ TEST(Scrub, DetectsStaleLoRefVerdict)
     // sweep can catch it.
     condemned = true;
     EXPECT_TRUE(rig.spinUntil(
-        [&] { return !rig.memcon->isLoRef(5); }));
+        [&] { return !rig.memcon->isLoRef(RowId{5}); }));
     EXPECT_GE(rig.stat("scrub.failed"), 1.0);
     EXPECT_GE(rig.stat("demote.scrub"), 1.0);
     // The healthy row is re-affirmed, not demoted.
-    EXPECT_TRUE(rig.memcon->isLoRef(9));
+    EXPECT_TRUE(rig.memcon->isLoRef(RowId{9}));
     EXPECT_GE(rig.stat("scrub.passed"), 1.0);
 }
 
@@ -353,14 +353,14 @@ TEST(Scrub, WithoutScrubTheStaleVerdictPersists)
     // The exposure the scrub closes: same hazard, scrub off, and the
     // condemned row keeps serving at LO-REF - silent corruption.
     bool condemned = false;
-    auto oracle = [&condemned](std::uint64_t row) {
-        return condemned && row == 5;
+    auto oracle = [&condemned](RowId row) {
+        return condemned && row == RowId{5};
     };
     Rig rig(Rig::smallConfig(), oracle);
     rig.promote(5);
     condemned = true;
     rig.spin(600000);
-    EXPECT_TRUE(rig.memcon->isLoRef(5));
+    EXPECT_TRUE(rig.memcon->isLoRef(RowId{5}));
     EXPECT_EQ(rig.stat("scrub.failed"), 0.0);
 }
 
@@ -377,7 +377,8 @@ TEST(FaultInjectorTest, DeterministicUnderFixedSeed)
     for (int step = 1; step <= 20; ++step) {
         for (std::uint64_t row = 0; row < 64; row += 7) {
             Tick t = msToTicks(0.05 * step);
-            EXPECT_EQ(a.onRead(row, t, true), b.onRead(row, t, true));
+            EXPECT_EQ(a.onRead(RowId{row}, t, true),
+                      b.onRead(RowId{row}, t, true));
         }
     }
     EXPECT_EQ(a.injectedFaults(), b.injectedFaults());
@@ -392,7 +393,7 @@ TEST(FaultInjectorTest, FaultBudgetCapsInjection)
     cfg.seed = 3;
     FaultInjector inj(cfg, 32);
     for (std::uint64_t row = 0; row < 32; ++row)
-        inj.onRead(row, msToTicks(10.0), false);
+        inj.onRead(RowId{row}, msToTicks(10.0), false);
     EXPECT_EQ(inj.injectedFaults(), 5u);
     EXPECT_GT(inj.stats().value("budgetDropped"), 0.0);
 }
@@ -405,15 +406,15 @@ TEST(FaultInjectorTest, SingleBitPersistsUntilRestored)
     cfg.seed = 11;
     FaultInjector inj(cfg, 8);
     Tick t = msToTicks(1.0);
-    while (inj.onRead(0, t, false) != EccStatus::CorrectedData)
+    while (inj.onRead(RowId{}, t, false) != EccStatus::CorrectedData)
         t += msToTicks(1.0);
     // Correction does not repair the cell: every further read sees it
     // until the row's content is rewritten.
-    EXPECT_EQ(inj.onRead(0, t, false), EccStatus::CorrectedData);
-    EXPECT_TRUE(inj.hasLatentFault(0, t, false));
-    inj.onRowRestored(0, t);
-    EXPECT_EQ(inj.onRead(0, t, false), EccStatus::Ok);
-    EXPECT_FALSE(inj.hasLatentFault(0, t, false));
+    EXPECT_EQ(inj.onRead(RowId{}, t, false), EccStatus::CorrectedData);
+    EXPECT_TRUE(inj.hasLatentFault(RowId{}, t, false));
+    inj.onRowRestored(RowId{}, t);
+    EXPECT_EQ(inj.onRead(RowId{}, t, false), EccStatus::Ok);
+    EXPECT_FALSE(inj.hasLatentFault(RowId{}, t, false));
 }
 
 TEST(FaultInjectorTest, DoubleBitUncorrectableRetiresPage)
@@ -424,11 +425,11 @@ TEST(FaultInjectorTest, DoubleBitUncorrectableRetiresPage)
     cfg.seed = 11;
     FaultInjector inj(cfg, 8);
     Tick t = msToTicks(1.0);
-    while (inj.onRead(0, t, false) != EccStatus::Uncorrectable)
+    while (inj.onRead(RowId{}, t, false) != EccStatus::Uncorrectable)
         t += msToTicks(1.0);
     // The machine-check path retired the page: the pending fault is
     // gone (until the process produces a new one).
-    EXPECT_FALSE(inj.hasLatentFault(0, t, false));
+    EXPECT_FALSE(inj.hasLatentFault(RowId{}, t, false));
 }
 
 TEST(FaultInjectorTest, VrtSourceBitesOnlyAtLoRef)
@@ -449,7 +450,7 @@ TEST(FaultInjectorTest, VrtSourceBitesOnlyAtLoRef)
     double bad_ms = 0.0;
     for (double t_ms = 1.0; t_ms < 64.0 && bad_row == 256; t_ms += 1.0) {
         for (std::uint64_t r = 0; r < 256; ++r) {
-            if (pop.rowFailsAt(r, 64.0, t_ms)) {
+            if (pop.rowFailsAt(RowId{r}, 64.0, TimeMs{t_ms})) {
                 bad_row = r;
                 bad_ms = t_ms;
                 break;
@@ -457,12 +458,12 @@ TEST(FaultInjectorTest, VrtSourceBitesOnlyAtLoRef)
         }
     }
     ASSERT_LT(bad_row, 256u) << "no leaky cell in the scan window";
-    EXPECT_NE(inj.onRead(bad_row, msToTicks(bad_ms), true),
+    EXPECT_NE(inj.onRead(RowId{bad_row}, msToTicks(bad_ms), true),
               EccStatus::Ok);
     // At HI-REF the same cell holds its charge: no event.
-    EXPECT_EQ(inj.onRead(bad_row, msToTicks(bad_ms), false),
+    EXPECT_EQ(inj.onRead(RowId{bad_row}, msToTicks(bad_ms), false),
               EccStatus::Ok);
-    EXPECT_TRUE(inj.hasLatentFault(bad_row, msToTicks(bad_ms), true));
+    EXPECT_TRUE(inj.hasLatentFault(RowId{bad_row}, msToTicks(bad_ms), true));
 }
 
 } // namespace

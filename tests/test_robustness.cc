@@ -53,19 +53,20 @@ TEST(Channel, PreaClosesEveryBank)
     auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
     dram::Channel chan(g, timing);
 
-    Tick t = 0;
-    chan.issue(dram::Command::Act, 0, 0, 1, t);
+    Tick t{};
+    chan.issue(dram::Command::Act, 0, 0, RowId{1}, t);
     t += timing.cyc(timing.tRRD);
-    chan.issue(dram::Command::Act, 0, 3, 2, t);
+    chan.issue(dram::Command::Act, 0, 3, RowId{2}, t);
     // Wait out tRAS for both banks, then PREA.
     Tick prea_at = t + timing.cyc(timing.tRAS);
-    ASSERT_TRUE(chan.canIssue(dram::Command::PreA, 0, 0, 0, prea_at));
-    chan.issue(dram::Command::PreA, 0, 0, 0, prea_at);
+    ASSERT_TRUE(chan.canIssue(dram::Command::PreA, 0, 0, RowId{}, prea_at));
+    chan.issue(dram::Command::PreA, 0, 0, RowId{}, prea_at);
     EXPECT_TRUE(chan.allBanksPrecharged(0));
     // All banks respect tRP afterwards.
-    EXPECT_FALSE(chan.canIssue(dram::Command::Act, 0, 3, 5,
-                               prea_at + timing.cyc(timing.tRP) - 1));
-    EXPECT_TRUE(chan.canIssue(dram::Command::Act, 0, 3, 5,
+    EXPECT_FALSE(chan.canIssue(dram::Command::Act, 0, 3, RowId{5},
+                               prea_at + timing.cyc(timing.tRP) -
+                                   Tick{1}));
+    EXPECT_TRUE(chan.canIssue(dram::Command::Act, 0, 3, RowId{5},
                               prea_at + timing.cyc(timing.tRP)));
 }
 
@@ -80,10 +81,10 @@ TEST(Controller, AgedRequestBypassesRowHits)
     auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
     sim::ControllerConfig cfg;
     cfg.refreshEnabled = false;
-    cfg.starvationThreshold = tickPerUs; // 1 us
+    cfg.starvationThreshold = Tick{tickPerUs}; // 1 us
     sim::MemoryController mc(g, timing, cfg);
 
-    Tick now = 0;
+    Tick now{};
     auto spin = [&](unsigned cycles) {
         for (unsigned i = 0; i < cycles; ++i) {
             now += timing.tCk;
@@ -102,7 +103,7 @@ TEST(Controller, AgedRequestBypassesRowHits)
         spin(1);
 
     // The victim: a different row of the same bank.
-    Tick victim_done = 0;
+    Tick victim_done{};
     sim::Request victim;
     victim.type = sim::Request::Type::Read;
     victim.addr = g.rowBytes() * g.banks; // row 1, bank 0
@@ -112,15 +113,16 @@ TEST(Controller, AgedRequestBypassesRowHits)
 
     // Keep feeding row hits to row 0, column varying.
     std::uint64_t col = 1;
-    while (victim_done == 0 && now < victim_issued + 50 * tickPerUs) {
+    while (victim_done == Tick{} &&
+           now < victim_issued + Tick{50 * tickPerUs}) {
         sim::Request hit;
         hit.type = sim::Request::Type::Read;
         hit.addr = (col++ % g.columnsPerRow) * g.blockBytes;
         mc.enqueue(std::move(hit), now); // ok if the queue is full
         spin(1);
     }
-    ASSERT_GT(victim_done, 0u) << "victim starved";
-    EXPECT_LT(victim_done - victim_issued, 4 * tickPerUs);
+    ASSERT_GT(victim_done, Tick{}) << "victim starved";
+    EXPECT_LT(victim_done - victim_issued, Tick{4 * tickPerUs});
 }
 
 TEST(Controller, TestAdmissionLimitKeepsDemandHeadroom)
@@ -134,7 +136,7 @@ TEST(Controller, TestAdmissionLimitKeepsDemandHeadroom)
     sim::MemoryController mc(g, timing, cfg);
 
     // Test requests are rejected once the queue reaches the limit...
-    Tick now = 0;
+    Tick now{};
     for (int i = 0; i < 4; ++i) {
         sim::Request t;
         t.type = sim::Request::Type::Read;
@@ -178,7 +180,7 @@ TEST(OnlineMemconModes, CopyAndCompareClosedLoop)
     core::OnlineMemcon om(g, mc, cfg);
     slot = &om;
 
-    Tick now = 0;
+    Tick now{};
     for (int i = 0; i < 700000; ++i) {
         now += timing.tCk;
         mc.tick(now);
@@ -207,7 +209,7 @@ TEST(Energy, StatsDrivenTallyTracksActivity)
     sim::ControllerConfig cfg;
     sim::MemoryController mc(g, timing, cfg);
 
-    Tick now = 0;
+    Tick now{};
     Rng rng(5);
     for (int i = 0; i < 20000; ++i) {
         now += timing.tCk;

@@ -57,7 +57,7 @@ class ControllerTest : public ::testing::Test
         r.type = Request::Type::Read;
         r.addr = addr;
         r.onComplete = [done_at](const Request &) {
-            *done_at = 1; // flag completion; value rewritten below
+            *done_at = Tick{1}; // flag completion; value rewritten below
         };
         return r;
     }
@@ -75,7 +75,7 @@ TEST_F(ControllerTest, ReadCompletesWithCallback)
     r.type = Request::Type::Read;
     r.addr = 0x1000;
     r.onComplete = [&done](const Request &) { done = true; };
-    Tick now = 0;
+    Tick now{};
     ASSERT_TRUE(mc->enqueue(std::move(r), now));
     spin(now, 100);
     EXPECT_TRUE(done);
@@ -85,7 +85,7 @@ TEST_F(ControllerTest, ReadCompletesWithCallback)
 
 TEST_F(ControllerTest, QueueCapacityEnforced)
 {
-    Tick now = 0;
+    Tick now{};
     for (std::size_t i = 0; i < cfg.readQueueCapacity; ++i) {
         Request r;
         r.type = Request::Type::Read;
@@ -108,7 +108,7 @@ TEST_F(ControllerTest, RowHitFasterThanRowMiss)
         ControllerConfig c;
         c.refreshEnabled = false;
         MemoryController m(geom, timing, c);
-        Tick now = 0;
+        Tick now{};
         bool warm_done = false;
         Request w;
         w.type = Request::Type::Read;
@@ -120,13 +120,13 @@ TEST_F(ControllerTest, RowHitFasterThanRowMiss)
             m.tick(now);
         }
         Tick issue = now;
-        Tick done_at = 0;
+        Tick done_at{};
         Request p;
         p.type = Request::Type::Read;
         p.addr = probe_addr;
-        p.onComplete = [&](const Request &) { done_at = 1; };
+        p.onComplete = [&](const Request &) { done_at = Tick{1}; };
         EXPECT_TRUE(m.enqueue(std::move(p), now));
-        while (done_at == 0) {
+        while (done_at == Tick{}) {
             now += timing.tCk;
             m.tick(now);
         }
@@ -143,7 +143,7 @@ TEST_F(ControllerTest, RowHitFasterThanRowMiss)
 
 TEST_F(ControllerTest, WritesAreDrainedAndCounted)
 {
-    Tick now = 0;
+    Tick now{};
     for (int i = 0; i < 8; ++i) {
         Request w;
         w.type = Request::Type::Write;
@@ -157,10 +157,10 @@ TEST_F(ControllerTest, WritesAreDrainedAndCounted)
 
 TEST_F(ControllerTest, DemandReadsOutrankTestTraffic)
 {
-    Tick now = 0;
+    Tick now{};
     // A test read to one row and a demand read to another, same bank.
     bool test_done = false, demand_done = false;
-    Tick test_at = 0, demand_at = 0;
+    Tick test_at{}, demand_at{};
 
     Request t;
     t.type = Request::Type::Read;
@@ -168,14 +168,14 @@ TEST_F(ControllerTest, DemandReadsOutrankTestTraffic)
     t.isTest = true;
     t.onComplete = [&](const Request &) {
         test_done = true;
-        test_at = 1;
+        test_at = Tick{1};
     };
     Request d;
     d.type = Request::Type::Read;
     d.addr = 0; // row 0, bank 0
     d.onComplete = [&](const Request &) {
         demand_done = true;
-        demand_at = 1;
+        demand_at = Tick{1};
     };
     // Enqueue the test first; FR-FCFS with demand priority must still
     // serve the demand read first.
@@ -184,10 +184,10 @@ TEST_F(ControllerTest, DemandReadsOutrankTestTraffic)
     while (!test_done || !demand_done) {
         now += timing.tCk;
         mc->tick(now);
-        if (demand_done && demand_at == 1) {
+        if (demand_done && demand_at == Tick{1}) {
             demand_at = now;
         }
-        if (test_done && test_at == 1) {
+        if (test_done && test_at == Tick{1}) {
             test_at = now;
         }
     }
@@ -200,14 +200,14 @@ TEST_F(ControllerTest, RefreshCadenceMatchesEffectiveTrefi)
     c.refreshEnabled = true;
     c.refreshReduction = 0.0;
     MemoryController m(geom, timing, c);
-    Tick now = 0;
+    Tick now{};
     Tick horizon = usToTicks(1000); // 1 ms
     while (now < horizon) {
         now += timing.tCk;
         m.tick(now);
     }
     double expected =
-        static_cast<double>(horizon) / timing.cyc(timing.tREFI);
+        static_cast<double>(horizon / timing.cyc(timing.tREFI));
     EXPECT_NEAR(m.stats().value("refresh"), expected, 2.0);
 }
 
@@ -226,7 +226,7 @@ TEST_P(RefreshReduction, ScalesRefreshCount)
     red_cfg.refreshReduction = reduction;
     MemoryController base(geom, timing, base_cfg);
     MemoryController red(geom, timing, red_cfg);
-    Tick now = 0;
+    Tick now{};
     Tick horizon = usToTicks(2000);
     while (now < horizon) {
         now += timing.tCk;
@@ -330,7 +330,7 @@ TEST(TestTraffic, InjectorPacesTests)
     c.refreshEnabled = false;
     MemoryController mc(geom, timing, c);
     TestTrafficSource src(geom, mc, 256, false, 1);
-    Tick now = 0;
+    Tick now{};
     Tick horizon = msToTicks(4.0); // 1/16 of a 64 ms window
     while (now < horizon) {
         now += timing.tCk;
@@ -352,7 +352,7 @@ TEST(TestTraffic, CopyModeAddsWrites)
     c.refreshEnabled = false;
     MemoryController mc(geom, timing, c);
     TestTrafficSource src(geom, mc, 256, true, 1);
-    Tick now = 0;
+    Tick now{};
     while (now < msToTicks(2.0)) {
         now += timing.tCk;
         mc.tick(now);

@@ -71,8 +71,8 @@ TEST(PageWriteProcess, TimesSortedWithinDuration)
         PageWriteProcess proc(p, page);
         auto times = proc.writeTimes();
         for (std::size_t i = 0; i < times.size(); ++i) {
-            ASSERT_GE(times[i], 0.0);
-            ASSERT_LT(times[i], p.durationSec * 1000.0);
+            ASSERT_GE(times[i], TimeMs{});
+            ASSERT_LT(times[i].value(), p.durationSec * 1000.0);
             if (i > 0)
                 ASSERT_GT(times[i], times[i - 1]);
         }
@@ -126,21 +126,21 @@ TEST(PageWriteProcess, HotPagesWriteFarMoreThanColdOnes)
 TEST(Analyzer, HandComputedFractions)
 {
     WriteIntervalAnalyzer a;
-    a.addInterval(0.5);
-    a.addInterval(0.5);
-    a.addInterval(2.0);
-    a.addInterval(2000.0);
+    a.addInterval(TimeMs{0.5});
+    a.addInterval(TimeMs{0.5});
+    a.addInterval(TimeMs{2.0});
+    a.addInterval(TimeMs{2000.0});
     EXPECT_EQ(a.numIntervals(), 4u);
     EXPECT_DOUBLE_EQ(a.totalIntervalTimeMs(), 2003.0);
-    EXPECT_DOUBLE_EQ(a.fractionWritesBelow(1.0), 0.5);
-    EXPECT_DOUBLE_EQ(a.fractionWritesAtLeast(1024.0), 0.25);
-    EXPECT_NEAR(a.timeFractionAtLeast(1024.0), 2000.0 / 2003.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.fractionWritesBelow(TimeMs{1.0}), 0.5);
+    EXPECT_DOUBLE_EQ(a.fractionWritesAtLeast(TimeMs{1024.0}), 0.25);
+    EXPECT_NEAR(a.timeFractionAtLeast(TimeMs{1024.0}), 2000.0 / 2003.0, 1e-12);
 }
 
 TEST(Analyzer, PageWriteTimesBecomeIntervals)
 {
     WriteIntervalAnalyzer a;
-    a.addPageWriteTimes({10.0, 11.0, 20.0});
+    a.addPageWriteTimes({TimeMs{10.0}, TimeMs{11.0}, TimeMs{20.0}});
     EXPECT_EQ(a.numIntervals(), 2u);
     EXPECT_DOUBLE_EQ(a.totalIntervalTimeMs(), 10.0);
 }
@@ -150,8 +150,8 @@ TEST(Analyzer, SurvivalCurveMonotone)
     WriteIntervalAnalyzer a;
     Rng rng(4);
     for (int i = 0; i < 50000; ++i)
-        a.addInterval(rng.pareto(1.0, 0.5));
-    auto curve = a.survivalCurve(32768.0);
+        a.addInterval(TimeMs{rng.pareto(1.0, 0.5)});
+    auto curve = a.survivalCurve(TimeMs{32768.0});
     ASSERT_GT(curve.size(), 10u);
     for (std::size_t i = 1; i < curve.size(); ++i)
         ASSERT_LE(curve[i].second, curve[i - 1].second);
@@ -162,8 +162,8 @@ TEST(Analyzer, ParetoFitRecoversSyntheticAlpha)
     WriteIntervalAnalyzer a;
     Rng rng(9);
     for (int i = 0; i < 200000; ++i)
-        a.addInterval(rng.pareto(1.0, 0.6));
-    LineFit fit = a.paretoFit(1.0, 4096.0);
+        a.addInterval(TimeMs{rng.pareto(1.0, 0.6)});
+    LineFit fit = a.paretoFit(TimeMs{1.0}, TimeMs{4096.0});
     EXPECT_NEAR(-fit.slope, 0.6, 0.05);
     EXPECT_GT(fit.rSquared, 0.99);
 }
@@ -175,16 +175,16 @@ TEST(Analyzer, DhrPropertyOnParetoIntervals)
     WriteIntervalAnalyzer a;
     Rng rng(14);
     for (int i = 0; i < 300000; ++i)
-        a.addInterval(rng.pareto(1.0, 0.5));
+        a.addInterval(TimeMs{rng.pareto(1.0, 0.5)});
     double prev = 0.0;
     for (double c : {1.0, 8.0, 64.0, 512.0, 4096.0}) {
-        double p = a.probRemainingAtLeast(c, 1024.0);
+        double p = a.probRemainingAtLeast(TimeMs{c}, TimeMs{1024.0});
         EXPECT_GE(p, prev - 0.02); // monotone up to sampling noise
         prev = p;
     }
     // And matches the closed form (c/(c+r))^alpha at large c.
     double expect = std::pow(512.0 / 1536.0, 0.5);
-    EXPECT_NEAR(a.probRemainingAtLeast(512.0, 1024.0), expect, 0.05);
+    EXPECT_NEAR(a.probRemainingAtLeast(TimeMs{512.0}, TimeMs{1024.0}), expect, 0.05);
 }
 
 TEST(Analyzer, CoverageDecreasesWithCil)
@@ -192,10 +192,10 @@ TEST(Analyzer, CoverageDecreasesWithCil)
     WriteIntervalAnalyzer a;
     Rng rng(15);
     for (int i = 0; i < 100000; ++i)
-        a.addInterval(rng.pareto(1.0, 0.5));
+        a.addInterval(TimeMs{rng.pareto(1.0, 0.5)});
     double prev = 1.0;
     for (double c : {1.0, 64.0, 1024.0, 8192.0, 32768.0}) {
-        double cov = a.coverageAtCil(c, 1024.0);
+        double cov = a.coverageAtCil(TimeMs{c}, TimeMs{1024.0});
         EXPECT_LE(cov, prev + 1e-9);
         EXPECT_GE(cov, 0.0);
         prev = cov;
@@ -206,10 +206,10 @@ TEST(Analyzer, EmptyAnalyzerIsZero)
 {
     WriteIntervalAnalyzer a;
     EXPECT_EQ(a.numIntervals(), 0u);
-    EXPECT_DOUBLE_EQ(a.fractionWritesAtLeast(1.0), 0.0);
-    EXPECT_DOUBLE_EQ(a.timeFractionAtLeast(1.0), 0.0);
-    EXPECT_DOUBLE_EQ(a.probRemainingAtLeast(1.0, 1.0), 0.0);
-    EXPECT_DOUBLE_EQ(a.coverageAtCil(1.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(a.fractionWritesAtLeast(TimeMs{1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(a.timeFractionAtLeast(TimeMs{1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(a.probRemainingAtLeast(TimeMs{1.0}, TimeMs{1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(a.coverageAtCil(TimeMs{1.0}, TimeMs{1.0}), 0.0);
 }
 
 /** The Section 4.1 headline statistics, checked per application. */
@@ -224,18 +224,18 @@ TEST_P(AppMarginals, MatchPaperSection41)
 
     // "more than 95% of the writes occur within 1 ms" (the suite
     // averages 95%+; allow a small per-app tolerance).
-    EXPECT_GT(a.fractionWritesBelow(1.0), 0.93);
+    EXPECT_GT(a.fractionWritesBelow(TimeMs{1.0}), 0.93);
     // "less than 0.43% of writes exhibit intervals greater than
     // 1024 ms" on average; per-app we bound loosely.
-    EXPECT_LT(a.fractionWritesAtLeast(1024.0), 0.02);
+    EXPECT_LT(a.fractionWritesAtLeast(TimeMs{1024.0}), 0.02);
     // "write intervals greater than 1024 ms constitute 89.5% of the
     // total time spent on write intervals" on average.
-    EXPECT_GT(a.timeFractionAtLeast(1024.0), 0.85);
+    EXPECT_GT(a.timeFractionAtLeast(TimeMs{1024.0}), 0.85);
     // Figure 8: the Pareto fit is good (R^2 0.93-0.99 in the paper).
-    EXPECT_GT(a.paretoFit(1.0, 32768.0).rSquared, 0.90);
+    EXPECT_GT(a.paretoFit(TimeMs{1.0}, TimeMs{32768.0}).rSquared, 0.90);
     // Figure 11: by CIL = 16384 ms the long-RIL probability
     // approaches 1.
-    EXPECT_GT(a.probRemainingAtLeast(16384.0, 1024.0), 0.85);
+    EXPECT_GT(a.probRemainingAtLeast(TimeMs{16384.0}, TimeMs{1024.0}), 0.85);
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreeRepresentativeApps, AppMarginals,
@@ -250,10 +250,10 @@ TEST(Analyzer, HalvedIntervalsShiftDistributionLeft)
     WriteIntervalAnalyzer full = analyzeApp(p);
     WriteIntervalAnalyzer half = analyzeAppScaled(p, 0.5);
     EXPECT_LT(half.totalIntervalTimeMs(), full.totalIntervalTimeMs());
-    EXPECT_LE(half.fractionWritesAtLeast(1024.0),
-              full.fractionWritesAtLeast(1024.0));
-    double pf = full.probRemainingAtLeast(512.0, 1024.0);
-    double ph = half.probRemainingAtLeast(512.0, 1024.0);
+    EXPECT_LE(half.fractionWritesAtLeast(TimeMs{1024.0}),
+              full.fractionWritesAtLeast(TimeMs{1024.0}));
+    double pf = full.probRemainingAtLeast(TimeMs{512.0}, TimeMs{1024.0});
+    double ph = half.probRemainingAtLeast(TimeMs{512.0}, TimeMs{1024.0});
     EXPECT_NEAR(ph, pf, 0.15);
 }
 

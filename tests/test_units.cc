@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Pins for the strong-type migration (common/units.hh,
+ * common/strong_id.hh): the unit arithmetic the paper's numbers flow
+ * through must be bit-exact with the pre-migration raw integers, and
+ * the cross-type conversions that used to compile silently must no
+ * longer exist. The non-convertibility checks are static_asserts -
+ * the test passing means the file compiled, which IS the property.
+ */
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "common/strong_id.hh"
+#include "common/units.hh"
+#include "core/cost_model.hh"
+#include "dram/timing.hh"
+
+using namespace memcon;
+
+// --- non-convertibility: these were the bugs the migration bans ----
+
+// Row and page indices never mix, in either direction.
+static_assert(!std::is_convertible_v<RowId, PageId>);
+static_assert(!std::is_convertible_v<PageId, RowId>);
+static_assert(!std::is_constructible_v<RowId, PageId>);
+static_assert(!std::is_constructible_v<PageId, RowId>);
+
+// Raw integers do not silently become ids, and ids do not silently
+// decay back (value() is the only way out).
+static_assert(!std::is_convertible_v<std::uint64_t, RowId>);
+static_assert(!std::is_convertible_v<std::uint64_t, PageId>);
+static_assert(!std::is_convertible_v<RowId, std::uint64_t>);
+static_assert(std::is_constructible_v<RowId, std::uint64_t>);
+
+// Picoseconds and milliseconds are different dimensions now.
+static_assert(!std::is_convertible_v<Tick, TimeMs>);
+static_assert(!std::is_convertible_v<TimeMs, Tick>);
+static_assert(!std::is_constructible_v<Tick, TimeMs>);
+static_assert(!std::is_constructible_v<TimeMs, Tick>);
+static_assert(!std::is_convertible_v<std::uint64_t, Tick>);
+static_assert(!std::is_convertible_v<double, TimeMs>);
+static_assert(!std::is_convertible_v<Tick, std::uint64_t>);
+
+// Wrappers must cost nothing: same size and triviality as the reps.
+static_assert(sizeof(Tick) == sizeof(std::uint64_t));
+static_assert(sizeof(TimeMs) == sizeof(double));
+static_assert(sizeof(RowId) == sizeof(std::uint64_t));
+static_assert(std::is_trivially_copyable_v<Tick>);
+static_assert(std::is_trivially_copyable_v<RowId>);
+
+TEST(Units, TickConversionsAreExact)
+{
+    // tCK at DDR3-1600: 1.25 ns = exactly 1250 ps ticks.
+    EXPECT_EQ(nsToTicks(1.25), Tick{1250});
+    EXPECT_EQ(usToTicks(1.0), Tick{1000 * 1000});
+    EXPECT_EQ(msToTicks(1.0), Tick{1000ull * 1000 * 1000});
+    EXPECT_DOUBLE_EQ(ticksToNs(Tick{1250}), 1.25);
+
+    // The paper's refresh intervals survive the round trip exactly.
+    EXPECT_EQ(msToTicks(64.0), Tick{64ull * 1000 * 1000 * 1000});
+    EXPECT_EQ(msToTicks(16.0), Tick{16ull * 1000 * 1000 * 1000});
+    EXPECT_DOUBLE_EQ(ticksToMs(msToTicks(64.0)).value(), 64.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(msToTicks(16.0)).value(), 16.0);
+    EXPECT_EQ(timeMsToTicks(TimeMs{16.0}), msToTicks(16.0));
+}
+
+TEST(Units, TickArithmeticMatchesRawIntegers)
+{
+    Tick t = msToTicks(1.0);
+    t += usToTicks(2.0);
+    t -= nsToTicks(500.0);
+    EXPECT_EQ(t.value(), 1000000000ull + 2000000 - 500000);
+
+    EXPECT_EQ(Tick{3} * 4, Tick{12});
+    EXPECT_EQ(5 * Tick{2}, Tick{10});
+    EXPECT_EQ(Tick{12} / 4, Tick{3});
+    // Quantity / quantity is a dimensionless count (refreshes per
+    // interval, cycles per quantum, ...).
+    EXPECT_EQ(msToTicks(64.0) / msToTicks(16.0), 4ull);
+    EXPECT_EQ(Tick{7} % Tick{4}, Tick{3});
+}
+
+TEST(Units, Ddr3TimingStaysTickExact)
+{
+    auto timing =
+        dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    EXPECT_EQ(timing.tCk, Tick{1250});
+    // cyc() scales the clock without drifting off the integer grid.
+    EXPECT_EQ(timing.cyc(4), Tick{5000});
+    EXPECT_EQ(timing.cyc(11), Tick{13750});
+}
+
+TEST(Units, AppendixCostNumbersSurviveMigration)
+{
+    // The appendix arithmetic (39 ns refresh, 1068/1602 ns tests,
+    // 560/864 ms MinWriteInterval) flows through TimeMs now; the
+    // values must be bit-identical to the raw-double original.
+    core::CostModel cm;
+    EXPECT_DOUBLE_EQ(cm.refreshOpNs(), 39.0);
+    EXPECT_DOUBLE_EQ(
+        cm.testCostNs(core::TestMode::ReadAndCompare), 1068.0);
+    EXPECT_DOUBLE_EQ(
+        cm.testCostNs(core::TestMode::CopyAndCompare), 1602.0);
+    EXPECT_DOUBLE_EQ(
+        cm.minWriteIntervalMs(core::TestMode::ReadAndCompare).value(),
+        560.0);
+    EXPECT_DOUBLE_EQ(
+        cm.minWriteIntervalMs(core::TestMode::CopyAndCompare).value(),
+        864.0);
+}
+
+TEST(Units, StrongIdsOrderHashAndStep)
+{
+    EXPECT_LT(RowId{3}, RowId{5});
+    EXPECT_EQ(std::hash<RowId>{}(RowId{42}),
+              std::hash<std::uint64_t>{}(42));
+
+    RowId r{7};
+    EXPECT_EQ(++r, RowId{8});
+    EXPECT_EQ(r++, RowId{8});
+    EXPECT_EQ(r, RowId{9});
+    EXPECT_EQ(--r, RowId{8});
+
+    // Default construction is the zero id (deque/vector fill safety).
+    EXPECT_EQ(RowId{}.value(), 0ull);
+    EXPECT_EQ(PageId{}.value(), 0ull);
+}

@@ -1,0 +1,405 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace memcon::lint
+{
+namespace
+{
+
+struct Token
+{
+    std::string text;
+    unsigned line;
+};
+
+/** A lint:allow(<rule>) marker found in a comment. */
+struct Allowance
+{
+    unsigned line;
+    std::string rule;
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Strip comments and string/character literals (replaced by spaces so
+ * line numbers survive), collecting lint:allow markers from the
+ * comment text as we go.
+ */
+std::string
+stripAndCollectAllowances(const std::string &src,
+                          std::vector<Allowance> &allowances)
+{
+    std::string out;
+    out.reserve(src.size());
+    unsigned line = 1;
+
+    auto scanAllowances = [&](const std::string &comment,
+                              unsigned comment_line) {
+        const std::string marker = "lint:allow(";
+        std::size_t pos = 0;
+        unsigned l = comment_line;
+        for (std::size_t i = 0; i < comment.size(); ++i) {
+            if (comment[i] == '\n')
+                ++l;
+            if (comment.compare(i, marker.size(), marker) != 0)
+                continue;
+            std::size_t start = i + marker.size();
+            std::size_t close = comment.find(')', start);
+            if (close != std::string::npos)
+                allowances.push_back(
+                    {l, comment.substr(start, close - start)});
+            pos = close;
+        }
+        (void)pos;
+    };
+
+    std::size_t i = 0;
+    while (i < src.size()) {
+        char c = src[i];
+        if (c == '\n') {
+            out += '\n';
+            ++line;
+            ++i;
+        } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+            std::size_t end = src.find('\n', i);
+            if (end == std::string::npos)
+                end = src.size();
+            scanAllowances(src.substr(i, end - i), line);
+            out.append(end - i, ' ');
+            i = end;
+        } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+            std::size_t end = src.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = src.size();
+            else
+                end += 2;
+            std::string comment = src.substr(i, end - i);
+            scanAllowances(comment, line);
+            for (char cc : comment) {
+                if (cc == '\n') {
+                    out += '\n';
+                    ++line;
+                } else {
+                    out += ' ';
+                }
+            }
+            i = end;
+        } else if (c == '"' || c == '\'') {
+            char quote = c;
+            out += ' ';
+            ++i;
+            while (i < src.size() && src[i] != quote) {
+                if (src[i] == '\\' && i + 1 < src.size()) {
+                    out += "  ";
+                    i += 2;
+                    continue;
+                }
+                if (src[i] == '\n') {
+                    out += '\n';
+                    ++line;
+                } else {
+                    out += ' ';
+                }
+                ++i;
+            }
+            if (i < src.size()) {
+                out += ' ';
+                ++i;
+            }
+        } else {
+            out += c;
+            ++i;
+        }
+    }
+    return out;
+}
+
+std::vector<Token>
+tokenize(const std::string &clean)
+{
+    std::vector<Token> tokens;
+    unsigned line = 1;
+    std::size_t i = 0;
+    while (i < clean.size()) {
+        char c = clean[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+        } else if (isIdentChar(c)) {
+            std::size_t start = i;
+            while (i < clean.size() && isIdentChar(clean[i]))
+                ++i;
+            tokens.push_back({clean.substr(start, i - start), line});
+        } else {
+            tokens.push_back({std::string(1, c), line});
+            ++i;
+        }
+    }
+    return tokens;
+}
+
+bool
+isUnorderedContainer(const std::string &name)
+{
+    return name == "unordered_map" || name == "unordered_set" ||
+           name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+/**
+ * First pass: names declared (variable or member) with an unordered
+ * container type in this file. Heuristic: after the container token
+ * and its balanced template argument list, skip cv/ref/ptr tokens and
+ * record the next identifier.
+ */
+std::unordered_set<std::string>
+collectUnorderedNames(const std::vector<Token> &tokens)
+{
+    std::unordered_set<std::string> names;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (!isUnorderedContainer(tokens[i].text))
+            continue;
+        std::size_t j = i + 1;
+        if (j < tokens.size() && tokens[j].text == "<") {
+            int depth = 0;
+            for (; j < tokens.size(); ++j) {
+                if (tokens[j].text == "<")
+                    ++depth;
+                else if (tokens[j].text == ">" && --depth == 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        while (j < tokens.size() &&
+               (tokens[j].text == "&" || tokens[j].text == "*" ||
+                tokens[j].text == "const"))
+            ++j;
+        if (j < tokens.size() && isIdentChar(tokens[j].text[0]) &&
+            !std::isdigit(
+                static_cast<unsigned char>(tokens[j].text[0])))
+            names.insert(tokens[j].text);
+    }
+    return names;
+}
+
+const std::string &
+tok(const std::vector<Token> &tokens, std::size_t i)
+{
+    static const std::string empty;
+    return i < tokens.size() ? tokens[i].text : empty;
+}
+
+bool
+isMemberAccess(const std::vector<Token> &tokens, std::size_t i)
+{
+    if (i == 0)
+        return false;
+    const std::string &prev = tokens[i - 1].text;
+    return prev == "." ||
+           (prev == ">" && i >= 2 && tokens[i - 2].text == "-");
+}
+
+} // namespace
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> rules = {
+        "random-device", "rand", "wall-clock", "unordered-iter"};
+    return rules;
+}
+
+std::vector<Violation>
+lintSource(const std::string &file, const std::string &source,
+           const std::string &companion)
+{
+    std::vector<Allowance> allowances;
+    std::string clean = stripAndCollectAllowances(source, allowances);
+    std::vector<Token> tokens = tokenize(clean);
+    std::unordered_set<std::string> unordered =
+        collectUnorderedNames(tokens);
+    if (!companion.empty()) {
+        std::vector<Allowance> ignored;
+        for (const std::string &name : collectUnorderedNames(tokenize(
+                 stripAndCollectAllowances(companion, ignored))))
+            unordered.insert(name);
+    }
+
+    std::vector<Violation> raw;
+    auto flag = [&](unsigned line, const char *rule,
+                    std::string message) {
+        raw.push_back({file, line, rule, std::move(message)});
+    };
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &t = tokens[i].text;
+        unsigned line = tokens[i].line;
+
+        if (t == "random_device") {
+            flag(line, "random-device",
+                 "std::random_device is nondeterministic; seed an "
+                 "Rng (common/random.hh) with a fixed value");
+        } else if ((t == "rand" || t == "srand") &&
+                   tok(tokens, i + 1) == "(" &&
+                   !isMemberAccess(tokens, i)) {
+            flag(line, "rand",
+                 t + "() uses hidden global RNG state; use "
+                     "common/random.hh");
+        } else if ((t == "time" || t == "clock") &&
+                   tok(tokens, i + 1) == "(" &&
+                   !isMemberAccess(tokens, i)) {
+            flag(line, "wall-clock",
+                 t + "() makes results depend on when they ran; "
+                     "derive timestamps from simulated Ticks");
+        } else if (t == "system_clock" ||
+                   t == "high_resolution_clock" ||
+                   t == "steady_clock") {
+            flag(line, "wall-clock",
+                 "std::chrono::" + t +
+                     " is wall-clock state; results must not depend "
+                     "on when they ran");
+        } else if ((t == "begin" || t == "cbegin") &&
+                   tok(tokens, i + 1) == "(" && i >= 2 &&
+                   tokens[i - 1].text == "." &&
+                   unordered.count(tokens[i - 2].text)) {
+            flag(line, "unordered-iter",
+                 "iterating '" + tokens[i - 2].text +
+                     "' (unordered container) is order-unstable; use "
+                     "common/ordered.hh");
+        } else if (t == "for" && tok(tokens, i + 1) == "(") {
+            // Range-for: find the top-level ':' and check the range
+            // expression for unordered names.
+            int depth = 0;
+            std::size_t colon = 0, close = 0;
+            for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+                const std::string &u = tokens[j].text;
+                if (u == "(" || u == "[" || u == "{") {
+                    ++depth;
+                } else if (u == ")" || u == "]" || u == "}") {
+                    if (--depth == 0) {
+                        close = j;
+                        break;
+                    }
+                } else if (u == ":" && depth == 1 && !colon &&
+                           tok(tokens, j + 1) != ":" &&
+                           tokens[j - 1].text != ":") {
+                    colon = j;
+                }
+            }
+            if (colon && close) {
+                for (std::size_t j = colon + 1; j < close; ++j) {
+                    if (unordered.count(tokens[j].text)) {
+                        flag(line, "unordered-iter",
+                             "range-for over '" + tokens[j].text +
+                                 "' (unordered container) is "
+                                 "order-unstable; use "
+                                 "common/ordered.hh");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Apply lint:allow suppression: same line or the line above.
+    std::set<std::pair<unsigned, std::string>> allowed;
+    for (const Allowance &a : allowances) {
+        allowed.emplace(a.line, a.rule);
+        allowed.emplace(a.line + 1, a.rule);
+    }
+    std::vector<Violation> kept;
+    for (Violation &v : raw)
+        if (!allowed.count({v.line, v.rule}))
+            kept.push_back(std::move(v));
+    return kept;
+}
+
+std::vector<Violation>
+lintFile(const std::string &path)
+{
+    auto slurp = [](const std::string &p, std::string &out) {
+        std::ifstream in(p, std::ios::binary);
+        if (!in)
+            return false;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        out = buf.str();
+        return true;
+    };
+
+    std::string source;
+    if (!slurp(path, source))
+        return {{path, 0, "io", "cannot open file"}};
+
+    std::string companion;
+    namespace fs = std::filesystem;
+    fs::path p(path);
+    const std::string ext = p.extension().string();
+    if (ext == ".cc" || ext == ".cpp") {
+        for (const char *header_ext : {".hh", ".hpp"}) {
+            fs::path header = p;
+            header.replace_extension(header_ext);
+            if (slurp(header.string(), companion))
+                break;
+        }
+    }
+    return lintSource(path, source, companion);
+}
+
+std::vector<Violation>
+lintPaths(const std::vector<std::string> &paths)
+{
+    namespace fs = std::filesystem;
+    auto lintable = [](const fs::path &p) {
+        const std::string ext = p.extension().string();
+        return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+               ext == ".hpp";
+    };
+
+    std::vector<std::string> files;
+    for (const std::string &path : paths) {
+        fs::path p(path);
+        if (fs::is_directory(p)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(p))
+                if (entry.is_regular_file() && lintable(entry.path()))
+                    files.push_back(entry.path().string());
+        } else {
+            files.push_back(path);
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Violation> all;
+    for (const std::string &file : files) {
+        std::vector<Violation> vs = lintFile(file);
+        all.insert(all.end(), vs.begin(), vs.end());
+    }
+    return all;
+}
+
+std::string
+formatReport(const std::vector<Violation> &violations)
+{
+    std::ostringstream out;
+    for (const Violation &v : violations)
+        out << v.file << ":" << v.line << ": [" << v.rule << "] "
+            << v.message << "\n";
+    return out.str();
+}
+
+} // namespace memcon::lint

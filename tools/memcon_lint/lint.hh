@@ -1,0 +1,78 @@
+/**
+ * @file
+ * memcon_lint: the determinism lint pass (DESIGN.md §10).
+ *
+ * A deliberately small token-scanner - not a compiler plugin - that
+ * enforces the repository's determinism contract where the type
+ * system cannot reach:
+ *
+ *   random-device   std::random_device anywhere (seeds must be fixed
+ *                   and flow through common/random.hh)
+ *   rand            rand() / srand() (libc RNG, unseeded state)
+ *   wall-clock      time(), clock(), and the std::chrono wall/steady
+ *                   clocks (results must not depend on when they ran)
+ *   unordered-iter  range-for or .begin()/.cbegin() over a variable
+ *                   declared as unordered_map/unordered_set in the
+ *                   same file (iteration order is implementation
+ *                   noise; use common/ordered.hh)
+ *
+ * A violation on line N is suppressed by `// lint:allow(<rule>)` on
+ * line N or N-1. The scanner strips comments and string literals
+ * before matching, so prose and format strings never trip a rule.
+ *
+ * The tool is intentionally per-file (no cross-TU type knowledge): a
+ * container received as a template or function parameter is invisible
+ * to unordered-iter. That is the accepted trade-off for a lint that
+ * builds in-tree in milliseconds and runs as a tier-1 test.
+ */
+
+#ifndef MEMCON_TOOLS_LINT_HH
+#define MEMCON_TOOLS_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace memcon::lint
+{
+
+struct Violation
+{
+    std::string file;
+    unsigned line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** The rule identifiers, as accepted by lint:allow(...). */
+const std::vector<std::string> &ruleNames();
+
+/**
+ * Lint an in-memory source buffer (fixture tests use this).
+ * `companion` is additional declaration context - the matching
+ * header's text when linting an X.cc - scanned for unordered
+ * container declarations only, never for violations of its own.
+ */
+std::vector<Violation> lintSource(const std::string &file,
+                                  const std::string &source,
+                                  const std::string &companion = {});
+
+/**
+ * Lint one file on disk. For X.cc/X.cpp, a sibling X.hh/X.hpp is
+ * read as declaration context, so iterating a member declared in the
+ * class header is still caught in the implementation file.
+ */
+std::vector<Violation> lintFile(const std::string &path);
+
+/**
+ * Lint every C++ source/header (.cc/.hh/.cpp/.hpp) under each path;
+ * a path may also be a single file. Violations are sorted by
+ * (file, line) so the report is stable.
+ */
+std::vector<Violation> lintPaths(const std::vector<std::string> &paths);
+
+/** One "file:line: [rule] message" line per violation. */
+std::string formatReport(const std::vector<Violation> &violations);
+
+} // namespace memcon::lint
+
+#endif // MEMCON_TOOLS_LINT_HH

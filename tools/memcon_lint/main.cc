@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CLI driver: memcon_lint <file-or-dir>...
+ *
+ * Prints one line per violation and exits non-zero if any survive
+ * their lint:allow escapes. The tier-1 ctest runs this over src/ and
+ * bench/; run it locally the same way:
+ *
+ *   ./build/tools/memcon_lint/memcon_lint src bench
+ */
+
+#include <cstdio>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace memcon::lint;
+
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: memcon_lint <file-or-dir>...\n"
+                     "rules:");
+        for (const std::string &rule : ruleNames())
+            std::fprintf(stderr, " %s", rule.c_str());
+        std::fprintf(stderr,
+                     "\nsuppress with: // lint:allow(<rule>)\n");
+        return 2;
+    }
+
+    std::vector<std::string> paths(argv + 1, argv + argc);
+    std::vector<Violation> violations = lintPaths(paths);
+    if (violations.empty()) {
+        std::printf("memcon_lint: clean\n");
+        return 0;
+    }
+    std::printf("%s", formatReport(violations).c_str());
+    std::printf("memcon_lint: %zu violation(s)\n", violations.size());
+    return 1;
+}
