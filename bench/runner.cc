@@ -1,5 +1,6 @@
 #include "runner.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +29,9 @@ usage(const char *argv0, int exit_code)
         "  --seed S      campaign seed (default 42); every task seed is\n"
         "                derived from it\n"
         "  --quick       tiny configuration (smoke tests)\n"
+        "  --repeat N    run the sweep N times and report per-point\n"
+        "                wall-clock medians (metrics must not change\n"
+        "                across repeats)\n"
         "  --json PATH   write the machine-readable results to PATH\n"
         "                (default BENCH_<artifact>.json)\n"
         "  --no-json     skip the JSON emitter\n"
@@ -96,6 +100,10 @@ parseSweepArgs(int argc, char **argv)
                 std::strtoull(requireValue(argc, argv, i), nullptr, 10);
         } else if (std::strcmp(arg, "--quick") == 0) {
             opts.quick = true;
+        } else if (std::strcmp(arg, "--repeat") == 0) {
+            opts.repeat = static_cast<unsigned>(
+                std::strtoul(requireValue(argc, argv, i), nullptr, 10));
+            fatal_if(opts.repeat == 0, "--repeat must be >= 1");
         } else if (std::strcmp(arg, "--json") == 0) {
             opts.jsonPath = requireValue(argc, argv, i);
         } else if (std::strcmp(arg, "--no-json") == 0) {
@@ -164,12 +172,16 @@ SweepRunner::run()
             resolvedThreads = 1;
     }
 
-    std::printf("  campaign: seed=%llu threads=%u points=%zu%s\n",
+    std::printf("  campaign: seed=%llu threads=%u points=%zu repeats=%u%s\n",
                 static_cast<unsigned long long>(opts.campaignSeed),
-                resolvedThreads, points.size(),
+                resolvedThreads, points.size(), opts.repeat,
                 opts.quick ? " quick" : "");
 
     reduced.assign(points.size(), PointResult{});
+    pointWall.assign(points.size(), 0.0);
+    std::vector<std::vector<double>> wall_samples(
+        points.size(), std::vector<double>(opts.repeat, 0.0));
+    std::string first_digest;
     std::vector<std::future<void>> futures;
     futures.reserve(points.size());
 
@@ -177,29 +189,70 @@ SweepRunner::run()
     auto start = std::chrono::steady_clock::now();
     {
         ThreadPool pool(resolvedThreads);
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            // Each task writes only its own slot; the per-task seed
-            // is a pure function of (campaign seed, index), so the
-            // reduced vector is invariant under thread count and
-            // completion order.
-            futures.push_back(pool.submit([this, i] {
-                TaskContext ctx;
-                ctx.seed = deriveTaskSeed(opts.campaignSeed, i);
-                ctx.index = i;
-                ctx.quick = opts.quick;
-                reduced[i].label = points[i].label;
-                reduced[i].metrics = points[i].run(ctx);
-            }));
+        // Repeats run back to back on the same pool; each re-executes
+        // every point with the same derived seed, so any metric drift
+        // across repeats is a determinism bug and is fatal below.
+        for (unsigned rep = 0; rep < opts.repeat; ++rep) {
+            std::vector<PointResult> batch(points.size());
+            futures.clear();
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                // Each task writes only its own slot; the per-task
+                // seed is a pure function of (campaign seed, index),
+                // so the reduced vector is invariant under thread
+                // count and completion order.
+                futures.push_back(
+                    pool.submit([this, i, rep, &batch, &wall_samples] {
+                        TaskContext ctx;
+                        ctx.seed = deriveTaskSeed(opts.campaignSeed, i);
+                        ctx.index = i;
+                        ctx.quick = opts.quick;
+                        // lint:allow(wall-clock) - timing only
+                        auto t0 = std::chrono::steady_clock::now();
+                        batch[i].label = points[i].label;
+                        batch[i].metrics = points[i].run(ctx);
+                        wall_samples[i][rep] =
+                            std::chrono::duration<double>(
+                                // lint:allow(wall-clock)
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+                    }));
+            }
+            // Join every task before unwinding: a thrown point must
+            // not destroy this repeat's slots while later tasks are
+            // still writing into them. The failure propagated is the
+            // lowest-index one, independent of completion order.
+            std::exception_ptr first_failure;
+            for (std::future<void> &f : futures) {
+                try {
+                    f.get();
+                } catch (...) {
+                    if (!first_failure)
+                        first_failure = std::current_exception();
+                }
+            }
+            if (first_failure)
+                std::rethrow_exception(first_failure);
+            if (rep == 0) {
+                reduced = std::move(batch);
+                first_digest = resultsDigest(reduced);
+            } else {
+                fatal_if(resultsDigest(batch) != first_digest,
+                         "repeat %u changed the metrics digest - the "
+                         "bench is nondeterministic",
+                         rep);
+            }
         }
-        // Reduce (and propagate failures) in task-index order.
-        for (std::future<void> &f : futures)
-            f.get();
     }
     // lint:allow(wall-clock) - never feeds metrics or seeds
     wallClockSeconds = std::chrono::duration<double>(
                            // lint:allow(wall-clock)
                            std::chrono::steady_clock::now() - start)
                            .count();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::vector<double> &s = wall_samples[i];
+        std::sort(s.begin(), s.end());
+        pointWall[i] = s[s.size() / 2];
+    }
     return reduced;
 }
 
@@ -208,6 +261,15 @@ SweepRunner::results() const
 {
     fatal_if(!executed, "results() before run()");
     return reduced;
+}
+
+double
+SweepRunner::pointWallSeconds(std::size_t point_index) const
+{
+    fatal_if(!executed, "pointWallSeconds() before run()");
+    fatal_if(point_index >= pointWall.size(),
+             "point index %zu out of range", point_index);
+    return pointWall[point_index];
 }
 
 double
@@ -240,6 +302,7 @@ SweepRunner::finish() const
     out << "  \"campaign_seed\": " << opts.campaignSeed << ",\n";
     out << "  \"threads\": " << resolvedThreads << ",\n";
     out << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n";
+    out << "  \"repeats\": " << opts.repeat << ",\n";
     out << "  \"points_total\": " << reduced.size() << ",\n";
     out << "  \"wall_clock_seconds\": " << jsonNumber(wallClockSeconds)
         << ",\n";
@@ -247,7 +310,8 @@ SweepRunner::finish() const
     for (std::size_t i = 0; i < reduced.size(); ++i) {
         const PointResult &r = reduced[i];
         out << "    {\"label\": \"" << jsonEscape(r.label)
-            << "\", \"metrics\": {";
+            << "\", \"wall_seconds\": " << jsonNumber(pointWall[i])
+            << ", \"metrics\": {";
         for (std::size_t m = 0; m < r.metrics.size(); ++m) {
             if (m)
                 out << ", ";

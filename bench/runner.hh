@@ -47,12 +47,21 @@ struct SweepOptions
 
     /** Disable the JSON emitter (unit tests, ad-hoc runs). */
     bool writeJson = true;
+
+    /**
+     * Execute the whole sweep this many times and report per-point
+     * wall-clock medians, so timings are stable enough to compare
+     * across revisions. Metrics must be identical on every repeat
+     * (the runner fatals on a digest mismatch - a repeat-sensitive
+     * bench is a determinism bug, not noise).
+     */
+    unsigned repeat = 1;
 };
 
 /**
  * Parse the common sweep flags: --threads N, --seed S, --quick,
- * --json PATH, --no-json, --help. Unknown arguments are fatal so a
- * typo cannot silently fall back to defaults.
+ * --repeat N, --json PATH, --no-json, --help. Unknown arguments are
+ * fatal so a typo cannot silently fall back to defaults.
  */
 SweepOptions parseSweepArgs(int argc, char **argv);
 
@@ -140,14 +149,24 @@ class SweepRunner
     /** Worker threads the campaign actually used. */
     unsigned threadsUsed() const { return resolvedThreads; }
 
-    /** Wall-clock of the parallel section (not deterministic). */
+    /**
+     * Wall-clock of the parallel section, summed over repeats (not
+     * deterministic).
+     */
     double wallSeconds() const { return wallClockSeconds; }
+
+    /**
+     * Median across repeats of one point's own wall-clock seconds
+     * (not deterministic; excluded from digests and metrics).
+     */
+    double pointWallSeconds(std::size_t point_index) const;
 
   private:
     std::string artifact;
     SweepOptions opts;
     std::vector<SweepPoint> points;
     std::vector<PointResult> reduced;
+    std::vector<double> pointWall;
     unsigned resolvedThreads = 1;
     double wallClockSeconds = 0.0;
     bool executed = false;

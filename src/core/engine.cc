@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bitvector.hh"
+#include "common/deadline_wheel.hh"
+#include "common/kway_merge.hh"
 #include "common/logging.hh"
 #include "core/pril.hh"
 
@@ -12,13 +15,34 @@ namespace memcon::core
 namespace
 {
 
+/**
+ * Concurrent-test budget per quantum, rounded to nearest. The old
+ * truncating cast silently yielded a zero budget for sub-64 ms quanta
+ * with small slot counts - every test skipped, no diagnostic; the
+ * constructor now rejects configurations that round to zero.
+ */
+std::uint64_t
+testsPerQuantum(const MemconConfig &cfg)
+{
+    return static_cast<std::uint64_t>(std::llround(
+        cfg.testSlotsPer64ms * (cfg.quantumMs.value() / 64.0)));
+}
+
+// --------------------------------------------------------------------
+// Reference event path (the seed implementation): materialize every
+// write event, stable_sort, and scan all pages per quantum for the
+// re-scrub. Kept behind MemconConfig::referenceEventPath so the
+// equivalence suite can prove the streaming path reproduces it
+// bit-for-bit, and so micro_engine_ops can price the difference.
+// --------------------------------------------------------------------
+
 struct Event
 {
     double time;
     std::uint32_t page;
 };
 
-/** Refresh state of one modelled row/page. */
+/** Refresh state of one modelled row/page (reference path only). */
 struct PageState
 {
     double stateSince = 0.0;
@@ -28,29 +52,13 @@ struct PageState
     double lastVerified = -1.0; //!< when content was last test-passed
 };
 
-} // namespace
-
-MemconEngine::MemconEngine(const MemconConfig &config) : cfg(config)
-{
-    fatal_if(cfg.hiRefMs <= 0.0 || cfg.loRefMs <= cfg.hiRefMs,
-             "need 0 < hiRefMs < loRefMs");
-    fatal_if(cfg.quantumMs <= TimeMs{0.0}, "quantum must be positive");
-    fatal_if(cfg.testSlotsPer64ms == 0, "test budget must be positive");
-    fatal_if(cfg.silentWriteFraction < 0.0 ||
-                 cfg.silentWriteFraction > 1.0,
-             "silent-write fraction must lie in [0, 1]");
-}
-
 MemconResult
-MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
-                  double duration_ms, const FailureOracle &oracle,
-                  const TransitionObserver &observer,
-                  const TimedFailureOracle &timed_oracle) const
+runReference(const MemconConfig &cfg,
+             const std::vector<std::vector<TimeMs>> &page_writes,
+             double duration_ms, const MemconEngine::FailureOracle &oracle,
+             const MemconEngine::TransitionObserver &observer,
+             const MemconEngine::TimedFailureOracle &timed_oracle)
 {
-    fatal_if(duration_ms <= 0.0, "duration must be positive");
-    fatal_if(page_writes.size() >= (std::uint64_t{1} << 32),
-             "too many pages");
-
     MemconResult res;
     res.durationMs = duration_ms;
     res.pages = page_writes.size();
@@ -80,8 +88,7 @@ MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
     const double test_cost_ns = cost.testCostNs(cfg.mode);
     const double refresh_op_ns = cost.refreshOpNs();
 
-    const std::uint64_t tests_per_quantum = static_cast<std::uint64_t>(
-        cfg.testSlotsPer64ms * (cfg.quantumMs.value() / 64.0));
+    const std::uint64_t tests_per_quantum = testsPerQuantum(cfg);
 
     PrilPredictor pril(page_writes.size(), cfg.writeBufferCapacity);
     std::vector<PageState> state(page_writes.size());
@@ -267,19 +274,415 @@ MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
     return res;
 }
 
+// --------------------------------------------------------------------
+// Streaming event path (the default): a lazy k-way merge over the
+// per-page sorted write streams feeds the quantum interleave loop
+// directly, page state lives in structure-of-arrays form, and the
+// re-scrub / read-only bookkeeping runs off deadline wheels instead
+// of full page scans. Metric-bit-identical to the reference path
+// (DESIGN.md §11 documents the ordering contracts that make it so).
+// --------------------------------------------------------------------
+
+/**
+ * Structure-of-arrays page state: the event loop touches one array
+ * (cache line) per field instead of striding 40-byte structs, and
+ * the LO-REF flags pack into a bitvector.
+ */
+struct PageSoA
+{
+    BitVector atLoRef;
+    std::vector<double> stateSince;
+    std::vector<std::uint64_t> writeCount;
+    std::vector<double> lastTestAt;
+    std::vector<double> lastVerified;
+
+    explicit PageSoA(std::size_t num_pages)
+        : atLoRef(num_pages), stateSince(num_pages, 0.0),
+          writeCount(num_pages, 0), lastTestAt(num_pages, -1.0),
+          lastVerified(num_pages, -1.0)
+    {
+    }
+
+    std::size_t size() const { return stateSince.size(); }
+};
+
+/** A LO-REF row awaiting its next re-scrub. */
+struct ScrubEntry
+{
+    std::uint32_t page;
+    /**
+     * lastVerified at enqueue time: doubles as a version stamp. A
+     * mismatch against the live lastVerified means the row was
+     * demoted and re-promoted since - the entry is stale and dropped.
+     */
+    double verifiedAt;
+};
+
+/**
+ * Adapter presenting a sorted std::vector<TimeMs> as a stream. Holds
+ * the raw extent rather than the vector: next() runs once per event
+ * on the merge's pull path, and the flattened form costs one load
+ * instead of three dependent ones.
+ */
+struct VectorStream
+{
+    const TimeMs *times;
+    std::size_t count;
+    std::size_t nextIdx = 0;
+
+    explicit VectorStream(const std::vector<TimeMs> &w)
+        : times(w.data()), count(w.size())
+    {
+    }
+
+    bool next(double &out_ms)
+    {
+        if (nextIdx >= count)
+            return false;
+        out_ms = times[nextIdx++].value();
+        return true;
+    }
+};
+
+template <typename Stream>
+MemconResult
+runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
+             double duration_ms,
+             const MemconEngine::FailureOracle &oracle,
+             const MemconEngine::TransitionObserver &observer,
+             const MemconEngine::TimedFailureOracle &timed_oracle)
+{
+    MemconResult res;
+    res.durationMs = duration_ms;
+    res.pages = streams.size();
+
+    CostModelConfig cm_cfg;
+    cm_cfg.timings = cfg.timings;
+    cm_cfg.hiRefMs = cfg.hiRefMs;
+    cm_cfg.loRefMs = cfg.loRefMs;
+    CostModel cost(cm_cfg);
+    const double min_write_interval =
+        cost.minWriteIntervalMs(cfg.mode).value();
+    const double test_cost_ns = cost.testCostNs(cfg.mode);
+    const double refresh_op_ns = cost.refreshOpNs();
+
+    const std::uint64_t tests_per_quantum = testsPerQuantum(cfg);
+
+    PrilPredictor pril(res.pages, cfg.writeBufferCapacity);
+    PageSoA st(streams.size());
+    // The merge windows on the quantum: the consumer drains events
+    // quantum by quantum anyway, so staging memory is one quantum's
+    // events.
+    KWayMerge<Stream> merge(std::move(streams), duration_ms,
+                            cfg.quantumMs.value());
+
+    // A scrub entry verified at quantum index q matures no earlier
+    // than q + floor(period/quantum) quanta later. The floor (vs the
+    // exact ceil) errs early by at most one quantum; a popped entry
+    // re-checks the authoritative float predicate below and lazily
+    // re-buckets itself, so maturing early costs one extra pop while
+    // maturing late would miss a scrub the reference path performs.
+    const std::int64_t scrub_epochs =
+        cfg.scrubPeriodMs > 0.0
+            ? std::max<std::int64_t>(
+                  1, static_cast<std::int64_t>(std::floor(
+                         cfg.scrubPeriodMs / cfg.quantumMs.value())))
+            : 0;
+
+    DeadlineWheel<ScrubEntry> scrub_wheel;
+    DeadlineWheel<std::uint32_t> ro_wheel;
+    std::vector<ScrubEntry> scrub_due;
+    // Matured read-only candidates drain into a persistent queue
+    // consumed by cursor across quanta (the seed's ro_queue/ro_next):
+    // re-pushing a budget-starved tail into the wheel every quantum
+    // would churn O(backlog) per boundary for nothing.
+    std::vector<std::uint32_t> ro_pending;
+    std::size_t ro_next = 0;
+    unsigned quanta_seen = 0;
+
+    auto accrue = [&](std::size_t p, double until) {
+        double span = until - st.stateSince[p];
+        panic_if(span < -1e-9, "time went backwards");
+        if (span <= 0.0)
+            return;
+        if (st.atLoRef.test(p)) {
+            res.loTimeMs += span;
+            res.refreshOpsMemcon += span / cfg.loRefMs;
+        } else {
+            res.hiTimeMs += span;
+            res.refreshOpsMemcon += span / cfg.hiRefMs;
+        }
+        st.stateSince[p] = until;
+    };
+
+    auto classify = [&](std::size_t p, double now) {
+        if (st.lastTestAt[p] < 0.0)
+            return;
+        if (now - st.lastTestAt[p] >= min_write_interval)
+            ++res.testsCorrect;
+        else
+            ++res.testsMispredicted;
+        st.lastTestAt[p] = -1.0;
+    };
+
+    auto test_fails = [&](std::uint64_t page, std::uint64_t wc,
+                          double when) {
+        if (timed_oracle)
+            return timed_oracle(page, wc, when);
+        return oracle ? oracle(page, wc) : false;
+    };
+
+    auto run_test = [&](std::uint32_t page, double tq,
+                        std::int64_t epoch) {
+        panic_if(st.atLoRef.test(page), "tested page already at LO-REF");
+        ++res.testsRun;
+        res.testTimeNs += test_cost_ns;
+        st.lastTestAt[page] = tq;
+
+        bool fails = test_fails(page, st.writeCount[page], tq);
+        if (fails) {
+            ++res.testsFailed;
+            // Data-dependent failure with this content: the row must
+            // keep the aggressive rate.
+            return;
+        }
+        ++res.testsPassed;
+        accrue(page, tq);
+        st.atLoRef.set(page);
+        st.lastVerified[page] = tq;
+        if (scrub_epochs > 0)
+            scrub_wheel.push(epoch + scrub_epochs, {page, tq});
+        if (observer)
+            observer(page, tq, true, st.writeCount[page]);
+    };
+
+    auto process_quantum_end = [&](double tq, std::int64_t epoch) {
+        std::vector<PageId> candidates = pril.endQuantum();
+        std::uint64_t budget = tests_per_quantum;
+        for (PageId page : candidates) {
+            if (budget == 0) {
+                ++res.testsSkippedBudget;
+                continue;
+            }
+            --budget;
+            run_test(static_cast<std::uint32_t>(page.value()), tq, epoch);
+        }
+
+        ++quanta_seen;
+        if (quanta_seen == 2) {
+            // One-time sweep for §6.1 read-only identification; the
+            // wheel then carries the pending queue across quanta.
+            for (std::uint32_t p = 0; p < st.size(); ++p)
+                if (st.writeCount[p] == 0)
+                    ro_wheel.push(epoch, p);
+        }
+        if (!ro_wheel.empty())
+            res.wheelPops += ro_wheel.popDue(epoch, ro_pending);
+        while (budget > 0 && ro_next < ro_pending.size()) {
+            std::uint32_t page = ro_pending[ro_next++];
+            // A page written since enqueueing is no longer read-only;
+            // PRIL takes over for it.
+            if (st.writeCount[page] > 0 || st.atLoRef.test(page))
+                continue;
+            --budget;
+            run_test(page, tq, epoch);
+        }
+
+        // Idle-row re-scrub: revalidate LO-REF rows whose verdict has
+        // aged past the scrub period (VRT protection). Demotions here
+        // are the mechanism catching cells that drifted leaky.
+        if (scrub_epochs > 0 && budget > 0 && !scrub_wheel.empty()) {
+            scrub_due.clear();
+            res.wheelPops += scrub_wheel.popDue(epoch, scrub_due);
+            std::size_t n = 0;
+            for (const ScrubEntry &e : scrub_due) {
+                if (!st.atLoRef.test(e.page) ||
+                    e.verifiedAt != st.lastVerified[e.page])
+                    continue; // stale: demoted or superseded since
+                if (tq - st.lastVerified[e.page] < cfg.scrubPeriodMs) {
+                    // Bucketed early; not actually due yet.
+                    scrub_wheel.push(epoch + 1, e);
+                    continue;
+                }
+                scrub_due[n++] = e;
+            }
+            scrub_due.resize(n);
+            // The reference path scans pages ascending; the service
+            // (and budget cutoff) order is part of the bit-identity
+            // contract, so impose it on the due batch.
+            std::sort(scrub_due.begin(), scrub_due.end(),
+                      [](const ScrubEntry &a, const ScrubEntry &b) {
+                          return a.page < b.page;
+                      });
+            std::size_t i = 0;
+            for (; i < scrub_due.size() && budget > 0; ++i) {
+                std::uint32_t p = scrub_due[i].page;
+                --budget;
+                ++res.scrubTests;
+                res.testTimeNs += test_cost_ns;
+                if (test_fails(p, st.writeCount[p], tq)) {
+                    ++res.scrubDemotions;
+                    accrue(p, tq);
+                    st.atLoRef.clear(p);
+                    if (observer)
+                        observer(p, tq, false, st.writeCount[p]);
+                } else {
+                    st.lastVerified[p] = tq;
+                    scrub_wheel.push(epoch + scrub_epochs, {p, tq});
+                }
+            }
+            for (; i < scrub_due.size(); ++i)
+                scrub_wheel.push(epoch + 1, scrub_due[i]); // starved
+        }
+    };
+
+    double next_quantum_end = cfg.quantumMs.value();
+    std::int64_t epoch = 0;
+
+    while (!merge.empty() || next_quantum_end < duration_ms) {
+        bool take_quantum =
+            next_quantum_end < duration_ms &&
+            (merge.empty() || next_quantum_end <= merge.peek().time);
+        if (take_quantum) {
+            process_quantum_end(next_quantum_end, epoch);
+            next_quantum_end += cfg.quantumMs.value();
+            ++epoch;
+            continue;
+        }
+        if (merge.empty())
+            break;
+
+        const auto ev = merge.pop();
+        ++res.writes;
+        const std::uint32_t page = ev.source;
+
+        // Silent-write detection (footnote 9): a write that stores
+        // the existing value leaves the content - and the validity
+        // of any prior test - intact.
+        if (cfg.detectSilentWrites && cfg.silentWriteFraction > 0.0) {
+            double u = static_cast<double>(
+                           hashMix64(page * 0x9e3779b97f4a7c15ULL +
+                                     st.writeCount[page]) >>
+                           11) *
+                       0x1.0p-53;
+            if (u < cfg.silentWriteFraction) {
+                ++res.silentWritesSkipped;
+                continue;
+            }
+        }
+
+        classify(page, ev.time);
+        accrue(page, ev.time);
+        if (st.atLoRef.test(page)) {
+            // Content changes: protect until retested.
+            st.atLoRef.clear(page);
+            if (observer)
+                observer(page, ev.time, false, st.writeCount[page] + 1);
+        }
+        ++st.writeCount[page];
+        pril.onWrite(PageId{page});
+    }
+
+    // Close out every page at the horizon. Tests with no later write
+    // inside the trace are censored, not mispredicted: the predicted
+    // idleness did hold for as long as we could observe.
+    for (std::size_t p = 0; p < st.size(); ++p) {
+        if (st.lastTestAt[p] >= 0.0) {
+            ++res.testsCorrect;
+            st.lastTestAt[p] = -1.0;
+        }
+        accrue(p, duration_ms);
+    }
+
+    res.refreshOpsBaseline =
+        static_cast<double>(res.pages) * duration_ms / cfg.hiRefMs;
+    res.refreshTimeBaselineNs = res.refreshOpsBaseline * refresh_op_ns;
+    res.refreshTimeMemconNs = res.refreshOpsMemcon * refresh_op_ns;
+    res.bufferDrops = pril.bufferDrops();
+    res.trackerStorageBytes = pril.storageBytes();
+    res.heapPushes = merge.heapPushes();
+    res.peakLiveStreams = merge.peakLiveSources();
+    return res;
+}
+
+} // namespace
+
+MemconEngine::MemconEngine(const MemconConfig &config) : cfg(config)
+{
+    fatal_if(cfg.hiRefMs <= 0.0 || cfg.loRefMs <= cfg.hiRefMs,
+             "need 0 < hiRefMs < loRefMs");
+    fatal_if(cfg.quantumMs <= TimeMs{0.0}, "quantum must be positive");
+    fatal_if(cfg.testSlotsPer64ms == 0, "test budget must be positive");
+    fatal_if(testsPerQuantum(cfg) == 0,
+             "test budget rounds to zero tests per quantum "
+             "(testSlotsPer64ms=%u, quantumMs=%g)",
+             cfg.testSlotsPer64ms, cfg.quantumMs.value());
+    fatal_if(cfg.silentWriteFraction < 0.0 ||
+                 cfg.silentWriteFraction > 1.0,
+             "silent-write fraction must lie in [0, 1]");
+}
+
+MemconResult
+MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
+                  double duration_ms, const FailureOracle &oracle,
+                  const TransitionObserver &observer,
+                  const TimedFailureOracle &timed_oracle) const
+{
+    fatal_if(duration_ms <= 0.0, "duration must be positive");
+    fatal_if(page_writes.size() >= (std::uint64_t{1} << 32),
+             "too many pages");
+
+    // The k-way merge's tie-break reproduces the stable event order
+    // only over per-page sorted streams; an unsorted vector would
+    // silently interleave ties differently, so it is a panic instead.
+    for (std::size_t p = 0; p < page_writes.size(); ++p) {
+        const std::vector<TimeMs> &w = page_writes[p];
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            panic_if(w[i] < TimeMs{0.0}, "negative write time");
+            panic_if(i > 0 && w[i] < w[i - 1],
+                     "unsorted per-page write stream (page %zu)", p);
+        }
+    }
+
+    if (cfg.referenceEventPath)
+        return runReference(cfg, page_writes, duration_ms, oracle,
+                            observer, timed_oracle);
+
+    std::vector<VectorStream> streams;
+    streams.reserve(page_writes.size());
+    for (const std::vector<TimeMs> &w : page_writes)
+        streams.emplace_back(w);
+    return runStreaming(cfg, std::move(streams), duration_ms, oracle,
+                        observer, timed_oracle);
+}
+
 MemconResult
 MemconEngine::runOnApp(const trace::AppPersona &persona,
                        const FailureOracle &oracle,
                        const TransitionObserver &observer) const
 {
-    std::vector<std::vector<TimeMs>> page_writes;
-    page_writes.reserve(persona.pages);
-    for (std::uint64_t p = 0; p < persona.pages; ++p) {
-        trace::PageWriteProcess proc(persona, p);
-        page_writes.push_back(proc.writeTimes());
+    const double duration_ms = persona.durationSec * 1000.0;
+    if (cfg.referenceEventPath) {
+        std::vector<std::vector<TimeMs>> page_writes;
+        page_writes.reserve(persona.pages);
+        for (std::uint64_t p = 0; p < persona.pages; ++p) {
+            trace::PageWriteProcess proc(persona, p);
+            page_writes.push_back(proc.writeTimes());
+        }
+        return run(page_writes, duration_ms, oracle, observer);
     }
-    return run(page_writes, persona.durationSec * 1000.0, oracle,
-               observer);
+
+    fatal_if(persona.pages >= (std::uint64_t{1} << 32),
+             "too many pages");
+    // Generate each page's write process lazily inside the merge:
+    // peak memory is one generator per page, never the materialized
+    // write vectors.
+    std::vector<trace::PageWriteStream> streams;
+    streams.reserve(persona.pages);
+    for (std::uint64_t p = 0; p < persona.pages; ++p)
+        streams.emplace_back(persona, p);
+    return runStreaming(cfg, std::move(streams), duration_ms, oracle,
+                        observer, {});
 }
 
 } // namespace memcon::core

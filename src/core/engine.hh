@@ -71,6 +71,16 @@ struct MemconConfig
      * that now fail are demoted to HI-REF.
      */
     double scrubPeriodMs = 0.0;
+
+    /**
+     * Testing-only: replay through the seed materialize-then-sort
+     * event path (build every event, std::stable_sort, scan all
+     * pages per quantum for scrub) instead of the streaming k-way
+     * merge + deadline wheel. Metrics are bit-identical either way;
+     * the flag exists so tests/test_engine_equiv.cc can keep proving
+     * it, and so micro_engine_ops can price the difference.
+     */
+    bool referenceEventPath = false;
 };
 
 struct MemconResult
@@ -105,6 +115,16 @@ struct MemconResult
     double testTimeNs = 0.0;
     double refreshTimeMemconNs = 0.0;
     double refreshTimeBaselineNs = 0.0;
+
+    /**
+     * Hot-path instrumentation (streaming path only; zero on the
+     * reference path). Outside the determinism contract's digest
+     * surface: excluded from golden digests and from the old-vs-new
+     * equivalence comparison, free to change as the engine evolves.
+     */
+    std::uint64_t heapPushes = 0;      //!< k-way merge heap inserts
+    std::uint64_t wheelPops = 0;       //!< scrub/read-only wheel pops
+    std::uint64_t peakLiveStreams = 0; //!< max concurrent merge sources
 
     /** Fractional reduction in refresh operations vs. the baseline. */
     double reduction() const
@@ -173,8 +193,11 @@ class MemconEngine
     }
 
     /**
-     * Replay explicit per-page write timelines (ms, ascending) over
-     * [0, duration_ms].
+     * Replay explicit per-page write timelines over [0, duration_ms].
+     * Each page's vector must be sorted ascending and non-negative -
+     * the k-way merge's tie-break order (and therefore the metric
+     * bit-identity contract) depends on it, so an unsorted vector is
+     * a panic, not a silent reorder.
      */
     MemconResult run(const std::vector<std::vector<TimeMs>> &page_writes,
                      double duration_ms, const FailureOracle &oracle = {},

@@ -146,6 +146,16 @@ PageWriteProcess::nextIntervalMs()
     return TimeMs{rng.exponential(persona.burstGapMeanMs)};
 }
 
+TimeMs
+PageWriteProcess::initialPhaseMs()
+{
+    panic_if(cls == Class::ReadOnly, "read-only pages have no writes");
+    // Random phase so pages do not start synchronized; cold pages may
+    // phase in anywhere in their first long gap.
+    return TimeMs{isHot() ? rng.uniform(0.0, 2000.0)
+                          : rng.uniform(0.0, persona.coldXmMs * 4.0)};
+}
+
 std::vector<TimeMs>
 PageWriteProcess::writeTimes()
 {
@@ -153,15 +163,42 @@ PageWriteProcess::writeTimes()
     std::vector<TimeMs> times;
     if (cls == Class::ReadOnly)
         return times;
-    // Random phase so pages do not start synchronized; cold pages may
-    // phase in anywhere in their first long gap.
-    TimeMs t{isHot() ? rng.uniform(0.0, 2000.0)
-                     : rng.uniform(0.0, persona.coldXmMs * 4.0)};
+    TimeMs t = initialPhaseMs();
     while (t < TimeMs{duration_ms}) {
         times.push_back(t);
         t += nextIntervalMs();
     }
     return times;
+}
+
+PageWriteStream::PageWriteStream(const AppPersona &persona_desc,
+                                 std::uint64_t page_id)
+    : proc(persona_desc, page_id),
+      durationMs(persona_desc.durationSec * 1000.0),
+      done(proc.isReadOnly())
+{
+}
+
+bool
+PageWriteStream::next(double &out_ms)
+{
+    if (done)
+        return false;
+    if (!started) {
+        started = true;
+        t = proc.initialPhaseMs().value();
+    } else {
+        // Same accumulation (and therefore the same rounding) as the
+        // materializing loop in writeTimes: t is carried in TimeMs
+        // semantics, plain double += double underneath.
+        t = (TimeMs{t} + proc.nextIntervalMs()).value();
+    }
+    if (t >= durationMs) {
+        done = true;
+        return false;
+    }
+    out_ms = t;
+    return true;
 }
 
 } // namespace memcon::trace

@@ -84,7 +84,9 @@ struct AppPersona
 class PageWriteProcess
 {
   public:
+    /** The persona must outlive the process (held by reference). */
     PageWriteProcess(const AppPersona &persona, std::uint64_t page_id);
+    PageWriteProcess(AppPersona &&, std::uint64_t) = delete;
 
     /** @return true if this page belongs to the persona's hot set. */
     bool isHot() const { return cls == Class::Hot; }
@@ -94,6 +96,12 @@ class PageWriteProcess
 
     /** The next inter-write interval in ms. */
     TimeMs nextIntervalMs();
+
+    /**
+     * The random phase of the first write (consumes RNG state; call
+     * once, before any nextIntervalMs). Panics on read-only pages.
+     */
+    TimeMs initialPhaseMs();
 
     /**
      * All write timestamps for this page within the trace window,
@@ -111,10 +119,40 @@ class PageWriteProcess
         Cold,
     };
 
-    const AppPersona persona;
+    // Held by reference: personas carry strings, and the streaming
+    // engine instantiates one process per page - copying the persona
+    // P times dominated construction cost.
+    const AppPersona &persona;
     Rng rng;
     Class cls;
     std::uint64_t burstRemaining = 0;
+};
+
+/**
+ * Generator adapter exposing a page's write process as a sorted
+ * stream for KWayMerge: yields exactly the in-window timestamps
+ * PageWriteProcess::writeTimes() would materialize, one at a time, so
+ * the engine's streaming path never holds a page's full timeline.
+ */
+class PageWriteStream
+{
+  public:
+    /** The persona must outlive the stream (held by reference). */
+    PageWriteStream(const AppPersona &persona, std::uint64_t page_id);
+    PageWriteStream(AppPersona &&, std::uint64_t) = delete;
+
+    /**
+     * Yield the next write time in ms, ascending. Returns false at
+     * the first time at or past the trace end, and forever after.
+     */
+    bool next(double &out_ms);
+
+  private:
+    PageWriteProcess proc;
+    double durationMs;
+    double t = 0.0;
+    bool started = false;
+    bool done;
 };
 
 } // namespace memcon::trace
