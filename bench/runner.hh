@@ -16,7 +16,26 @@
  * Alongside the human-readable banner/table output, finish() writes
  * BENCH_<artifact>.json - campaign config, per-point metrics,
  * wall-clock, thread count - so successive revisions can track the
- * perf and accuracy trajectory of every artifact mechanically.
+ * perf and accuracy trajectory of every artifact mechanically. The
+ * file is written atomically and ends with a checksum footer
+ * (common/checkpoint.hh), so a killed run can never leave a
+ * silently-truncated artifact; `--validate PATH` checks one.
+ *
+ * Campaigns are additionally crash-safe (DESIGN.md §15):
+ *
+ *  * `--checkpoint PATH` records every completed task (index ->
+ *    metrics, CRC-sealed, atomically rewritten) as it finishes;
+ *    `--resume PATH` validates the checkpoint's campaign fingerprint,
+ *    replays the recorded tasks without re-running them, and executes
+ *    only the missing ones - the reduced digest is bit-identical to
+ *    an uninterrupted run (the §9 contract extended across process
+ *    death).
+ *  * SIGINT/SIGTERM stop task admission, drain in-flight tasks,
+ *    flush the checkpoint, and exit with kExitInterrupted.
+ *  * `--task-timeout-ms` arms a hung-task watchdog
+ *    (common/supervisor.hh): a task exceeding its deadline is asked
+ *    to abandon via its CancelToken and requeued up to --task-retries
+ *    times; exhaustion fails the campaign with kExitWatchdog.
  */
 
 #ifndef MEMCON_BENCH_RUNNER_HH
@@ -27,8 +46,19 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hh"
+
 namespace memcon::bench
 {
+
+/**
+ * Documented campaign exit codes (the full table lives in DESIGN.md
+ * §15). 0 is success and 1 the generic fatal(); the supervisor layer
+ * adds:
+ */
+inline constexpr int kExitInvalidArtifact = 3;  //!< --validate failed
+inline constexpr int kExitInterrupted = 75;     //!< signal; resumable
+inline constexpr int kExitWatchdog = 76;        //!< hung task gave out
 
 /** Campaign-level options shared by every ported bench binary. */
 struct SweepOptions
@@ -53,15 +83,48 @@ struct SweepOptions
      * wall-clock medians, so timings are stable enough to compare
      * across revisions. Metrics must be identical on every repeat
      * (the runner fatals on a digest mismatch - a repeat-sensitive
-     * bench is a determinism bug, not noise).
+     * bench is a determinism bug, not noise). Incompatible with
+     * checkpointing.
      */
     unsigned repeat = 1;
+
+    /** Write a per-task checkpoint here; empty disables it. */
+    std::string checkpointPath;
+
+    /**
+     * Resume from this checkpoint: its fingerprint must match the
+     * campaign, recorded tasks are replayed from it, and new
+     * completions keep appending to it (unless checkpointPath names
+     * a different file).
+     */
+    std::string resumePath;
+
+    /**
+     * Hung-task watchdog deadline floor in ms; 0 leaves the watchdog
+     * off. The effective per-task deadline adapts upward to 8x the
+     * median completed-task wall clock.
+     */
+    double taskTimeoutMs = 0.0;
+
+    /** Requeues granted to a task the watchdog abandoned. */
+    unsigned taskRetries = 2;
+
+    /**
+     * Test hook: called (under the checkpoint lock) after each
+     * checkpoint record lands on disk, with the record count so far.
+     * The kill-resume tests use it to die at a deterministic point.
+     */
+    std::function<void(std::size_t)> checkpointHook;
 };
 
 /**
  * Parse the common sweep flags: --threads N, --seed S, --quick,
- * --repeat N, --json PATH, --no-json, --help. Unknown arguments are
- * fatal so a typo cannot silently fall back to defaults.
+ * --repeat N, --json PATH, --no-json, --checkpoint PATH,
+ * --resume PATH, --task-timeout-ms N, --task-retries N,
+ * --validate PATH, --help. Unknown arguments are fatal so a typo
+ * cannot silently fall back to defaults. --validate checks a
+ * BENCH_*.json or checkpoint file and exits immediately (0 valid,
+ * kExitInvalidArtifact torn/corrupt).
  */
 SweepOptions parseSweepArgs(int argc, char **argv);
 
@@ -71,6 +134,14 @@ struct TaskContext
     std::uint64_t seed; //!< deriveTaskSeed(campaignSeed, index)
     std::size_t index;  //!< the task's position in the sweep
     bool quick;         //!< shrink the config for smoke testing
+
+    /**
+     * Cooperative cancellation: long-running points should call
+     * token.throwIfCancelled() at loop boundaries so the watchdog
+     * can abandon and requeue them. Ignoring it is safe - the task
+     * just cannot be reclaimed before it returns.
+     */
+    CancelToken token;
 };
 
 /** One named measurement produced by a sweep point. */
@@ -107,6 +178,17 @@ struct PointResult
  */
 std::string resultsDigest(const std::vector<PointResult> &results);
 
+/**
+ * Canonical serialization of one point's metrics ("name=value;"
+ * with %.17g doubles) - the checkpoint record payload. %.17g
+ * round-trips doubles exactly, so metrics replayed from a checkpoint
+ * are bit-identical to freshly computed ones.
+ */
+std::string metricsLine(const Metrics &metrics);
+
+/** Parse a metricsLine() payload back; fatal on malformed input. */
+Metrics parseMetricsLine(const std::string &line);
+
 class SweepRunner
 {
   public:
@@ -128,6 +210,10 @@ class SweepRunner
      * reproducible from its own output. If tasks threw, the exception
      * of the lowest-index failing task is rethrown. Runs once;
      * subsequent calls return the same results.
+     *
+     * Does not return if the campaign was interrupted by a signal
+     * (exits kExitInterrupted after draining and flushing the
+     * checkpoint) or failed by the watchdog (exits kExitWatchdog).
      */
     const std::vector<PointResult> &run();
 
@@ -139,7 +225,8 @@ class SweepRunner
 
     /**
      * Write BENCH_<artifact>.json (unless --no-json) and print where
-     * it went. Call after rendering the human-readable output.
+     * it went. Call after rendering the human-readable output. The
+     * write is atomic and the file ends with a checksum footer.
      */
     void finish() const;
 
@@ -149,6 +236,9 @@ class SweepRunner
     /** Worker threads the campaign actually used. */
     unsigned threadsUsed() const { return resolvedThreads; }
 
+    /** Tasks replayed from the resume checkpoint instead of run. */
+    std::size_t tasksResumed() const { return resumedCount; }
+
     /**
      * Wall-clock of the parallel section, summed over repeats (not
      * deterministic).
@@ -157,7 +247,8 @@ class SweepRunner
 
     /**
      * Median across repeats of one point's own wall-clock seconds
-     * (not deterministic; excluded from digests and metrics).
+     * (not deterministic; excluded from digests and metrics; 0 for
+     * tasks replayed from a checkpoint).
      */
     double pointWallSeconds(std::size_t point_index) const;
 
@@ -168,6 +259,7 @@ class SweepRunner
     std::vector<PointResult> reduced;
     std::vector<double> pointWall;
     unsigned resolvedThreads = 1;
+    std::size_t resumedCount = 0;
     double wallClockSeconds = 0.0;
     bool executed = false;
 };

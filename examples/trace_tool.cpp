@@ -73,7 +73,14 @@ main(int argc, char **argv)
     if (cmd == "replay" && argc == 3) {
         std::ifstream in(argv[2]);
         fatal_if(!in, "cannot open '%s'", argv[2]);
-        trace::WriteTrace trace = trace::readWriteTrace(in);
+        trace::WriteTrace trace;
+        try {
+            trace = trace::readWriteTrace(in);
+        } catch (const trace::TraceError &e) {
+            // The parser reports data errors as exceptions so library
+            // callers can recover; at the CLI boundary they are fatal.
+            fatal("cannot parse '%s': %s", argv[2], e.what());
+        }
         std::printf("replaying %llu writes over %zu pages (%.0f ms)\n",
                     static_cast<unsigned long long>(trace.totalWrites()),
                     trace.pageWrites.size(), trace.durationMs);

@@ -1,0 +1,354 @@
+#include "common/checkpoint.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace memcon::ckpt
+{
+
+namespace
+{
+
+/** Lazily built table for the reflected 0xEDB88320 polynomial. */
+const std::uint32_t *
+crcTable()
+{
+    static std::uint32_t table[256];
+    static bool built = false;
+    if (!built) {
+        for (std::uint32_t n = 0; n < 256; ++n) {
+            std::uint32_t c = n;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[n] = c;
+        }
+        built = true;
+    }
+    return table;
+}
+
+/** "<payload> #<8-hex-crc>\n" - the self-checking line format every
+ *  checkpoint line uses. */
+std::string
+sealedLine(const std::string &payload)
+{
+    return payload + strprintf(" #%08x\n", crc32(payload));
+}
+
+/**
+ * Split one sealed line back into its payload, verifying the CRC.
+ * Returns false if the seal is missing or does not match.
+ */
+bool
+unsealLine(const std::string &line, std::string *payload)
+{
+    std::size_t mark = line.rfind(" #");
+    if (mark == std::string::npos || line.size() - mark != 10)
+        return false;
+    std::uint32_t stored = 0;
+    if (std::sscanf(line.c_str() + mark + 2, "%8x", &stored) != 1)
+        return false;
+    std::string body = line.substr(0, mark);
+    if (crc32(body) != stored)
+        return false;
+    *payload = std::move(body);
+    return true;
+}
+
+std::string
+headerPayload(const CampaignFingerprint &fp)
+{
+    return strprintf(
+        "MEMCON-CKPT v1 artifact=%s seed=%" PRIu64 " points=%" PRIu64
+        " quick=%d labels=%08x",
+        fp.artifact.c_str(), fp.campaignSeed, fp.pointCount,
+        fp.quick ? 1 : 0, fp.labelsCrc);
+}
+
+bool
+parseHeaderPayload(const std::string &payload, CampaignFingerprint *fp)
+{
+    char artifact[256] = {0};
+    std::uint64_t seed = 0, points = 0;
+    int quick = 0;
+    unsigned labels = 0;
+    if (std::sscanf(payload.c_str(),
+                    "MEMCON-CKPT v1 artifact=%255s seed=%" SCNu64
+                    " points=%" SCNu64 " quick=%d labels=%8x",
+                    artifact, &seed, &points, &quick, &labels) != 5)
+        return false;
+    fp->artifact = artifact;
+    fp->campaignSeed = seed;
+    fp->pointCount = points;
+    fp->quick = quick != 0;
+    fp->labelsCrc = labels;
+    return true;
+}
+
+bool
+fail(std::string *reason, const std::string &why)
+{
+    if (reason)
+        *reason = why;
+    return false;
+}
+
+bool
+slurpFile(const std::string &path, std::string *out, std::string *reason)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(reason, "cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t seed)
+{
+    const std::uint32_t *table = crcTable();
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t
+crc32(const std::string &s)
+{
+    return crc32(s.data(), s.size());
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &content,
+                std::string *error)
+{
+    std::string tmp =
+        path + strprintf(".tmp.%ld", static_cast<long>(::getpid()));
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return fail(error, "open '" + tmp + "' failed: " + errnoString());
+
+    const char *p = content.data();
+    std::size_t left = content.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::string why = "write failed: " + errnoString();
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return fail(error, why);
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    // Flush before rename: the rename must never publish a file whose
+    // bytes are still only in the page cache of a dying process.
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        std::string why = "fsync/close failed: " + errnoString();
+        ::unlink(tmp.c_str());
+        return fail(error, why);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::string why = "rename to '" + path + "' failed: " + errnoString();
+        ::unlink(tmp.c_str());
+        return fail(error, why);
+    }
+    return true;
+}
+
+bool
+CampaignFingerprint::matches(const CampaignFingerprint &other) const
+{
+    return artifact == other.artifact &&
+           campaignSeed == other.campaignSeed &&
+           pointCount == other.pointCount && quick == other.quick &&
+           labelsCrc == other.labelsCrc;
+}
+
+std::string
+CampaignFingerprint::describe() const
+{
+    return strprintf("artifact=%s seed=%" PRIu64 " points=%" PRIu64
+                     " quick=%d labels=%08x",
+                     artifact.c_str(), campaignSeed, pointCount,
+                     quick ? 1 : 0, labelsCrc);
+}
+
+CheckpointWriter::CheckpointWriter(std::string file_path,
+                                   const CampaignFingerprint &fp,
+                                   std::vector<TaskRecord> existing)
+    : path(std::move(file_path))
+{
+    panic_if(fp.artifact.find(' ') != std::string::npos,
+             "artifact name '%s' must not contain spaces",
+             fp.artifact.c_str());
+    body = sealedLine(headerPayload(fp));
+    for (const TaskRecord &r : existing) {
+        body += sealedLine(strprintf("T %" PRIu64 " ", r.index) +
+                           r.metrics);
+        ++count;
+    }
+    flush();
+}
+
+void
+CheckpointWriter::append(const TaskRecord &record)
+{
+    body += sealedLine(strprintf("T %" PRIu64 " ", record.index) +
+                       record.metrics);
+    ++count;
+    flush();
+}
+
+void
+CheckpointWriter::flush()
+{
+    std::string footer = sealedLine(
+        strprintf("END count=%zu total=%08x", count, crc32(body)));
+    std::string error;
+    if (!atomicWriteFile(path, body + footer, &error))
+        fatal("checkpoint write to '%s' failed: %s", path.c_str(),
+              error.c_str());
+}
+
+bool
+loadCheckpoint(const std::string &path, LoadedCheckpoint *out,
+               std::string *reason)
+{
+    std::string content;
+    if (!slurpFile(path, &content, reason))
+        return false;
+    if (content.empty() || content.back() != '\n')
+        return fail(reason, "checkpoint does not end with a newline "
+                            "(truncated write?)");
+
+    LoadedCheckpoint loaded;
+    bool have_header = false, have_footer = false;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    std::string body_so_far;
+    while (pos < content.size()) {
+        std::size_t eol = content.find('\n', pos);
+        // content ends with '\n', so eol is always found.
+        std::string line = content.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++line_no;
+
+        std::string payload;
+        if (!unsealLine(line, &payload))
+            return fail(reason,
+                        strprintf("line %zu fails its CRC seal "
+                                  "(torn or corrupted record)",
+                                  line_no));
+        if (have_footer)
+            return fail(reason, strprintf("line %zu follows the END "
+                                          "footer",
+                                          line_no));
+        if (!have_header) {
+            if (!parseHeaderPayload(payload, &loaded.fingerprint))
+                return fail(reason, "malformed checkpoint header");
+            have_header = true;
+        } else if (payload.compare(0, 4, "END ") == 0) {
+            std::size_t cnt = 0;
+            unsigned total = 0;
+            if (std::sscanf(payload.c_str(), "END count=%zu total=%8x",
+                            &cnt, &total) != 2)
+                return fail(reason, "malformed END footer");
+            if (cnt != loaded.records.size())
+                return fail(reason,
+                            strprintf("END count %zu != %zu records "
+                                      "present",
+                                      cnt, loaded.records.size()));
+            if (total != crc32(body_so_far))
+                return fail(reason, "END running CRC mismatch "
+                                    "(checkpoint corrupted)");
+            have_footer = true;
+            continue;
+        } else {
+            TaskRecord rec;
+            int consumed = 0;
+            if (std::sscanf(payload.c_str(), "T %" SCNu64 " %n",
+                            &rec.index, &consumed) != 1 ||
+                consumed <= 0)
+                return fail(reason,
+                            strprintf("malformed task record at "
+                                      "line %zu",
+                                      line_no));
+            rec.metrics =
+                payload.substr(static_cast<std::size_t>(consumed));
+            loaded.records.push_back(std::move(rec));
+        }
+        body_so_far += line;
+        body_so_far += '\n';
+    }
+    if (!have_header)
+        return fail(reason, "checkpoint is empty");
+    if (!have_footer)
+        return fail(reason, "checkpoint has no END footer "
+                            "(truncated write?)");
+    if (out)
+        *out = std::move(loaded);
+    return true;
+}
+
+bool
+validateCheckpointFile(const std::string &path, std::string *reason)
+{
+    return loadCheckpoint(path, nullptr, reason);
+}
+
+std::string
+artifactFooter(const std::string &body)
+{
+    return strprintf("  \"footer\": {\"crc32\": \"%08x\", "
+                     "\"bytes\": %zu}\n}\n",
+                     crc32(body), body.size());
+}
+
+bool
+validateArtifactJson(const std::string &content, std::string *reason)
+{
+    // The emitter writes body + artifactFooter(body); recompute the
+    // footer from everything before its own (last) occurrence and
+    // require byte equality - any truncation or edit breaks it.
+    const std::string marker = "\n  \"footer\": {\"crc32\": \"";
+    std::size_t pos = content.rfind(marker);
+    if (pos == std::string::npos)
+        return fail(reason,
+                    "no footer found (truncated or pre-footer file)");
+    std::string body = content.substr(0, pos + 1);
+    std::string expected = artifactFooter(body);
+    if (content.size() != body.size() + expected.size() ||
+        content.compare(body.size(), expected.size(), expected) != 0)
+        return fail(reason, "footer checksum/byte-count mismatch "
+                            "(torn or corrupted artifact)");
+    return true;
+}
+
+bool
+validateArtifactFile(const std::string &path, std::string *reason)
+{
+    std::string content;
+    if (!slurpFile(path, &content, reason))
+        return false;
+    return validateArtifactJson(content, reason);
+}
+
+} // namespace memcon::ckpt

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Durable campaign artifacts: checksummed checkpoints and torn-file
+ * rejection (DESIGN.md §15).
+ *
+ * Long profiling campaigns must survive process death without
+ * invalidating results, and a file a dying process was mid-write in
+ * must never be mistaken for a complete one. Three pieces enforce
+ * that:
+ *
+ *  * atomicWriteFile() - every durable artifact (checkpoint and
+ *    BENCH_*.json alike) is written to a temp file in the target
+ *    directory, flushed, and rename()d into place, so readers only
+ *    ever observe the old complete file or the new complete file.
+ *
+ *  * The campaign checkpoint ("MEMCON-CKPT v1") - one CRC32-guarded
+ *    record per completed sweep task (task index -> named metrics in
+ *    the canonical %.17g digest serialization), a fingerprint header
+ *    binding the file to (artifact, campaign seed, point count,
+ *    quick flag, label set), and an END footer covering every byte
+ *    above it. loadCheckpoint() is strict: a file truncated or
+ *    corrupted at ANY byte is rejected, never parsed as a shorter
+ *    valid checkpoint.
+ *
+ *  * The BENCH_*.json footer - the emitter ends every artifact with
+ *    a "footer" object carrying the CRC32 and byte count of
+ *    everything before it; validateArtifactJson() recomputes both,
+ *    so downstream tooling can reject a torn artifact instead of
+ *    charting half a campaign.
+ */
+
+#ifndef MEMCON_COMMON_CHECKPOINT_HH
+#define MEMCON_COMMON_CHECKPOINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memcon::ckpt
+{
+
+/** CRC-32 (IEEE 802.3, reflected 0xEDB88320), the usual check value
+ *  crc32("123456789") == 0xCBF43926. */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t seed = 0);
+std::uint32_t crc32(const std::string &s);
+
+/**
+ * Write `content` to `path` atomically: temp file in the same
+ * directory, write, fsync, rename. On any failure the target is left
+ * untouched (the temp file is unlinked) and `error` describes what
+ * went wrong.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &content,
+                     std::string *error = nullptr);
+
+/**
+ * What binds a checkpoint to one specific campaign. Thread count and
+ * wall clock are deliberately absent: the §9 determinism contract
+ * makes them irrelevant to the metrics, so a campaign interrupted at
+ * 8 threads may be resumed at 1 (or vice versa).
+ */
+struct CampaignFingerprint
+{
+    std::string artifact;          //!< bench identity, no spaces
+    std::uint64_t campaignSeed = 0;
+    std::uint64_t pointCount = 0;
+    bool quick = false;
+    std::uint32_t labelsCrc = 0;   //!< crc32 of all labels, '\n'-joined
+
+    bool matches(const CampaignFingerprint &other) const;
+
+    /** Human-readable form for mismatch diagnostics. */
+    std::string describe() const;
+};
+
+/** One completed task: its index and canonical metrics line
+ *  ("name=value;..." with %.17g doubles - the digest serialization,
+ *  which round-trips doubles exactly). */
+struct TaskRecord
+{
+    std::uint64_t index = 0;
+    std::string metrics;
+};
+
+/**
+ * Appends task records to a checkpoint file. Every append rewrites
+ * the whole file through atomicWriteFile() with a fresh END footer,
+ * so the on-disk checkpoint is complete and self-validating after
+ * every record - a SIGKILL between appends loses at most the tasks
+ * whose records were not yet written, never the file's integrity.
+ */
+class CheckpointWriter
+{
+  public:
+    /**
+     * @param path      checkpoint file to (re)write
+     * @param fp        the campaign this checkpoint belongs to
+     * @param existing  records carried over from a resumed checkpoint
+     *
+     * Writes the initial file (header + existing records + footer)
+     * immediately; fatal on I/O failure - a campaign that cannot be
+     * checkpointed must not pretend it is.
+     */
+    CheckpointWriter(std::string path, const CampaignFingerprint &fp,
+                     std::vector<TaskRecord> existing = {});
+
+    /** Append one record and atomically rewrite the file. */
+    void append(const TaskRecord &record);
+
+    std::size_t recordCount() const { return count; }
+    const std::string &filePath() const { return path; }
+
+  private:
+    void flush();
+
+    std::string path;
+    std::string body; //!< header + record lines (everything the
+                      //!< footer's running CRC covers)
+    std::size_t count = 0;
+};
+
+/** A successfully validated checkpoint. */
+struct LoadedCheckpoint
+{
+    CampaignFingerprint fingerprint;
+    std::vector<TaskRecord> records;
+};
+
+/**
+ * Strictly load `path`: header, every record, and the END footer must
+ * all be present and CRC-clean, with no trailing bytes. Returns false
+ * with a reason on any deviation - including truncation at any byte.
+ */
+bool loadCheckpoint(const std::string &path, LoadedCheckpoint *out,
+                    std::string *reason = nullptr);
+
+/** Validation-only wrapper around loadCheckpoint(). */
+bool validateCheckpointFile(const std::string &path,
+                            std::string *reason = nullptr);
+
+/**
+ * The torn-file guard for BENCH_*.json: given the artifact body (the
+ * serialized JSON up to and including the line that closes the points
+ * array, `  ],\n`), return the footer + closing brace that completes
+ * the file: `  "footer": {"crc32": "xxxxxxxx", "bytes": N}\n}\n`.
+ */
+std::string artifactFooter(const std::string &body);
+
+/**
+ * Validate a complete BENCH_*.json artifact: the file must end with
+ * exactly the footer artifactFooter() derives from everything before
+ * it. A file truncated at any byte fails. Returns false with a
+ * reason on rejection.
+ */
+bool validateArtifactJson(const std::string &content,
+                          std::string *reason = nullptr);
+
+/** validateArtifactJson() over a file on disk. */
+bool validateArtifactFile(const std::string &path,
+                          std::string *reason = nullptr);
+
+} // namespace memcon::ckpt
+
+#endif // MEMCON_COMMON_CHECKPOINT_HH

@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 namespace memcon
@@ -47,6 +49,20 @@ strprintf(const char *fmt, ...)
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
     return s;
+}
+
+std::string
+errnoString()
+{
+    int err = errno;
+    char buf[256] = {0};
+#if defined(_GNU_SOURCE) || defined(__GLIBC__)
+    // GNU strerror_r may return a static string instead of filling buf.
+    return strerror_r(err, buf, sizeof(buf));
+#else
+    strerror_r(err, buf, sizeof(buf));
+    return buf;
+#endif
 }
 
 void

@@ -44,6 +44,12 @@ std::string vstrprintf(const char *fmt, va_list ap);
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * The current errno as a message, via the thread-safe strerror_r
+ * (durable-artifact writes report I/O failures from worker threads).
+ */
+std::string errnoString();
+
 } // namespace memcon
 
 #define panic(...) ::memcon::panicImpl(__FILE__, __LINE__, __VA_ARGS__)

@@ -1,0 +1,155 @@
+#include "common/supervisor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memcon
+{
+
+namespace
+{
+
+/** Elapsed milliseconds since `start` (supervision only). */
+double
+elapsedMs(std::chrono::steady_clock::time_point start) // lint:allow(wall-clock)
+{
+    // lint:allow(wall-clock) - watchdog timing, never feeds metrics
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start) // lint:allow(wall-clock)
+        .count();
+}
+
+} // namespace
+
+Supervisor::Supervisor(SupervisorConfig config, std::size_t total_tasks)
+    : cfg(config), totalTasks(total_tasks)
+{
+    if (cfg.maxAttempts == 0)
+        cfg.maxAttempts = 1;
+    if (cfg.floorTimeoutMs > 0.0)
+        monitor = std::thread([this] { monitorLoop(); });
+}
+
+Supervisor::~Supervisor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    wake.notify_all();
+    if (monitor.joinable())
+        monitor.join();
+}
+
+void
+Supervisor::beginTask(std::size_t index, const std::string &label,
+                      unsigned attempt, CancelToken token)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    Running r;
+    r.label = label;
+    r.attempt = attempt;
+    r.token = std::move(token);
+    // lint:allow(wall-clock) - arms the supervision deadline only
+    r.start = std::chrono::steady_clock::now();
+    running[index] = std::move(r);
+}
+
+void
+Supervisor::endTask(std::size_t index, bool completed, double wall_ms)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    running.erase(index);
+    if (completed) {
+        ++completedTasks;
+        completedMs.insert(std::lower_bound(completedMs.begin(),
+                                            completedMs.end(), wall_ms),
+                           wall_ms);
+    }
+}
+
+void
+Supervisor::reportExhausted(std::size_t index, const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    failed = true;
+    failReason = strprintf(
+        "task %zu ('%s') exceeded its deadline on all %u attempts",
+        index, label.c_str(), cfg.maxAttempts);
+}
+
+bool
+Supervisor::campaignFailed() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return failed;
+}
+
+std::string
+Supervisor::failureReason() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return failReason;
+}
+
+unsigned
+Supervisor::timeoutsObserved() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return timeouts;
+}
+
+double
+Supervisor::currentDeadlineMs() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return deadlineMsLocked();
+}
+
+double
+Supervisor::deadlineMsLocked() const
+{
+    if (cfg.floorTimeoutMs <= 0.0)
+        return 0.0;
+    double deadline = cfg.floorTimeoutMs;
+    if (!completedMs.empty()) {
+        double median = completedMs[completedMs.size() / 2];
+        deadline = std::max(deadline, cfg.medianMultiplier * median);
+    }
+    return deadline;
+}
+
+void
+Supervisor::monitorLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    while (!stopping) {
+        wake.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                cfg.pollIntervalMs));
+        if (stopping)
+            return;
+        double deadline = deadlineMsLocked();
+        if (deadline <= 0.0)
+            continue;
+        for (auto &entry : running) {
+            Running &r = entry.second;
+            if (r.cancelSent)
+                continue;
+            double elapsed = elapsedMs(r.start);
+            if (elapsed <= deadline)
+                continue;
+            r.cancelSent = true;
+            ++timeouts;
+            warn("watchdog: task %zu ('%s') attempt %u/%u exceeded "
+                 "its %.0f ms deadline (%.0f ms elapsed) at campaign "
+                 "position %zu/%zu completed; requesting abandon",
+                 entry.first, r.label.c_str(), r.attempt + 1,
+                 cfg.maxAttempts, deadline, elapsed, completedTasks,
+                 totalTasks);
+            r.token.requestCancel();
+        }
+    }
+}
+
+} // namespace memcon

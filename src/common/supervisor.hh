@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Hung-task watchdog for long campaigns (DESIGN.md §15).
+ *
+ * A Supervisor runs one monitor thread beside a campaign. Each task
+ * attempt registers on start and deregisters on completion; the
+ * monitor periodically compares every running attempt's elapsed wall
+ * clock against its deadline and, when exceeded, raises the
+ * attempt's CancelToken and logs the stuck task's index, label, and
+ * campaign position. A cooperative task observes the token, unwinds
+ * with TaskCancelled, and is requeued by the campaign layer; after a
+ * bounded number of abandoned attempts the supervisor marks the
+ * whole campaign failed (the runner exits with the documented
+ * watchdog exit code).
+ *
+ * The deadline is max(floor, multiplier x median completed-task wall
+ * clock): the floor (--task-timeout-ms) makes the watchdog usable
+ * before any task has finished, the median term adapts it to the
+ * campaign's real task granularity. The watchdog is off unless a
+ * floor is configured - sweep points legitimately vary by orders of
+ * magnitude, so hang detection is an explicit opt-in.
+ *
+ * Wall-clock use here is supervision-only: nothing the monitor
+ * observes ever feeds a metric, a seed, or a digest, so the §9
+ * determinism contract is untouched.
+ */
+
+#ifndef MEMCON_COMMON_SUPERVISOR_HH
+#define MEMCON_COMMON_SUPERVISOR_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace memcon
+{
+
+struct SupervisorConfig
+{
+    /** Deadline floor in ms; <= 0 disables the watchdog entirely. */
+    double floorTimeoutMs = 0.0;
+
+    /** Deadline is max(floor, multiplier x median completed ms). */
+    double medianMultiplier = 8.0;
+
+    /** Attempts per task before the campaign is failed (1 initial
+     *  run + N-1 requeues). */
+    unsigned maxAttempts = 3;
+
+    /** Monitor poll cadence. */
+    double pollIntervalMs = 5.0;
+};
+
+class Supervisor
+{
+  public:
+    /**
+     * @param cfg          watchdog policy
+     * @param total_tasks  campaign size, for position reporting
+     */
+    Supervisor(SupervisorConfig cfg, std::size_t total_tasks);
+
+    /** Stops and joins the monitor thread. */
+    ~Supervisor();
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /** A task attempt started; arms its deadline. */
+    void beginTask(std::size_t index, const std::string &label,
+                   unsigned attempt, CancelToken token);
+
+    /**
+     * The attempt ended. Completed attempts feed their wall clock
+     * into the median the adaptive deadline derives from; abandoned
+     * or failed attempts do not.
+     */
+    void endTask(std::size_t index, bool completed, double wall_ms);
+
+    /**
+     * A task burned through every attempt: mark the campaign failed.
+     * Subsequent task admissions observe campaignFailed() and skip.
+     */
+    void reportExhausted(std::size_t index, const std::string &label);
+
+    bool campaignFailed() const;
+
+    /** Why the campaign failed; empty while it has not. */
+    std::string failureReason() const;
+
+    /** Deadline overruns observed so far (attempts cancelled). */
+    unsigned timeoutsObserved() const;
+
+    /** The deadline a task starting now would get, in ms; 0 while
+     *  the watchdog cannot fire (no floor configured). */
+    double currentDeadlineMs() const;
+
+  private:
+    struct Running
+    {
+        std::string label;
+        unsigned attempt = 0;
+        CancelToken token;
+        // lint:allow(wall-clock) - supervision only, never metrics
+        std::chrono::steady_clock::time_point start;
+        bool cancelSent = false;
+    };
+
+    void monitorLoop();
+    double deadlineMsLocked() const;
+
+    SupervisorConfig cfg;
+    std::size_t totalTasks;
+
+    mutable std::mutex mtx;
+    std::condition_variable wake;
+    bool stopping = false;
+    std::map<std::size_t, Running> running;
+    std::vector<double> completedMs; //!< kept sorted for the median
+    std::size_t completedTasks = 0;
+    unsigned timeouts = 0;
+    bool failed = false;
+    std::string failReason;
+
+    std::thread monitor;
+};
+
+} // namespace memcon
+
+#endif // MEMCON_COMMON_SUPERVISOR_HH

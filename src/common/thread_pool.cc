@@ -3,6 +3,18 @@
 namespace memcon
 {
 
+TaskCancelled::TaskCancelled()
+    : std::runtime_error("task abandoned by supervisor")
+{
+}
+
+void
+CancelToken::throwIfCancelled() const
+{
+    if (cancelRequested())
+        throw TaskCancelled();
+}
+
 ThreadPool::ThreadPool(unsigned num_threads, std::size_t queue_capacity)
     : capacity(queue_capacity == 0 ? 1 : queue_capacity)
 {

@@ -1,6 +1,7 @@
 /**
  * @file
- * A fixed-size worker pool with a bounded task queue.
+ * A fixed-size worker pool with a bounded task queue, plus the
+ * cooperative cancellation primitive the campaign supervisor uses.
  *
  * The experiment runner (bench/runner) executes independent sweep
  * points on this pool; determinism is preserved because the pool
@@ -13,22 +14,67 @@
  * at get(), never on the worker thread. Destruction is graceful: all
  * tasks already submitted (queued or running) complete before the
  * workers join.
+ *
+ * Cancellation is cooperative: a CancelToken is a shared flag a
+ * supervisor raises and a long-running task polls (throwIfCancelled()
+ * at loop boundaries). The pool never kills a worker - a task that
+ * ignores its token keeps its worker until it returns; one that
+ * honors it unwinds with TaskCancelled, which the campaign layer
+ * treats as "abandon and requeue" rather than a task failure.
  */
 
 #ifndef MEMCON_COMMON_THREAD_POOL_HH
 #define MEMCON_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace memcon
 {
+
+/**
+ * Thrown by CancelToken::throwIfCancelled() when a supervisor has
+ * asked the task to abandon its attempt. Distinct from task failure:
+ * the campaign layer catches it and requeues the task.
+ */
+class TaskCancelled : public std::runtime_error
+{
+  public:
+    TaskCancelled();
+};
+
+/**
+ * A copyable handle over a shared cancellation flag. One token is
+ * issued per task attempt; the watchdog raises it, the task polls it.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() : flag(std::make_shared<std::atomic<bool>>(false)) {}
+
+    /** Ask the task holding this token to abandon its attempt. */
+    void requestCancel() { flag->store(true, std::memory_order_release); }
+
+    bool cancelRequested() const
+    {
+        return flag->load(std::memory_order_acquire);
+    }
+
+    /** Poll point for cooperative tasks; throws TaskCancelled. */
+    void throwIfCancelled() const;
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag;
+};
 
 class ThreadPool
 {

@@ -13,23 +13,61 @@
 namespace memcon::trace
 {
 
+TraceError::TraceError(std::size_t line, std::size_t byte_offset,
+                       const std::string &reason)
+    : std::runtime_error(strprintf("trace line %zu (byte offset %zu): ",
+                                   line, byte_offset) +
+                         reason),
+      lineNo(line), offset(byte_offset), why(reason)
+{
+}
+
 namespace
 {
 
-/** Next content line, skipping blanks and # comments. */
-bool
-nextLine(std::istream &is, std::string &line)
+/**
+ * Line iterator that skips blanks and # comments while tracking the
+ * position (line number, byte offset of line start) every TraceError
+ * reports.
+ */
+class LineReader
 {
-    while (std::getline(is, line)) {
-        std::size_t start = line.find_first_not_of(" \t");
-        if (start == std::string::npos)
-            continue;
-        if (line[start] == '#')
-            continue;
-        return true;
+  public:
+    explicit LineReader(std::istream &stream) : is(stream) {}
+
+    /** Advance to the next content line; false at EOF. */
+    bool
+    next(std::string &line)
+    {
+        while (std::getline(is, line)) {
+            ++lineNo;
+            lineStart = offset;
+            // getline consumed the delimiter too (absent only on a
+            // final unterminated line, where the overshoot is moot).
+            offset += line.size() + 1;
+            std::size_t start = line.find_first_not_of(" \t");
+            if (start == std::string::npos)
+                continue;
+            if (line[start] == '#')
+                continue;
+            return true;
+        }
+        return false;
     }
-    return false;
-}
+
+    /** Fail at the current line's position. */
+    [[noreturn]] void
+    fail(const std::string &reason) const
+    {
+        throw TraceError(lineNo, lineStart, reason);
+    }
+
+  private:
+    std::istream &is;
+    std::size_t lineNo = 0;    //!< lines consumed so far
+    std::size_t lineStart = 0; //!< byte offset of the current line
+    std::size_t offset = 0;    //!< byte offset past the current line
+};
 
 } // namespace
 
@@ -48,31 +86,38 @@ writeWriteTrace(std::ostream &os, const WriteTrace &trace)
 WriteTrace
 readWriteTrace(std::istream &is)
 {
+    LineReader reader(is);
     std::string line;
-    fatal_if(!nextLine(is, line), "empty write trace");
+    if (!reader.next(line))
+        reader.fail("empty write trace");
 
     std::istringstream header(line);
     std::string magic, version;
     std::size_t pages = 0;
     double duration = 0.0;
     header >> magic >> version >> pages >> duration;
-    fatal_if(magic != "wtrace" || version != "v1",
-             "bad write-trace header: '%s'", line.c_str());
-    fatal_if(pages == 0 || duration <= 0.0,
-             "write-trace header needs pages > 0 and duration > 0");
+    if (magic != "wtrace" || version != "v1")
+        reader.fail("bad write-trace header: '" + line + "'");
+    if (header.fail() || pages == 0 || duration <= 0.0)
+        reader.fail("write-trace header needs pages > 0 and "
+                    "duration > 0 (truncated header?)");
 
     WriteTrace trace;
     trace.durationMs = duration;
     trace.pageWrites.resize(pages);
-    while (nextLine(is, line)) {
+    while (reader.next(line)) {
         std::istringstream row(line);
         std::size_t page;
         double t;
-        fatal_if(!(row >> page >> t), "bad write-trace line: '%s'",
-                 line.c_str());
-        fatal_if(page >= pages, "page %zu out of range in trace", page);
-        fatal_if(t < 0.0 || t >= duration,
-                 "write time %f outside [0, %f)", t, duration);
+        if (!(row >> page >> t))
+            reader.fail("bad write-trace line: '" + line + "'");
+        if (page >= pages)
+            reader.fail(strprintf("page %zu out of range (trace has "
+                                  "%zu pages)",
+                                  page, pages));
+        if (t < 0.0 || t >= duration)
+            reader.fail(strprintf("write time %f outside [0, %f)", t,
+                                  duration));
         trace.pageWrites[page].push_back(TimeMs{t});
     }
     for (auto &writes : trace.pageWrites)
@@ -107,23 +152,27 @@ writeCpuTrace(std::ostream &os, const std::vector<MemAccess> &trace)
 std::vector<MemAccess>
 readCpuTrace(std::istream &is)
 {
+    LineReader reader(is);
     std::string line;
-    fatal_if(!nextLine(is, line), "empty CPU trace");
+    if (!reader.next(line))
+        reader.fail("empty CPU trace");
     std::istringstream header(line);
     std::string magic, version;
     header >> magic >> version;
-    fatal_if(magic != "ctrace" || version != "v1",
-             "bad CPU-trace header: '%s'", line.c_str());
+    if (magic != "ctrace" || version != "v1")
+        reader.fail("bad CPU-trace header: '" + line + "'");
 
     std::vector<MemAccess> out;
-    while (nextLine(is, line)) {
+    while (reader.next(line)) {
         std::istringstream row(line);
         MemAccess a;
         char rw = 0;
-        fatal_if(!(row >> a.bubbleInsts >> a.blockIndex >> rw),
-                 "bad CPU-trace line: '%s'", line.c_str());
-        fatal_if(rw != 'R' && rw != 'W',
-                 "CPU-trace access type must be R or W, got '%c'", rw);
+        if (!(row >> a.bubbleInsts >> a.blockIndex >> rw))
+            reader.fail("bad CPU-trace line: '" + line + "'");
+        if (rw != 'R' && rw != 'W')
+            reader.fail(strprintf("CPU-trace access type must be R "
+                                  "or W, got '%c'",
+                                  rw));
         a.isWrite = rw == 'W';
         out.push_back(a);
     }

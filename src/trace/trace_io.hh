@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,34 @@
 
 namespace memcon::trace
 {
+
+/**
+ * A malformed trace, thrown by the readers with the position of the
+ * offending input. Library callers (tests, services embedding the
+ * parser) catch and handle it; CLI binaries catch it at their
+ * boundary and turn it into fatal() - parsing a bad file is a data
+ * error, not a configuration error the library should exit() over.
+ */
+class TraceError : public std::runtime_error
+{
+  public:
+    TraceError(std::size_t line, std::size_t byte_offset,
+               const std::string &reason);
+
+    /** 1-based line number of the offending line; 0 for EOF errors. */
+    std::size_t line() const { return lineNo; }
+
+    /** Byte offset of the start of the offending line. */
+    std::size_t byteOffset() const { return offset; }
+
+    /** The bare reason, without the position prefix what() carries. */
+    const std::string &reason() const { return why; }
+
+  private:
+    std::size_t lineNo;
+    std::size_t offset;
+    std::string why;
+};
 
 /** A parsed write-interval trace. */
 struct WriteTrace
@@ -48,7 +77,7 @@ struct WriteTrace
 /** Serialize a write trace (events emitted page-major, sorted). */
 void writeWriteTrace(std::ostream &os, const WriteTrace &trace);
 
-/** Parse a write trace; fatal on malformed input. */
+/** Parse a write trace; throws TraceError on malformed input. */
 WriteTrace readWriteTrace(std::istream &is);
 
 /** Materialize a persona into a WriteTrace (for export). */
@@ -57,7 +86,7 @@ WriteTrace traceFromPersona(const AppPersona &persona);
 /** Serialize a finite CPU access trace. */
 void writeCpuTrace(std::ostream &os, const std::vector<MemAccess> &trace);
 
-/** Parse a CPU access trace; fatal on malformed input. */
+/** Parse a CPU access trace; throws TraceError on malformed input. */
 std::vector<MemAccess> readCpuTrace(std::istream &is);
 
 /** Capture n accesses from a persona stream (for export). */

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Subprocess testbed for the crash-safe campaign supervisor tests.
+ *
+ * A miniature runner-based bench (16 deterministic points) with fault
+ * hooks the supervision tests in test_supervise.cc drive from outside:
+ *
+ *   --kill-after K      SIGKILL this process the instant the K-th
+ *                       checkpoint record is durable (the kill-resume
+ *                       test: die mid-campaign at a deterministic
+ *                       point, then --resume must reproduce the
+ *                       uninterrupted digest bit for bit)
+ *   --raise-stop K      raise SIGTERM after the K-th record lands
+ *                       (graceful shutdown: drain, flush, exit 75)
+ *   --hang-task T       task T hangs cooperatively (polls its
+ *                       CancelToken) instead of computing
+ *   --hang-attempts N   the hang clears after N abandoned attempts
+ *                       (default: never - the watchdog must exhaust
+ *                       its retries and exit 76)
+ *   --digest            print "DIGEST <crc32> resumed=<n>" so tests
+ *                       compare campaign outcomes across process
+ *                       boundaries without parsing JSON
+ *
+ * Every other argument is handed to parseSweepArgs(), so the testbed
+ * accepts the full campaign vocabulary (--threads, --seed,
+ * --checkpoint, --resume, --task-timeout-ms, ...).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner.hh"
+
+#include "common/checkpoint.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+using namespace memcon;
+using namespace memcon::bench;
+
+namespace
+{
+
+/** Counts hang-task invocations so --hang-attempts can clear the
+ *  hang after a configured number of abandoned attempts. */
+std::atomic<unsigned> hangInvocations{0};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    long kill_after = -1, raise_stop = -1, hang_task = -1;
+    unsigned long hang_attempts = 1000000; // effectively: every attempt
+    bool print_digest = false;
+
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "missing value after '%s'", argv[i]);
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--kill-after") == 0)
+            kill_after = std::strtol(value(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--raise-stop") == 0)
+            raise_stop = std::strtol(value(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--hang-task") == 0)
+            hang_task = std::strtol(value(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--hang-attempts") == 0)
+            hang_attempts = std::strtoul(value(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--digest") == 0)
+            print_digest = true;
+        else
+            rest.push_back(argv[i]);
+    }
+
+    SweepOptions opts =
+        parseSweepArgs(static_cast<int>(rest.size()), rest.data());
+    if (kill_after >= 0 || raise_stop >= 0) {
+        opts.checkpointHook = [kill_after, raise_stop](std::size_t n) {
+            // Called with the record already durable on disk, so the
+            // death point is deterministic in checkpoint content no
+            // matter how the scheduler interleaved the tasks.
+            if (kill_after >= 0 &&
+                n == static_cast<std::size_t>(kill_after))
+                std::raise(SIGKILL);
+            if (raise_stop >= 0 &&
+                n == static_cast<std::size_t>(raise_stop))
+                std::raise(SIGTERM);
+        };
+    }
+
+    SweepRunner runner("campaign_testbed", opts);
+    for (std::size_t p = 0; p < 16; ++p) {
+        runner.add(strprintf("pt%02zu", p),
+                   [hang_task, hang_attempts](const TaskContext &ctx)
+                       -> Metrics {
+            if (hang_task >= 0 &&
+                ctx.index == static_cast<std::size_t>(hang_task) &&
+                hangInvocations.fetch_add(1) < hang_attempts) {
+                // Cooperative hang: spin at a loop boundary until the
+                // watchdog abandons this attempt via the token.
+                while (true) {
+                    ctx.token.throwIfCancelled();
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                }
+            }
+            Rng rng(ctx.seed);
+            const int n = ctx.quick ? 256 : 4096;
+            double sum = 0.0;
+            for (int k = 0; k < n; ++k)
+                sum += rng.uniform();
+            // A little real wall clock per task so kills and signals
+            // land mid-campaign rather than after it already drained.
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return {{"sum", sum}, {"mean", sum / n}};
+        });
+    }
+
+    runner.run();
+    if (print_digest)
+        std::printf("DIGEST %08x resumed=%zu\n",
+                    ckpt::crc32(resultsDigest(runner.results())),
+                    runner.tasksResumed());
+    runner.finish();
+    return 0;
+}

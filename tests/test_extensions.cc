@@ -355,17 +355,27 @@ TEST(TraceIo, PersonaExportMatchesEngineInput)
     EXPECT_EQ(direct.testsRun, via_text.testsRun);
 }
 
-TEST(TraceIo, MalformedWriteTraceIsFatal)
+TEST(TraceIo, MalformedWriteTraceThrowsTraceError)
 {
+    // The parser throws a structured, catchable TraceError (CLI
+    // binaries convert it to fatal at their boundary).
     std::stringstream bad1("nonsense v1 4 100\n");
-    EXPECT_EXIT(trace::readWriteTrace(bad1),
-                ::testing::ExitedWithCode(1), "bad write-trace header");
+    EXPECT_THROW(trace::readWriteTrace(bad1), trace::TraceError);
     std::stringstream bad2("wtrace v1 2 100\n5 10\n");
-    EXPECT_EXIT(trace::readWriteTrace(bad2),
-                ::testing::ExitedWithCode(1), "out of range");
+    try {
+        trace::readWriteTrace(bad2);
+        FAIL() << "out-of-range page was accepted";
+    } catch (const trace::TraceError &e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(e.reason().find("out of range"), std::string::npos);
+    }
     std::stringstream bad3("wtrace v1 2 100\n1 150\n");
-    EXPECT_EXIT(trace::readWriteTrace(bad3),
-                ::testing::ExitedWithCode(1), "outside");
+    try {
+        trace::readWriteTrace(bad3);
+        FAIL() << "out-of-window time was accepted";
+    } catch (const trace::TraceError &e) {
+        EXPECT_NE(e.reason().find("outside"), std::string::npos);
+    }
 }
 
 TEST(TraceIo, CpuTraceRoundTrip)

@@ -148,6 +148,50 @@ TEST(Lint, UnorderedIterationFlagged)
                     .empty());
 }
 
+TEST(Lint, EmptyCatchFlagged)
+{
+    // The crash-safety hazard: an empty handler turns an error into
+    // silence. Flagged once, on the catch keyword's line.
+    const std::string src = "void f() {\n"
+                            "    try {\n"
+                            "        g();\n"
+                            "    } catch (...) {\n"
+                            "    }\n"
+                            "}\n";
+    auto vs = lintSource("bad.cc", src);
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "empty-catch");
+    EXPECT_EQ(vs[0].line, 4u);
+
+    // A typed empty handler is the same silence.
+    const std::string typed =
+        "void f() { try { g(); } catch (const E &) {} }\n";
+    EXPECT_EQ(rulesOf(lintSource("bad.cc", typed)),
+              std::vector<std::string>{"empty-catch"});
+
+    // A handler that does anything - even just a comment won't do,
+    // since comments are stripped, but a statement will - is legal.
+    const std::string handled = "void f() {\n"
+                                "    try { g(); }\n"
+                                "    catch (...) { report(); }\n"
+                                "}\n";
+    EXPECT_TRUE(lintSource("ok.cc", handled).empty());
+
+    // Rethrow is legal.
+    const std::string rethrow =
+        "void f() { try { g(); } catch (...) { throw; } }\n";
+    EXPECT_TRUE(lintSource("ok.cc", rethrow).empty());
+
+    // The escape hatch works where ignoring really is correct.
+    const std::string allowed =
+        "void f() {\n"
+        "    try { g(); }\n"
+        "    // lint:allow(empty-catch) - best-effort cleanup\n"
+        "    catch (...) {}\n"
+        "}\n";
+    EXPECT_TRUE(lintSource("ok.cc", allowed).empty());
+}
+
 TEST(Lint, CompanionHeaderDeclaresTheContainer)
 {
     // The hazard the ordering satellites fixed: the member lives in
@@ -213,6 +257,7 @@ TEST(Lint, EachRuleOncePerOffendingFixture)
          "#include <unordered_set>\n"
          "std::unordered_set<int> seen;\n"
          "void f() { for (int x : seen) (void)x; }\n"},
+        {"empty-catch", "void f() { try { g(); } catch (...) {} }\n"},
     };
     for (const Fixture &f : fixtures) {
         auto vs = lintSource("fixture.cc", f.code);

@@ -114,6 +114,65 @@ TEST(ThreadPool, PropagatesTaskExceptionsThroughFutures)
     EXPECT_EQ(ran.load(), 1);
 }
 
+TEST(ThreadPool, SurvivesExceptionStormOnBoundedQueue)
+{
+    // Regression: a storm of throwing tasks through a tiny bounded
+    // queue must neither deadlock the producer (stuck notFull wait)
+    // nor poison the workers - later submissions still run, and
+    // every failure still surfaces through its own future.
+    ThreadPool pool(2, /*queue_capacity=*/2);
+    std::vector<std::future<void>> failures;
+    for (int i = 0; i < 200; ++i)
+        failures.push_back(pool.submit(
+            [] { throw std::runtime_error("storm"); }));
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> survivors;
+    for (int i = 0; i < 50; ++i)
+        survivors.push_back(pool.submit([&ran] { ++ran; }));
+    for (auto &f : failures)
+        EXPECT_THROW(f.get(), std::runtime_error);
+    for (auto &f : survivors)
+        EXPECT_NO_THROW(f.get());
+    EXPECT_EQ(ran.load(), 50);
+    // Mixed storms keep the interleaving honest.
+    std::atomic<int> mixed{0};
+    std::vector<std::future<void>> both;
+    for (int i = 0; i < 100; ++i) {
+        if (i % 3 == 0)
+            both.push_back(pool.submit(
+                [] { throw std::runtime_error("again"); }));
+        else
+            both.push_back(pool.submit([&mixed] { ++mixed; }));
+    }
+    int threw = 0;
+    for (auto &f : both) {
+        try {
+            f.get();
+        } catch (const std::runtime_error &) {
+            ++threw;
+        }
+    }
+    EXPECT_EQ(threw, 34);
+    EXPECT_EQ(mixed.load(), 66);
+}
+
+TEST(ThreadPool, CancelTokenUnwindsAsTaskCancelled)
+{
+    // TaskCancelled must flow through a future like any exception,
+    // and remain catchable as its concrete type (the campaign layer
+    // distinguishes "abandoned" from "failed" by it).
+    ThreadPool pool(1);
+    CancelToken token;
+    token.requestCancel();
+    std::future<void> f =
+        pool.submit([token] { token.throwIfCancelled(); });
+    EXPECT_THROW(f.get(), TaskCancelled);
+    // An unraised token is inert.
+    CancelToken calm;
+    EXPECT_NO_THROW(
+        pool.submit([calm] { calm.throwIfCancelled(); }).get());
+}
+
 TEST(ThreadPool, ShutdownCompletesQueuedWork)
 {
     std::atomic<int> ran{0};

@@ -11,10 +11,12 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "trace/analyzer.hh"
 #include "trace/app_model.hh"
 #include "trace/cpu_gen.hh"
+#include "trace/trace_io.hh"
 
 namespace memcon::trace
 {
@@ -354,6 +356,114 @@ TEST(CpuAccessStream, ZipfSkewConcentratesReuse)
         max_count = std::max(max_count, kv.second);
     double uniform_share = 200000.0 / static_cast<double>(p.footprintBlocks);
     EXPECT_GT(max_count, 50.0 * uniform_share);
+}
+
+// --------------------------------------------------------------------
+// Malformed-trace corpus: every damaged input must surface as a
+// TraceError carrying the offending position, never as an accepted
+// parse or a process exit.
+// --------------------------------------------------------------------
+
+TEST(TraceErrors, WriteTraceCorpusIsRejectedWithPositions)
+{
+    struct Bad
+    {
+        const char *name;
+        const char *text;
+        std::size_t line;       //!< expected e.line()
+        const char *reason_has; //!< substring of e.reason()
+    };
+    const Bad corpus[] = {
+        {"empty file", "", 0, "empty"},
+        {"comments only", "# a comment\n\n  # another\n", 3, "empty"},
+        {"wrong magic", "mtrace v1 4 100\n", 1, "header"},
+        {"wrong version", "wtrace v2 4 100\n", 1, "header"},
+        {"truncated header", "wtrace v1\n", 1, "truncated"},
+        {"zero pages", "wtrace v1 0 100\n", 1, "pages > 0"},
+        {"junk line", "wtrace v1 2 100\n0 1.5\nnot numbers\n", 3,
+         "bad write-trace line"},
+        {"out-of-range page", "wtrace v1 2 100\n0 1\n7 2\n", 3,
+         "out of range"},
+        {"negative page", "wtrace v1 2 100\n-3 1\n", 2, "out of range"},
+        {"negative time", "wtrace v1 2 100\n0 -4.5\n", 2, "outside"},
+        {"time past duration", "wtrace v1 2 100\n0 100.0\n", 2,
+         "outside"},
+    };
+    for (const Bad &bad : corpus) {
+        std::istringstream in(bad.text);
+        try {
+            readWriteTrace(in);
+            FAIL() << "corpus entry '" << bad.name << "' was accepted";
+        } catch (const TraceError &e) {
+            EXPECT_EQ(e.line(), bad.line) << bad.name;
+            EXPECT_NE(e.reason().find(bad.reason_has), std::string::npos)
+                << bad.name << ": reason was '" << e.reason() << "'";
+            // what() carries the position for uncaught-error logs.
+            EXPECT_NE(std::string(e.what()).find("line"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(TraceErrors, WriteTraceErrorReportsByteOffset)
+{
+    // The failing record starts right after the comment + header.
+    std::string prefix = "# hdr\nwtrace v1 2 100\n";
+    std::istringstream in(prefix + "9 1\n");
+    try {
+        readWriteTrace(in);
+        FAIL() << "out-of-range page was accepted";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.line(), 3u);
+        EXPECT_EQ(e.byteOffset(), prefix.size());
+    }
+}
+
+TEST(TraceErrors, CpuTraceCorpusIsRejectedWithPositions)
+{
+    struct Bad
+    {
+        const char *name;
+        const char *text;
+        std::size_t line;
+        const char *reason_has;
+    };
+    const Bad corpus[] = {
+        {"empty file", "", 0, "empty"},
+        {"wrong magic", "wtrace v1\n", 1, "header"},
+        {"junk line", "ctrace v1\n12 34 R\ngarbage\n", 3,
+         "bad CPU-trace line"},
+        {"bad access type", "ctrace v1\n12 34 X\n", 2, "must be R or W"},
+    };
+    for (const Bad &bad : corpus) {
+        std::istringstream in(bad.text);
+        try {
+            readCpuTrace(in);
+            FAIL() << "corpus entry '" << bad.name << "' was accepted";
+        } catch (const TraceError &e) {
+            EXPECT_EQ(e.line(), bad.line) << bad.name;
+            EXPECT_NE(e.reason().find(bad.reason_has), std::string::npos)
+                << bad.name << ": reason was '" << e.reason() << "'";
+        }
+    }
+}
+
+TEST(TraceErrors, RecoverableByLibraryCallers)
+{
+    // The point of the exception type: a caller can try a parse,
+    // catch the failure, and keep going in-process.
+    std::istringstream bad("wtrace v1 1 10\n0 99\n");
+    bool recovered = false;
+    try {
+        readWriteTrace(bad);
+    } catch (const TraceError &) {
+        recovered = true;
+    }
+    EXPECT_TRUE(recovered);
+
+    std::istringstream good("wtrace v1 1 10\n0 5\n");
+    WriteTrace t = readWriteTrace(good);
+    EXPECT_EQ(t.totalWrites(), 1u);
 }
 
 } // namespace

@@ -219,7 +219,8 @@ const std::vector<std::string> &
 ruleNames()
 {
     static const std::vector<std::string> rules = {
-        "random-device", "rand", "wall-clock", "unordered-iter"};
+        "random-device", "rand", "wall-clock", "unordered-iter",
+        "empty-catch"};
     return rules;
 }
 
@@ -280,6 +281,28 @@ lintSource(const std::string &file, const std::string &source,
                  "iterating '" + tokens[i - 2].text +
                      "' (unordered container) is order-unstable; use "
                      "common/ordered.hh");
+        } else if (t == "catch" && tok(tokens, i + 1) == "(") {
+            // Match the handler's parenthesized declaration, then
+            // flag a body that is nothing but '{ }' - a swallowed
+            // error. The violation is reported on the line of the
+            // 'catch' keyword, where a lint:allow reads naturally.
+            int depth = 0;
+            std::size_t close = 0;
+            for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+                if (tokens[j].text == "(") {
+                    ++depth;
+                } else if (tokens[j].text == ")" && --depth == 0) {
+                    close = j;
+                    break;
+                }
+            }
+            if (close && tok(tokens, close + 1) == "{" &&
+                tok(tokens, close + 2) == "}") {
+                flag(line, "empty-catch",
+                     "empty catch handler silently swallows the "
+                     "error; handle it, rethrow, or justify with "
+                     "lint:allow(empty-catch)");
+            }
         } else if (t == "for" && tok(tokens, i + 1) == "(") {
             // Range-for: find the top-level ':' and check the range
             // expression for unordered names.

@@ -15,6 +15,9 @@
  *                   declared as unordered_map/unordered_set in the
  *                   same file (iteration order is implementation
  *                   noise; use common/ordered.hh)
+ *   empty-catch     a catch handler with an empty body (swallowing
+ *                   an error hides crash-safety bugs; handle it,
+ *                   rethrow, or lint:allow with a justification)
  *
  * A violation on line N is suppressed by `// lint:allow(<rule>)` on
  * line N or N-1. The scanner strips comments and string literals
