@@ -351,12 +351,12 @@ SweepRunner::run()
         fatal_if(!ckpt::loadCheckpoint(opts.resumePath, &loaded, &reason),
                  "cannot resume from '%s': %s", opts.resumePath.c_str(),
                  reason.c_str());
-        fatal_if(
-            !loaded.fingerprint.matches(fp),
-            "checkpoint '%s' belongs to a different campaign\n"
-            "  checkpoint: %s\n  this run:   %s",
-            opts.resumePath.c_str(),
-            loaded.fingerprint.describe().c_str(), fp.describe().c_str());
+        try {
+            ckpt::requireFingerprintMatch(loaded.fingerprint, fp);
+        } catch (const ckpt::FingerprintMismatch &e) {
+            fatal("checkpoint '%s' belongs to a different campaign: %s",
+                  opts.resumePath.c_str(), e.what());
+        }
         for (const ckpt::TaskRecord &rec : loaded.records) {
             fatal_if(rec.index >= points.size(),
                      "checkpoint record for task %llu out of range",
@@ -549,8 +549,10 @@ SweepRunner::run()
         std::fflush(stdout);
         std::fprintf(stderr,
                      "campaign failed by watchdog: %s "
-                     "(%zu/%zu tasks checkpointed)\n",
-                     watchdog_reason.c_str(), done, points.size());
+                     "(%zu/%zu tasks checkpointed); exiting with "
+                     "%s (%d)\n",
+                     watchdog_reason.c_str(), done, points.size(),
+                     kWatchdogExitCodeName, kExitWatchdog);
         std::exit(kExitWatchdog);
     }
     if (stopped_early) {

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "common/supervisor.hh"
 #include "common/thread_pool.hh"
 
 namespace memcon::bench
@@ -58,7 +59,9 @@ namespace memcon::bench
  */
 inline constexpr int kExitInvalidArtifact = 3;  //!< --validate failed
 inline constexpr int kExitInterrupted = 75;     //!< signal; resumable
-inline constexpr int kExitWatchdog = 76;        //!< hung task gave out
+
+/** Hung task gave out; the value is owned by supervisor.hh. */
+inline constexpr int kExitWatchdog = kWatchdogExitCode;
 
 /** Campaign-level options shared by every ported bench binary. */
 struct SweepOptions

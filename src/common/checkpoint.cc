@@ -36,34 +36,6 @@ crcTable()
     return table;
 }
 
-/** "<payload> #<8-hex-crc>\n" - the self-checking line format every
- *  checkpoint line uses. */
-std::string
-sealedLine(const std::string &payload)
-{
-    return payload + strprintf(" #%08x\n", crc32(payload));
-}
-
-/**
- * Split one sealed line back into its payload, verifying the CRC.
- * Returns false if the seal is missing or does not match.
- */
-bool
-unsealLine(const std::string &line, std::string *payload)
-{
-    std::size_t mark = line.rfind(" #");
-    if (mark == std::string::npos || line.size() - mark != 10)
-        return false;
-    std::uint32_t stored = 0;
-    if (std::sscanf(line.c_str() + mark + 2, "%8x", &stored) != 1)
-        return false;
-    std::string body = line.substr(0, mark);
-    if (crc32(body) != stored)
-        return false;
-    *payload = std::move(body);
-    return true;
-}
-
 std::string
 headerPayload(const CampaignFingerprint &fp)
 {
@@ -133,6 +105,28 @@ crc32(const std::string &s)
     return crc32(s.data(), s.size());
 }
 
+std::string
+sealLine(const std::string &payload)
+{
+    return payload + strprintf(" #%08x\n", crc32(payload));
+}
+
+bool
+unsealLine(const std::string &line, std::string *payload)
+{
+    std::size_t mark = line.rfind(" #");
+    if (mark == std::string::npos || line.size() - mark != 10)
+        return false;
+    std::uint32_t stored = 0;
+    if (std::sscanf(line.c_str() + mark + 2, "%8x", &stored) != 1)
+        return false;
+    std::string body = line.substr(0, mark);
+    if (crc32(body) != stored)
+        return false;
+    *payload = std::move(body);
+    return true;
+}
+
 bool
 atomicWriteFile(const std::string &path, const std::string &content,
                 std::string *error)
@@ -191,6 +185,24 @@ CampaignFingerprint::describe() const
                      quick ? 1 : 0, labelsCrc);
 }
 
+FingerprintMismatch::FingerprintMismatch(
+    const CampaignFingerprint &found_fp,
+    const CampaignFingerprint &expected_fp)
+    : std::runtime_error("fingerprint mismatch\n  found:    " +
+                         found_fp.describe() +
+                         "\n  expected: " + expected_fp.describe()),
+      found(found_fp), expected(expected_fp)
+{
+}
+
+void
+requireFingerprintMatch(const CampaignFingerprint &found,
+                        const CampaignFingerprint &expected)
+{
+    if (!found.matches(expected))
+        throw FingerprintMismatch(found, expected);
+}
+
 CheckpointWriter::CheckpointWriter(std::string file_path,
                                    const CampaignFingerprint &fp,
                                    std::vector<TaskRecord> existing)
@@ -199,9 +211,9 @@ CheckpointWriter::CheckpointWriter(std::string file_path,
     panic_if(fp.artifact.find(' ') != std::string::npos,
              "artifact name '%s' must not contain spaces",
              fp.artifact.c_str());
-    body = sealedLine(headerPayload(fp));
+    body = sealLine(headerPayload(fp));
     for (const TaskRecord &r : existing) {
-        body += sealedLine(strprintf("T %" PRIu64 " ", r.index) +
+        body += sealLine(strprintf("T %" PRIu64 " ", r.index) +
                            r.metrics);
         ++count;
     }
@@ -211,7 +223,7 @@ CheckpointWriter::CheckpointWriter(std::string file_path,
 void
 CheckpointWriter::append(const TaskRecord &record)
 {
-    body += sealedLine(strprintf("T %" PRIu64 " ", record.index) +
+    body += sealLine(strprintf("T %" PRIu64 " ", record.index) +
                        record.metrics);
     ++count;
     flush();
@@ -220,7 +232,7 @@ CheckpointWriter::append(const TaskRecord &record)
 void
 CheckpointWriter::flush()
 {
-    std::string footer = sealedLine(
+    std::string footer = sealLine(
         strprintf("END count=%zu total=%08x", count, crc32(body)));
     std::string error;
     if (!atomicWriteFile(path, body + footer, &error))

@@ -34,6 +34,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,20 @@ namespace memcon::ckpt
 std::uint32_t crc32(const void *data, std::size_t size,
                     std::uint32_t seed = 0);
 std::uint32_t crc32(const std::string &s);
+
+/**
+ * "<payload> #<8-hex-crc>\n" - the self-checking line format every
+ * durable record (campaign checkpoint, service snapshot) uses. A
+ * reader that unseals each line rejects torn or bit-flipped records
+ * without trusting any surrounding structure.
+ */
+std::string sealLine(const std::string &payload);
+
+/**
+ * Split one sealed line back into its payload, verifying the CRC.
+ * Returns false if the seal is missing or does not match.
+ */
+bool unsealLine(const std::string &line, std::string *payload);
 
 /**
  * Write `content` to `path` atomically: temp file in the same
@@ -74,6 +89,25 @@ struct CampaignFingerprint
     /** Human-readable form for mismatch diagnostics. */
     std::string describe() const;
 };
+
+/**
+ * Thrown by requireFingerprintMatch(): the error text carries both
+ * describe() strings (found vs expected), so a resume failure names
+ * exactly which field diverged instead of a bare "mismatch".
+ */
+class FingerprintMismatch : public std::runtime_error
+{
+  public:
+    FingerprintMismatch(const CampaignFingerprint &found_fp,
+                        const CampaignFingerprint &expected_fp);
+
+    const CampaignFingerprint found;
+    const CampaignFingerprint expected;
+};
+
+/** Throw FingerprintMismatch unless found matches expected. */
+void requireFingerprintMatch(const CampaignFingerprint &found,
+                             const CampaignFingerprint &expected);
 
 /** One completed task: its index and canonical metrics line
  *  ("name=value;..." with %.17g doubles - the digest serialization,

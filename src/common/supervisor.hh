@@ -42,6 +42,19 @@
 namespace memcon
 {
 
+/**
+ * Process exit code for "the watchdog gave up on a hung task" -
+ * documented in the DESIGN.md §15 exit-code table and distinct from
+ * the resumable kExitInterrupted (75). Lives here, next to the
+ * watchdog itself, so every layer that surfaces the failure (the
+ * campaign runner, the service daemon) names one constant instead of
+ * re-hardcoding 76.
+ */
+inline constexpr int kWatchdogExitCode = 76;
+
+/** The constant's name, for symbolic exit-code reporting. */
+inline constexpr const char *kWatchdogExitCodeName = "kWatchdogExitCode";
+
 struct SupervisorConfig
 {
     /** Deadline floor in ms; <= 0 disables the watchdog entirely. */

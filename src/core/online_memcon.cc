@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checkpoint.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 
@@ -303,6 +304,81 @@ OnlineMemcon::completeDueTests(Tick now)
     }
 }
 
+void
+OnlineMemcon::setQuantumStretch(unsigned factor)
+{
+    fatal_if(factor == 0, "quantum stretch factor must be >= 1");
+    stretchFactor = factor;
+}
+
+std::uint32_t
+OnlineMemcon::stateFingerprint() const
+{
+    std::uint32_t c = 0;
+    auto mix = [&c](std::uint64_t v) {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        c = ckpt::crc32(b, sizeof(b), c);
+    };
+    mix(pril.stateFingerprint());
+    mix(loCount);
+    mix(quantaSeen);
+    mix(writeCount);
+    mix(demotionCount);
+    mix(nextQuantumEnd.value());
+    mix(nextRetarget.value());
+    mix(engine.testsStarted());
+    mix(engine.testsPassed());
+    mix(engine.testsFailed());
+    mix(engine.testsAborted());
+    mix(shedScans ? 1 : 0);
+    mix(stretchFactor);
+    mix(roScanDone ? 1 : 0);
+    mix(resilience.inFallback() ? 1 : 0);
+    mix(resilience.pinnedRows());
+    for (std::size_t bit : loRows.setBits())
+        mix(bit);
+    mix(0xA5A5A5A5ull);
+    for (std::size_t bit : everWritten.setBits())
+        mix(bit);
+    mix(0x5A5A5A5Aull);
+    for (const ActiveTest &t : activeTests) {
+        mix(t.row.value());
+        mix(t.readbackAt.value());
+        mix(t.requestsLeft);
+        mix(t.column);
+        mix(t.isScrub ? 1 : 0);
+    }
+    mix(0xC3C3C3C3ull);
+    for (RowId row : pendingCandidates)
+        mix(row.value());
+    mix(0x3C3C3C3Cull);
+    for (RowId row : scrubQueue)
+        mix(row.value());
+    mix(0x55AA55AAull);
+    for (RowId row : recoveryQueue)
+        mix(row.value());
+    return c;
+}
+
+std::string
+OnlineMemcon::describeState() const
+{
+    return strprintf(
+        "fp=%08x writes=%llu lo=%llu quanta=%u tests=%llu/%llu/%llu/%llu "
+        "demotions=%llu pending=%zu active=%zu",
+        stateFingerprint(),
+        static_cast<unsigned long long>(writeCount),
+        static_cast<unsigned long long>(loCount), quantaSeen,
+        static_cast<unsigned long long>(engine.testsStarted()),
+        static_cast<unsigned long long>(engine.testsPassed()),
+        static_cast<unsigned long long>(engine.testsFailed()),
+        static_cast<unsigned long long>(engine.testsAborted()),
+        static_cast<unsigned long long>(demotionCount),
+        pendingCandidates.size(), activeTests.size());
+}
+
 double
 OnlineMemcon::loRefFraction() const
 {
@@ -331,15 +407,19 @@ OnlineMemcon::tick(Tick now)
     if (now >= nextQuantumEnd) {
         for (PageId page : pril.endQuantum())
             pendingCandidates.push_back(RowId{page.value()});
-        nextQuantumEnd += cfg.quantum;
+        nextQuantumEnd += cfg.quantum * std::uint64_t{stretchFactor};
         ++quantaSeen;
-        if (quantaSeen == 2) {
+        if (!roScanDone && quantaSeen >= 2 && !shedScans) {
             // Read-only identification (Section 6.1): rows with no
             // write so far are background-tested; the slot budget
-            // paces them behind PRIL's candidates.
+            // paces them behind PRIL's candidates. Fires once, at
+            // the second quantum boundary - or, when the overload
+            // governor shed scans over that boundary, at the first
+            // boundary after the shed lifts.
             for (std::uint64_t r = 0; r < geom.totalRows(); ++r)
                 if (!everWritten.test(r))
                     pendingCandidates.push_back(RowId{r});
+            roScanDone = true;
         }
     }
 
@@ -351,8 +431,9 @@ OnlineMemcon::tick(Tick now)
                 pendingCandidates.push_front(row);
         }
         // Top up the sweep only once the previous batch drained: a
-        // starved backlog must not grow without bound.
-        if (scrubQueue.empty() && resilience.scrubDue(now)) {
+        // starved backlog must not grow without bound. A shed from
+        // the overload governor pauses the top-up entirely.
+        if (!shedScans && scrubQueue.empty() && resilience.scrubDue(now)) {
             auto under_test = [this](RowId r) {
                 return engine.isUnderTest(r);
             };

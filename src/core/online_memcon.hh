@@ -131,6 +131,39 @@ class OnlineMemcon
     /** Rows permanently pinned at HI-REF by the resilience layer. */
     std::uint64_t pinnedRows() const { return resilience.pinnedRows(); }
 
+    // --- overload-governor hooks (memcond service mode) ---
+
+    /**
+     * Shed background read-only scans and LO-REF re-scrub top-ups.
+     * While shed, the one-shot read-only sweep is deferred (it fires
+     * at the first quantum boundary after the shed lifts) and the
+     * scrub queue is not refilled; in-flight tests keep running.
+     * Default off - behavior is bit-identical to the pre-hook code.
+     */
+    void setScansShed(bool shed) { shedScans = shed; }
+    bool scansShed() const { return shedScans; }
+
+    /**
+     * Stretch the PRIL quantum by an integer factor (>= 1) from the
+     * next quantum boundary on: under overload, testing cadence slows
+     * before any tenant work is dropped. Factor 1 restores the
+     * configured cadence.
+     */
+    void setQuantumStretch(unsigned factor);
+    unsigned quantumStretch() const { return stretchFactor; }
+
+    /**
+     * CRC over the mechanism's visible state: PRIL, refresh states
+     * (LO-REF/ever-written maps), queued and in-flight tests, quantum
+     * phase, and the stat counters. The service snapshot records it
+     * per tenant; after a journal-replay restore the recomputed value
+     * must match bit-for-bit or the resume is rejected.
+     */
+    std::uint32_t stateFingerprint() const;
+
+    /** Human-readable fingerprint context for mismatch diagnostics. */
+    std::string describeState() const;
+
     // Statistics.
     std::uint64_t testsStarted() const { return engine.testsStarted(); }
     std::uint64_t testsPassed() const { return engine.testsPassed(); }
@@ -174,6 +207,12 @@ class OnlineMemcon
     BitVector everWritten;
     std::uint64_t loCount = 0;
     unsigned quantaSeen = 0;
+
+    // Overload-governor state (service mode; defaults preserve the
+    // standalone behavior exactly).
+    bool shedScans = false;
+    unsigned stretchFactor = 1;
+    bool roScanDone = false;
 
     std::deque<ActiveTest> activeTests;
     std::deque<RowId> pendingCandidates;

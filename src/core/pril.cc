@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checkpoint.hh"
 #include "common/logging.hh"
 #include "common/ordered.hh"
 
@@ -79,6 +80,35 @@ bool
 PrilPredictor::isTracked(PageId page) const
 {
     return writeBuffer[0].count(page) || writeBuffer[1].count(page);
+}
+
+std::uint32_t
+PrilPredictor::stateFingerprint() const
+{
+    // CRC over a canonical little-endian serialization: the swap
+    // phase, counters, each map's set bits, and each buffer sorted
+    // (hash-set iteration order must not leak into the fingerprint).
+    std::uint32_t c = 0;
+    auto mix = [&c](std::uint64_t v) {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        c = ckpt::crc32(b, sizeof(b), c);
+    };
+    mix(current);
+    mix(drops);
+    mix(peakOccupancy);
+    for (unsigned side = 0; side < 2; ++side) {
+        for (std::size_t bit : writeMap[side].setBits())
+            mix(bit);
+        mix(0xA5A5A5A5ull); // side separator
+        const std::vector<PageId> pages =
+            ordered::sortedValues(writeBuffer[side]);
+        for (PageId page : pages)
+            mix(page.value());
+        mix(0x5A5A5A5Aull);
+    }
+    return c;
 }
 
 } // namespace memcon::core

@@ -72,6 +72,14 @@ class PrilPredictor
     /** @return true if the page currently sits in either buffer. */
     bool isTracked(PageId page) const;
 
+    /**
+     * CRC over the complete predictor state (maps, buffers, swap
+     * phase, drop/peak counters). Two predictors that processed the
+     * same write sequence fingerprint identically; the service layer
+     * uses this to prove a journal-replayed restore reconverged.
+     */
+    std::uint32_t stateFingerprint() const;
+
   private:
     std::uint64_t pages;
     std::size_t capacity;

@@ -1,0 +1,68 @@
+#include "service/governor.hh"
+
+namespace memcon::service
+{
+
+const char *
+toString(GovernorStage stage)
+{
+    switch (stage) {
+    case GovernorStage::Normal:
+        return "normal";
+    case GovernorStage::ShedScans:
+        return "shed-scans";
+    case GovernorStage::StretchQuanta:
+        return "stretch-quanta";
+    case GovernorStage::ShedTenants:
+        return "shed-tenants";
+    }
+    return "?";
+}
+
+OverloadGovernor::OverloadGovernor(const GovernorConfig &config)
+    : cfg(config)
+{
+    fatal_if(cfg.exitPressure >= cfg.enterPressure,
+             "governor hysteresis needs exitPressure < enterPressure");
+    fatal_if(cfg.coolRounds == 0, "coolRounds must be positive");
+    fatal_if(cfg.quantumStretch == 0, "quantumStretch must be >= 1");
+}
+
+GovernorStage
+OverloadGovernor::update(double pressure)
+{
+    if (pressure > cfg.enterPressure) {
+        calm = 0;
+        if (current != GovernorStage::ShedTenants) {
+            current = static_cast<GovernorStage>(
+                static_cast<unsigned>(current) + 1);
+            ++escalated;
+        }
+    } else if (pressure < cfg.exitPressure) {
+        if (current == GovernorStage::Normal) {
+            calm = 0;
+        } else if (++calm >= cfg.coolRounds) {
+            current = static_cast<GovernorStage>(
+                static_cast<unsigned>(current) - 1);
+            ++relaxed;
+            calm = 0;
+        }
+    } else {
+        // The hysteresis band: neither escalate nor cool.
+        calm = 0;
+    }
+    return current;
+}
+
+void
+OverloadGovernor::restore(GovernorStage stage, unsigned calm_streak,
+                          std::uint64_t escalations,
+                          std::uint64_t relaxations)
+{
+    current = stage;
+    calm = calm_streak;
+    escalated = escalations;
+    relaxed = relaxations;
+}
+
+} // namespace memcon::service

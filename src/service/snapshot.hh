@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The crash-safe service snapshot: everything memcond needs to resume
+ * a SIGKILL'd daemon with bit-identical per-tenant state.
+ *
+ * The file reuses the durable-artifact discipline of the campaign
+ * checkpoint (DESIGN.md §15): every line is individually CRC-sealed
+ * ("payload #xxxxxxxx"), the header is a CampaignFingerprint binding
+ * the snapshot to one service configuration, and an END footer
+ * carries the line count and a running CRC over every byte above it.
+ * Writes go through atomicWriteFile(), so a reader only ever sees a
+ * complete old file or a complete new file. The loader is strict: a
+ * file truncated or corrupted at ANY byte decodes to a typed
+ * ServiceError, never to partial state.
+ *
+ * Contents:
+ *
+ *   - header: fingerprint (artifact "memcond", service seed, tenant
+ *     count, config CRC as the label CRC)
+ *   - G: governor + admission cumulative state (rounds done, ladder
+ *     stage, calm streak, escalation counters, verdict counters)
+ *   - per tenant: T (producer counters + the OnlineMemcon state
+ *     fingerprint), R (ring residue events), H (the held event, if
+ *     any, with its hold-since tick)
+ *   - per round: J (the governor stage that round ran under) and one
+ *     D line per tenant (its grant and the events it applied, in
+ *     apply order) - the ingest journal the restore path replays
+ *     through the real consumer code
+ *
+ * The journal makes the restore *semantic*, not a memory dump: resume
+ * re-runs every recorded round against freshly constructed tenants,
+ * then checks each rebuilt OnlineMemcon fingerprint against the
+ * recorded one.
+ */
+
+#ifndef MEMCON_SERVICE_SNAPSHOT_HH
+#define MEMCON_SERVICE_SNAPSHOT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/checkpoint.hh"
+#include "common/units.hh"
+#include "service/governor.hh"
+#include "service/ingest_ring.hh"
+
+namespace memcon::service
+{
+
+/** Any service-mode failure surfaced to callers: malformed snapshot,
+ * restore divergence, session refusal. Always carries a reason. */
+class ServiceError : public std::runtime_error
+{
+  public:
+    explicit ServiceError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
+/** One tenant's producer-side state and mechanism fingerprint. */
+struct TenantSnapshotRecord
+{
+    std::string name;
+    std::uint64_t generated = 0;
+    std::uint64_t droppedBackpressure = 0;
+    std::uint64_t droppedShed = 0;
+    std::uint64_t throttledTicks = 0;
+
+    /** Events offered in the last completed round - next-round
+     * admission demand needs it, so it rides in the snapshot. */
+    std::uint64_t lastOffered = 0;
+
+    std::uint32_t fingerprint = 0;
+
+    /** describeState() at snapshot time, for mismatch diagnostics. */
+    std::string describe;
+
+    /** Events stranded in the ingest ring at snapshot time. */
+    std::vector<WriteEvent> residue;
+
+    bool hasHeld = false;
+    WriteEvent held{};
+    Tick heldSince{};
+};
+
+/** One completed service round, as the journal recorded it. */
+struct RoundRecord
+{
+    GovernorStage stage = GovernorStage::Normal;
+
+    /** Per-tenant apply budget that round (admission grant). */
+    std::vector<std::uint64_t> grant;
+
+    /** Per-tenant governor knobs: the scan-shed and quantum-stretch
+     * stages target over-quota tenants, so the journal must record
+     * who they actually hit, not just the ladder stage. */
+    std::vector<bool> scansShed;
+    std::vector<unsigned> quantumStretch;
+
+    /** Per-tenant applied events, in apply order. */
+    std::vector<std::vector<WriteEvent>> applied;
+};
+
+struct ServiceSnapshot
+{
+    ckpt::CampaignFingerprint fingerprint;
+
+    std::uint64_t roundsDone = 0;
+
+    // Governor ladder state.
+    GovernorStage stage = GovernorStage::Normal;
+    unsigned calmStreak = 0;
+    std::uint64_t escalations = 0;
+    std::uint64_t relaxations = 0;
+
+    // Admission verdict counters.
+    std::uint64_t admits = 0;
+    std::uint64_t throttles = 0;
+    std::uint64_t rejects = 0;
+
+    std::vector<TenantSnapshotRecord> tenants;
+
+    /** journal.size() == roundsDone always. */
+    std::vector<RoundRecord> journal;
+};
+
+/** Serialize to the sealed-line format (no I/O). */
+std::string encodeServiceSnapshot(const ServiceSnapshot &snapshot);
+
+/** Strictly parse encodeServiceSnapshot() output; throws ServiceError
+ * on any truncation, corruption, or structural deviation. */
+ServiceSnapshot decodeServiceSnapshot(const std::string &content);
+
+/** Atomically write the snapshot; fatal on I/O failure (a service
+ * that cannot persist must not pretend it is crash-safe). */
+void saveServiceSnapshot(const std::string &path,
+                         const ServiceSnapshot &snapshot);
+
+/** Load + decode; throws ServiceError (file missing counts too). */
+ServiceSnapshot loadServiceSnapshot(const std::string &path);
+
+} // namespace memcon::service
+
+#endif // MEMCON_SERVICE_SNAPSHOT_HH

@@ -1,0 +1,286 @@
+#include "service/tenant.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace memcon::service
+{
+
+namespace
+{
+
+/** Deterministic per-tenant traffic seed, decorrelated by index. */
+std::uint64_t
+tenantSeed(std::uint64_t service_seed, std::size_t tenant_index)
+{
+    return hashMix64(service_seed ^
+                     (0x7e9a37u + std::uint64_t{tenant_index} * 0x9e3779b9u));
+}
+
+trace::TenantTrafficConfig
+trafficConfig(const TenantSpec &spec, const TenantRuntimeConfig &rc,
+              std::size_t tenant_index)
+{
+    trace::TenantTrafficConfig t;
+    t.rows = rc.geometry.totalRows();
+    t.rateScale = spec.rateScale;
+    t.horizonMs = rc.horizonMs;
+    t.seed = tenantSeed(rc.seed, tenant_index);
+    return t;
+}
+
+core::OnlineMemcon::RowFailureOracle
+failureOracle(const TenantRuntimeConfig &rc, std::size_t tenant_index)
+{
+    const std::uint64_t seed = tenantSeed(rc.seed, tenant_index) ^
+                               0x0f1e2d3c4b5a6978ull;
+    const std::uint64_t threshold =
+        static_cast<std::uint64_t>(rc.failRowPercent * 100.0);
+    return [seed, threshold](RowId row) {
+        return hashMix64(seed ^ (row.value() * 0x9e3779b97f4a7c15ull)) %
+                   10000 <
+               threshold;
+    };
+}
+
+} // namespace
+
+TenantSession::TenantSession(const TenantSpec &spec,
+                             const TenantRuntimeConfig &runtime,
+                             std::size_t tenant_index)
+    : tenantSpec(spec),
+      rc(runtime),
+      geom(runtime.geometry),
+      timing(runtime.timing),
+      stream(trafficConfig(spec, runtime, tenant_index)),
+      ring(runtime.ringCapacity)
+{
+    sim::ControllerConfig mc_cfg;
+    core::OnlineMemcon::installObserver(mc_cfg, memconSlot);
+    mc = std::make_unique<sim::MemoryController>(geom, timing, mc_cfg);
+    om = std::make_unique<core::OnlineMemcon>(
+        geom, *mc, rc.memcon, failureOracle(runtime, tenant_index));
+    memconSlot = om.get();
+}
+
+void
+TenantSession::applyDirectives(const RoundDirectives &directives)
+{
+    om->setScansShed(directives.scansShed);
+    om->setQuantumStretch(directives.quantumStretch);
+}
+
+void
+TenantSession::produceCycle(Tick now, const RoundDirectives &directives)
+{
+    Tick at{};
+    std::uint64_t row = 0;
+
+    if (directives.shed) {
+        // The governor dropped this tenant for the round: everything
+        // that becomes due is counted as a shed drop, held event
+        // included. Nothing vanishes silently.
+        if (held) {
+            held = false;
+            ++droppedShedEv;
+        }
+        while (stream.peek(&at, &row) && at <= now) {
+            stream.pop();
+            ++generated;
+            ++droppedShedEv;
+        }
+        return;
+    }
+
+    if (directives.throttled) {
+        // Back off until the verdict's retry-after (the round end):
+        // nothing is pulled or pushed, and every cycle a due event
+        // sat waiting is accounted as throttle time.
+        if (held || (stream.peek(&at, &row) && at <= now))
+            throttledTk += static_cast<std::uint64_t>(timing.tCk.value());
+        return;
+    }
+
+    // Normal production: move every due event into the ring. A Full
+    // ring is explicit backpressure - hold the event and retry next
+    // cycle, dropping it only once it has waited out the patience.
+    while (true) {
+        if (!held) {
+            if (!stream.peek(&at, &row) || at > now)
+                break;
+            stream.pop();
+            ++generated;
+            heldEv = WriteEvent{at, row};
+            held = true;
+            holdSince = now;
+        }
+        if (ring.tryPush(heldEv) == PushResult::Ok) {
+            held = false;
+            continue;
+        }
+        if (now - holdSince > rc.dropPatience) {
+            ++droppedBp;
+            held = false;
+            continue;
+        }
+        break; // keep holding; retry next cycle
+    }
+}
+
+void
+TenantSession::consumeCycle(Tick now, std::uint64_t &budget_left)
+{
+    // At most one apply per cycle. This is not a throughput limit in
+    // practice (grants are far below the cycles per round); it is
+    // what makes the crash-restore replay exact: a replayed event -
+    // pre-pushed at round start instead of mid-round - can never
+    // reach the controller on an earlier cycle than it did live,
+    // because pops are paced one per cycle on both paths.
+    if (budget_left == 0)
+        return;
+
+    WriteEvent ev;
+    if (!ring.peek(&ev) || ev.at > now)
+        return;
+
+    sim::Request req;
+    req.type = sim::Request::Type::Write;
+    req.addr = geom.compose(geom.rowFromFlatIndex(RowId{ev.row}));
+    if (!mc->enqueue(std::move(req), now))
+        return; // controller queue full; the event stays in the ring
+
+    ring.popFront();
+    --budget_left;
+    ++applied;
+    latency.add((now - ev.at).value());
+    roundApplied.push_back(ev);
+}
+
+RoundReport
+TenantSession::runRound(const RoundDirectives &directives, Tick round_start,
+                        Tick round_end, const CancelToken *token)
+{
+    applyDirectives(directives);
+    roundApplied.clear();
+
+    const std::uint64_t gen0 = generated;
+    const std::uint64_t app0 = applied;
+    std::uint64_t budget = directives.grant;
+
+    std::uint64_t cycle = 0;
+    for (Tick now = round_start + timing.tCk; now <= round_end;
+         now += timing.tCk) {
+        if (token && (++cycle & 0xfff) == 0)
+            token->throwIfCancelled();
+        produceCycle(now, directives);
+        consumeCycle(now, budget);
+        mc->tick(now);
+        om->tick(now);
+    }
+
+    RoundReport report;
+    report.generated = generated - gen0;
+    report.applied = applied - app0;
+    report.backlog = ring.size() + (held ? 1 : 0);
+    return report;
+}
+
+void
+TenantSession::replayRound(const RoundDirectives &directives,
+                           Tick round_start, Tick round_end,
+                           const std::vector<WriteEvent> &events)
+{
+    applyDirectives(directives);
+    roundApplied.clear();
+
+    // The journal's applied events are, by FIFO, a prefix of the live
+    // ring order; pre-pushing them reconstructs exactly the slice of
+    // the ring the round consumed.
+    panic_if(!ring.empty(),
+             "replayRound: ring not drained before round replay");
+    for (const WriteEvent &ev : events)
+        panic_if(ring.tryPush(ev) != PushResult::Ok,
+                 "replayRound: journal round exceeds the ring capacity");
+
+    std::uint64_t budget = directives.grant;
+    for (Tick now = round_start + timing.tCk; now <= round_end;
+         now += timing.tCk) {
+        consumeCycle(now, budget);
+        mc->tick(now);
+        om->tick(now);
+    }
+
+    panic_if(!ring.empty(),
+             "replayRound: %zu journaled events did not re-apply - the "
+             "snapshot and the service code disagree",
+             ring.size());
+}
+
+double
+TenantSession::p99IngestTicks() const
+{
+    const std::uint64_t total = latency.totalCount();
+    if (total == 0)
+        return 0.0;
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(0.99 * static_cast<double>(total)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < latency.numBuckets(); ++i) {
+        seen += latency.count(i);
+        if (seen >= rank) {
+            // Report the bucket's upper edge (conservative), except
+            // for the overflow bucket whose upper edge is infinite.
+            return i + 1 == latency.numBuckets() ? latency.bucketLow(i)
+                                                 : latency.bucketHigh(i);
+        }
+    }
+    return latency.bucketLow(latency.numBuckets() - 1);
+}
+
+std::string
+TenantSession::metricsLine() const
+{
+    return strprintf(
+        "tenant=%s gen=%llu app=%llu dbp=%llu dsh=%llu thr=%llu "
+        "backlog=%llu held=%d fp=%08x lo=%.17g red=%.17g "
+        "tests=%llu/%llu/%llu/%llu dem=%llu pin=%llu p99=%.17g",
+        tenantSpec.name.c_str(), (unsigned long long)generated,
+        (unsigned long long)applied, (unsigned long long)droppedBp,
+        (unsigned long long)droppedShedEv, (unsigned long long)throttledTk,
+        (unsigned long long)(ring.size() + (held ? 1 : 0)), held ? 1 : 0,
+        om->stateFingerprint(), om->loRefFraction(),
+        om->emergentReduction(), (unsigned long long)om->testsStarted(),
+        (unsigned long long)om->testsPassed(),
+        (unsigned long long)om->testsFailed(),
+        (unsigned long long)om->testsAborted(),
+        (unsigned long long)om->demotions(),
+        (unsigned long long)om->pinnedRows(), p99IngestTicks());
+}
+
+void
+TenantSession::restoreProducer(std::uint64_t generated_count,
+                               std::uint64_t dropped_bp,
+                               std::uint64_t dropped_shed,
+                               std::uint64_t throttled_ticks,
+                               const std::vector<WriteEvent> &residue,
+                               bool has_held, const WriteEvent &held_event,
+                               Tick hold_since)
+{
+    panic_if(!ring.empty(),
+             "restoreProducer: replay left events in the ring");
+    stream.fastForward(generated_count);
+    generated = generated_count;
+    droppedBp = dropped_bp;
+    droppedShedEv = dropped_shed;
+    throttledTk = throttled_ticks;
+    for (const WriteEvent &ev : residue)
+        panic_if(ring.tryPush(ev) != PushResult::Ok,
+                 "restoreProducer: snapshot residue exceeds the ring");
+    held = has_held;
+    heldEv = held_event;
+    holdSince = hold_since;
+}
+
+} // namespace memcon::service

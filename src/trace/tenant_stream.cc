@@ -1,0 +1,94 @@
+#include "trace/tenant_stream.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memcon::trace
+{
+
+AppPersona
+TenantTrafficConfig::persona() const
+{
+    fatal_if(rows == 0, "tenant stream needs at least one row");
+    fatal_if(rateScale <= 0.0, "rateScale must be positive");
+    fatal_if(horizonMs <= 0.0, "horizonMs must be positive");
+
+    // A compact, service-scale persona: the Table 1 shape (hot bursts,
+    // Pareto-tailed cold gaps, a read-only residue) compressed so that
+    // microsecond-scale service rounds see meaningful traffic. The
+    // persona time axis is `rateScale` times the service axis; the
+    // stream divides it back out, so durationSec must cover the
+    // scaled horizon exactly.
+    AppPersona p;
+    p.name = "svc-tenant";
+    p.type = "service";
+    p.durationSec = horizonMs * rateScale / 1000.0;
+    p.footprintGB = 0.0;
+    p.threads = 1;
+    p.pages = rows;
+    p.readOnlyFraction = readOnlyFraction;
+    p.hotFraction = hotFraction;
+    p.burstLenMean = 4.0;
+    p.burstGapMeanMs = 0.01;
+    p.mediumXmMs = 0.05;
+    p.mediumAlpha = 1.5;
+    p.hotTailShare = 0.05;
+    p.coldXmMs = 0.5;
+    p.tailAlpha = 1.8;
+    p.seed = seed;
+    return p;
+}
+
+TenantWriteStream::TenantWriteStream(const TenantTrafficConfig &config)
+    : cfg(config), personaState(config.persona())
+{
+    std::vector<PageWriteStream> streams;
+    streams.reserve(cfg.rows);
+    for (std::uint64_t row = 0; row < cfg.rows; ++row)
+        streams.push_back(PageWriteStream(personaState, row));
+
+    const double horizon = cfg.horizonMs * cfg.rateScale;
+    const double window = std::max(horizon / 64.0, 0.01);
+    merge = std::make_unique<KWayMerge<PageWriteStream>>(
+        std::move(streams), horizon, window);
+}
+
+bool
+TenantWriteStream::peek(Tick *at, std::uint64_t *row)
+{
+    if (merge->empty())
+        return false;
+    const auto &item = merge->peek();
+    // Persona ms -> service ms -> ticks. msToTicks() rounds, and a
+    // monotone input stays monotone under a monotone rounding map, so
+    // consumers see non-decreasing ticks.
+    *at = msToTicks(item.time / cfg.rateScale);
+    *row = item.source;
+    return true;
+}
+
+void
+TenantWriteStream::pop()
+{
+    panic_if(merge->empty(), "pop() on an exhausted tenant stream");
+    merge->pop();
+    ++popped;
+}
+
+void
+TenantWriteStream::fastForward(std::uint64_t count)
+{
+    panic_if(popped != 0, "fastForward() on a used stream");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        panic_if(merge->empty(),
+                 "fastForward past the end of the tenant stream "
+                 "(%llu of %llu events)",
+                 static_cast<unsigned long long>(i),
+                 static_cast<unsigned long long>(count));
+        merge->pop();
+    }
+    popped = count;
+}
+
+} // namespace memcon::trace

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-tenant stream adapter: one tenant's row-write traffic for the
+ * memcond service, derived from the existing trace:: generators.
+ *
+ * Each tenant session replays an AppPersona-shaped write process over
+ * its private module: per-row PageWriteStreams merged into one
+ * ascending timeline by KWayMerge, then mapped from persona
+ * milliseconds into simulator Ticks. A `rateScale` factor compresses
+ * the persona's time axis, so an antagonist tenant is simply the same
+ * stochastic process played rateScale-times hotter - the event *set*
+ * stays deterministic for a given (seed, rows, scale).
+ *
+ * The adapter is a cursor, not a buffer: peek()/pop() stream events
+ * one at a time, and generated() counts how many were consumed.
+ * fastForward() replays the cursor to a recorded position, which is
+ * how a crash-restored service re-synchronizes each tenant's producer
+ * with its snapshot (the generators are pure functions of their seed,
+ * so position alone reconstructs the remaining stream exactly).
+ */
+
+#ifndef MEMCON_TRACE_TENANT_STREAM_HH
+#define MEMCON_TRACE_TENANT_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/kway_merge.hh"
+#include "common/units.hh"
+#include "trace/app_model.hh"
+
+namespace memcon::trace
+{
+
+struct TenantTrafficConfig
+{
+    /** Rows in the tenant's module (one write process per row). */
+    std::uint64_t rows = 128;
+
+    /**
+     * Time-compression factor: events arrive rateScale-times faster
+     * than the base persona. 1.0 is an in-quota tenant; an overload
+     * antagonist uses 4-16.
+     */
+    double rateScale = 1.0;
+
+    /** Service-time horizon the stream must cover, in ms. */
+    double horizonMs = 2.0;
+
+    std::uint64_t seed = 1;
+
+    /** Page-class mix (see trace/app_model.hh). */
+    double readOnlyFraction = 0.25;
+    double hotFraction = 0.15;
+
+    /** The service persona these knobs expand into. */
+    AppPersona persona() const;
+};
+
+class TenantWriteStream
+{
+  public:
+    explicit TenantWriteStream(const TenantTrafficConfig &config);
+
+    /**
+     * The next event, without consuming it: its service-time Tick and
+     * flat row index. @return false once the horizon is exhausted.
+     */
+    bool peek(Tick *at, std::uint64_t *row);
+
+    /** Consume the event peek() exposed; panics when exhausted. */
+    void pop();
+
+    /** Events consumed so far (the producer's durable position). */
+    std::uint64_t generated() const { return popped; }
+
+    /**
+     * Re-position a fresh stream at event index `count`, as if that
+     * many events had been popped; panics if the stream holds fewer.
+     */
+    void fastForward(std::uint64_t count);
+
+  private:
+    TenantTrafficConfig cfg;
+
+    // The persona outlives the page streams (held by reference in
+    // each PageWriteProcess), so it must be a stable member built
+    // before the merge.
+    AppPersona personaState;
+    std::unique_ptr<KWayMerge<PageWriteStream>> merge;
+    std::uint64_t popped = 0;
+};
+
+} // namespace memcon::trace
+
+#endif // MEMCON_TRACE_TENANT_STREAM_HH

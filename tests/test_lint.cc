@@ -266,6 +266,53 @@ TEST(Lint, EachRuleOncePerOffendingFixture)
     }
 }
 
+TEST(Lint, ServiceSupervisionWallClockNeedsTheAllowEscape)
+{
+    // The memcond service idiom: tenant round tasks time themselves
+    // with the wall clock to feed the watchdog's adaptive deadline.
+    // That is supervision, never a metric - but the lint cannot know
+    // that, so the code must carry the lint:allow(wall-clock) escape
+    // exactly where src/service/memcond.cc does.
+    const std::string bare =
+        "void runTask() {\n"
+        "    const auto t0 = std::chrono::" + kSteadyClock +
+        "::now();\n"
+        "    work();\n"
+        "    const auto t1 = std::chrono::" + kSteadyClock +
+        "::now();\n"
+        "    watchdog.endTask(0, true, ms(t1 - t0));\n"
+        "}\n";
+    EXPECT_EQ(rulesOf(lintSource("service.cc", bare)),
+              (std::vector<std::string>{"wall-clock", "wall-clock"}));
+
+    const std::string allowed =
+        "void runTask() {\n"
+        "    // Supervision only - never a metric.\n"
+        "    // lint:allow(wall-clock)\n"
+        "    const auto t0 = std::chrono::" + kSteadyClock +
+        "::now();\n"
+        "    work();\n"
+        "    // lint:allow(wall-clock) - supervision only.\n"
+        "    const auto t1 = std::chrono::" + kSteadyClock +
+        "::now();\n"
+        "    watchdog.endTask(0, true, ms(t1 - t0));\n"
+        "}\n";
+    EXPECT_TRUE(lintSource("service.cc", allowed).empty());
+
+    // The escape reaches exactly one line: a justification paragraph
+    // between the marker and the call re-exposes the violation, so
+    // the allow must sit directly on or above the offending line.
+    const std::string too_far =
+        "void runTask() {\n"
+        "    // lint:allow(wall-clock) - supervision only, feeds\n"
+        "    // the watchdog median, never a metric.\n"
+        "    const auto t0 = std::chrono::" + kSteadyClock +
+        "::now();\n"
+        "}\n";
+    EXPECT_EQ(rulesOf(lintSource("service.cc", too_far)),
+              (std::vector<std::string>{"wall-clock"}));
+}
+
 TEST(Lint, RealTreeIsClean)
 {
     // The shipping gate: src/ and bench/ hold zero violations. A

@@ -2,14 +2,19 @@
  * @file
  * Robustness and coverage tests across modules: the stats registry,
  * PREA semantics, the controller's starvation guard and test-traffic
- * admission limit, Copy&Compare in the closed loop, and geometry
- * validation.
+ * admission limit, Copy&Compare in the closed loop, geometry
+ * validation, and the durable-record discipline (sealed lines,
+ * fingerprint-mismatch diagnostics, and a truncation/corruption fuzz
+ * over the memcond service snapshot format).
  */
 
 #include <gtest/gtest.h>
 
+#include "common/checkpoint.hh"
+#include "common/random.hh"
 #include "common/stats.hh"
 #include "core/online_memcon.hh"
+#include "service/snapshot.hh"
 #include "dram/channel.hh"
 #include "dram/energy.hh"
 #include "sim/system.hh"
@@ -233,6 +238,225 @@ TEST(Energy, StatsDrivenTallyTracksActivity)
     EXPECT_NEAR(e.total(),
                 e.actPre + e.read + e.write + e.refresh + e.background,
                 1e-15);
+}
+
+// ---------------------------------------------------------------------
+// Durable-record primitives and the service snapshot's strictness:
+// sealed-line round trips, fingerprint-mismatch diagnostics, and a
+// fuzz over truncation and corruption of a snapshot file - every
+// damaged variant must surface as a typed ServiceError, never as
+// partial state.
+// ---------------------------------------------------------------------
+
+TEST(DurableRecords, SealedLinesRoundTripAndRejectTamper)
+{
+    for (const std::string &payload :
+         {std::string(""), std::string("G rounds=4"),
+          std::string("weird # payload #deadbeef with seals"),
+          std::string("T idx=0 name=focus gen=123")}) {
+        std::string line = ckpt::sealLine(payload);
+        ASSERT_FALSE(line.empty());
+        ASSERT_EQ(line.back(), '\n');
+        std::string back;
+        EXPECT_TRUE(
+            ckpt::unsealLine(line.substr(0, line.size() - 1), &back));
+        EXPECT_EQ(back, payload);
+    }
+
+    // Any tamper breaks the seal, and a failed unseal leaves the
+    // out-param untouched - a reader can't half-trust a torn line.
+    std::string line = ckpt::sealLine("payload v=7");
+    line.pop_back(); // the '\n'
+    std::string flipped = line;
+    flipped[2] ^= 0x04;
+    std::string out = "sentinel";
+    EXPECT_FALSE(ckpt::unsealLine(flipped, &out));
+    EXPECT_FALSE(ckpt::unsealLine("no seal at all", &out));
+    EXPECT_FALSE(ckpt::unsealLine("short #12", &out));
+    EXPECT_EQ(out, "sentinel");
+}
+
+TEST(DurableRecords, FingerprintMismatchNamesBothSides)
+{
+    ckpt::CampaignFingerprint found;
+    found.artifact = "memcond";
+    found.campaignSeed = 23;
+    found.pointCount = 4;
+    found.labelsCrc = 0x11111111u;
+    ckpt::CampaignFingerprint expected = found;
+    expected.campaignSeed = 24;
+
+    EXPECT_NO_THROW(ckpt::requireFingerprintMatch(found, found));
+    try {
+        ckpt::requireFingerprintMatch(found, expected);
+        FAIL() << "mismatched fingerprints were accepted";
+    } catch (const ckpt::FingerprintMismatch &e) {
+        // The error text carries both describe() strings, so the
+        // operator sees which field diverged, not a bare "mismatch".
+        const std::string what = e.what();
+        EXPECT_NE(what.find(found.describe()), std::string::npos)
+            << what;
+        EXPECT_NE(what.find(expected.describe()), std::string::npos)
+            << what;
+        EXPECT_NE(found.describe(), expected.describe());
+    }
+}
+
+namespace
+{
+
+/** A hand-built snapshot exercising every line type the format has:
+ *  header, G, T, R (residue), H (held event), J, D, END. */
+service::ServiceSnapshot
+sampleSnapshot()
+{
+    service::ServiceSnapshot s;
+    s.fingerprint.artifact = "memcond";
+    s.fingerprint.campaignSeed = 23;
+    s.fingerprint.pointCount = 2;
+    s.fingerprint.labelsCrc = 0xfeed1234u;
+    s.roundsDone = 2;
+    s.stage = service::GovernorStage::StretchQuanta;
+    s.calmStreak = 1;
+    s.escalations = 2;
+    s.relaxations = 1;
+    s.admits = 5;
+    s.throttles = 2;
+    s.rejects = 1;
+
+    service::TenantSnapshotRecord t0;
+    t0.name = "focus";
+    t0.generated = 17;
+    t0.droppedBackpressure = 1;
+    t0.throttledTicks = 12500;
+    t0.lastOffered = 8;
+    t0.fingerprint = 0xabad1dea;
+    t0.describe = "pril=... refresh=... (free text with spaces)";
+    t0.residue = {{Tick{1250}, 3}, {Tick{2500}, 7}};
+    service::TenantSnapshotRecord t1;
+    t1.name = "mallory";
+    t1.generated = 90;
+    t1.droppedShed = 40;
+    t1.lastOffered = 60;
+    t1.fingerprint = 0x0badf00d;
+    t1.describe = "d";
+    t1.hasHeld = true;
+    t1.held = {Tick{3750}, 11};
+    t1.heldSince = Tick{5000};
+    s.tenants = {t0, t1};
+
+    service::RoundRecord r0;
+    r0.stage = service::GovernorStage::Normal;
+    r0.grant = {8, 8};
+    r0.scansShed = {false, false};
+    r0.quantumStretch = {1, 1};
+    r0.applied = {{{Tick{100}, 1}}, {{Tick{200}, 2}, {Tick{300}, 3}}};
+    service::RoundRecord r1;
+    r1.stage = service::GovernorStage::StretchQuanta;
+    r1.grant = {8, 0};
+    r1.scansShed = {false, true};
+    r1.quantumStretch = {1, 4};
+    r1.applied = {{{Tick{400}, 5}}, {}};
+    s.journal = {r0, r1};
+    return s;
+}
+
+} // namespace
+
+TEST(DurableRecords, ServiceSnapshotTruncationAtEveryByteThrows)
+{
+    const std::string full =
+        service::encodeServiceSnapshot(sampleSnapshot());
+    // Sanity: the intact encoding decodes to the identical encoding.
+    EXPECT_EQ(service::encodeServiceSnapshot(
+                  service::decodeServiceSnapshot(full)),
+              full);
+
+    // Every proper prefix - which includes every section boundary:
+    // after the header, between tenants, mid-journal, before the
+    // footer - must throw, never decode to a shorter valid snapshot.
+    for (std::size_t len = 0; len < full.size(); ++len)
+        EXPECT_THROW(service::decodeServiceSnapshot(full.substr(0, len)),
+                     service::ServiceError)
+            << "truncation to " << len << " of " << full.size()
+            << " bytes was accepted";
+}
+
+TEST(DurableRecords, ServiceSnapshotLineRemovalAndReorderThrow)
+{
+    const std::string full =
+        service::encodeServiceSnapshot(sampleSnapshot());
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < full.size()) {
+        std::size_t nl = full.find('\n', start);
+        lines.push_back(full.substr(start, nl - start + 1));
+        start = nl + 1;
+    }
+    ASSERT_GE(lines.size(), 8u);
+
+    // Deleting any single line (each individually CRC-clean) breaks
+    // the footer's line count or running CRC.
+    for (std::size_t drop = 0; drop < lines.size(); ++drop) {
+        std::string damaged;
+        for (std::size_t i = 0; i < lines.size(); ++i)
+            if (i != drop)
+                damaged += lines[i];
+        EXPECT_THROW(service::decodeServiceSnapshot(damaged),
+                     service::ServiceError)
+            << "dropping line " << drop << " was accepted";
+    }
+
+    // Swapping two sealed lines keeps every line CRC valid; the
+    // structural checks (duplicate/missing sections) must still fire.
+    std::string swapped;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::size_t j = i == 0 ? 1 : (i == 1 ? 0 : i);
+        swapped += lines[j];
+    }
+    EXPECT_THROW(service::decodeServiceSnapshot(swapped),
+                 service::ServiceError);
+
+    // Trailing bytes after the footer are a deviation too.
+    EXPECT_THROW(service::decodeServiceSnapshot(full + lines[1]),
+                 service::ServiceError);
+}
+
+TEST(DurableRecords, ServiceSnapshotRandomCorruptionThrows)
+{
+    const std::string full =
+        service::encodeServiceSnapshot(sampleSnapshot());
+    Rng rng(0xc0ffee);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string damaged = full;
+        const std::size_t at = rng.uniformInt(damaged.size());
+        const char flip =
+            static_cast<char>(1 + rng.uniformInt(255)); // never 0
+        damaged[at] = static_cast<char>(damaged[at] ^ flip);
+        EXPECT_THROW(service::decodeServiceSnapshot(damaged),
+                     service::ServiceError)
+            << "flipping byte " << at << " with 0x" << std::hex
+            << int(flip) << " was accepted";
+    }
+}
+
+TEST(DurableRecords, ServiceSnapshotGarbageFilesThrow)
+{
+    using service::decodeServiceSnapshot;
+    using service::ServiceError;
+    EXPECT_THROW(decodeServiceSnapshot(""), ServiceError);
+    EXPECT_THROW(decodeServiceSnapshot("not a snapshot\n"), ServiceError);
+    EXPECT_THROW(decodeServiceSnapshot("MEMCOND-SVC v1 unsealed\n"),
+                 ServiceError);
+    // A valid *campaign checkpoint* header is still not a snapshot.
+    EXPECT_THROW(
+        decodeServiceSnapshot(ckpt::sealLine("MEMCON-CKPT v1 x")),
+        ServiceError);
+    // Missing trailing newline on an otherwise intact file.
+    const std::string full =
+        service::encodeServiceSnapshot(sampleSnapshot());
+    EXPECT_THROW(decodeServiceSnapshot(full.substr(0, full.size() - 1)),
+                 ServiceError);
 }
 
 } // namespace

@@ -1,0 +1,727 @@
+/**
+ * @file
+ * Tests for the memcond service mode (DESIGN.md §16): the SPSC ingest
+ * ring (including a real cross-thread stress for TSan), admission
+ * verdicts, the overload governor's ladder and hysteresis, whole-
+ * service determinism across thread counts, the accounting identity,
+ * antagonist isolation, snapshot round-trips, and crash-safe resume -
+ * in-process (a snapshot hook that throws simulates the crash) and
+ * across a real SIGKILL via the service_testbed subprocess.
+ *
+ * Suite names carry the "IngestRing"/"Memcond" prefixes the tsan
+ * ctest preset filters on, so all of this also runs under
+ * ThreadSanitizer.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include "common/checkpoint.hh"
+#include "common/logging.hh"
+#include "service/memcond.hh"
+
+using namespace memcon;
+using namespace memcon::service;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Unique scratch path per test so parallel ctest runs don't race. */
+std::string
+scratch(const std::string &stem)
+{
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return std::string("service_") + info->test_suite_name() + "_" +
+           info->name() + "_" + stem;
+}
+
+/**
+ * A small oversubscribed service: 128-row modules, 20 us rounds,
+ * 8-event quotas against a 20-event global budget, grants capped at
+ * the quota (which is what makes the focus tenant's service identical
+ * to its solo run).
+ */
+MemcondConfig
+smallConfig(std::uint64_t seed, unsigned threads,
+            std::uint64_t rounds = 12)
+{
+    MemcondConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    cfg.rounds = rounds;
+    cfg.roundTicks = usToTicks(20.0);
+    cfg.admission.globalBudgetPerRound = 20;
+    cfg.admission.maxGrantPerRound = 8;
+    cfg.governor.coolRounds = 3;
+    cfg.tenant.geometry.rowsPerBank = 16;
+    cfg.tenant.ringCapacity = 32;
+    cfg.tenant.memcon.quantum = usToTicks(50.0);
+    cfg.tenant.memcon.testIdle = usToTicks(20.0);
+    cfg.tenant.memcon.retargetPeriod = usToTicks(25.0);
+    cfg.tenant.memcon.testEngine.slots = 4;
+    cfg.tenant.memcon.testEngine.wordsPerRow = 8;
+    return cfg;
+}
+
+/** focus + calm (in quota, priority 2), meek + mallory (priority 1);
+ *  mallory offers `antag_rate` times its quota. */
+std::vector<TenantSpec>
+fourTenants(double antag_rate = 6.0)
+{
+    TenantSpec focus{"focus", 2, 1.0, 8};
+    TenantSpec calm{"calm", 2, 1.0, 8};
+    TenantSpec meek{"meek", 1, 1.0, 8};
+    TenantSpec mallory{"mallory", 1, antag_rate, 8};
+    return {focus, calm, meek, mallory};
+}
+
+/** generated == applied + drops + backlog + held, per tenant. */
+void
+expectAccountingIdentity(const Memcond &svc)
+{
+    for (std::size_t i = 0; i < svc.tenantCount(); ++i) {
+        const TenantSession &t = svc.tenant(i);
+        const std::uint64_t backlog =
+            t.ringBacklog() + (t.hasHeldEvent() ? 1 : 0);
+        EXPECT_EQ(t.generatedCount(),
+                  t.appliedCount() + t.droppedBackpressure() +
+                      t.droppedShed() + backlog)
+            << "tenant " << t.spec().name;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The SPSC ingest ring.
+// ---------------------------------------------------------------------
+
+TEST(IngestRing, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(IngestRing(1).capacity(), 1u);
+    EXPECT_EQ(IngestRing(5).capacity(), 8u);
+    EXPECT_EQ(IngestRing(64).capacity(), 64u);
+    EXPECT_EQ(IngestRing(65).capacity(), 128u);
+}
+
+TEST(IngestRing, FifoOrderAndExplicitBackpressure)
+{
+    IngestRing ring(4);
+    EXPECT_TRUE(ring.empty());
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ring.tryPush({Tick{i * 10}, i}), PushResult::Ok);
+    // Full is a verdict, not an exception or a silent drop.
+    EXPECT_EQ(ring.tryPush({Tick{99}, 99}), PushResult::Full);
+    EXPECT_EQ(ring.size(), 4u);
+
+    // contents() sees the queued events front to back.
+    std::vector<WriteEvent> seen = ring.contents();
+    ASSERT_EQ(seen.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(seen[i].row, i);
+
+    // peek exposes the head without consuming; popFront consumes it.
+    WriteEvent ev;
+    ASSERT_TRUE(ring.peek(&ev));
+    EXPECT_EQ(ev.row, 0u);
+    ASSERT_TRUE(ring.peek(&ev));
+    EXPECT_EQ(ev.row, 0u);
+    ring.popFront();
+    ASSERT_TRUE(ring.tryPop(&ev));
+    EXPECT_EQ(ev.row, 1u);
+
+    // Space freed by pops is reusable (the indices are free-running).
+    EXPECT_EQ(ring.tryPush({Tick{40}, 4}), PushResult::Ok);
+    std::uint64_t expect = 2;
+    while (ring.tryPop(&ev))
+        EXPECT_EQ(ev.row, expect++);
+    EXPECT_EQ(expect, 5u);
+    EXPECT_FALSE(ring.peek(&ev));
+}
+
+TEST(IngestRing, SpscCrossThreadStressKeepsOrder)
+{
+    // Real concurrency for TSan: one producer thread, one consumer
+    // thread, a deliberately tiny ring so both sides hit their wait
+    // loops constantly.
+    constexpr std::uint64_t kEvents = 20000;
+    IngestRing ring(8);
+
+    std::thread producer([&ring] {
+        for (std::uint64_t i = 0; i < kEvents; ++i) {
+            WriteEvent ev{Tick{i}, i};
+            while (ring.tryPush(ev) == PushResult::Full)
+                std::this_thread::yield();
+        }
+    });
+
+    std::uint64_t next = 0;
+    while (next < kEvents) {
+        WriteEvent ev;
+        if (!ring.tryPop(&ev)) {
+            std::this_thread::yield();
+            continue;
+        }
+        ASSERT_EQ(ev.row, next);
+        ASSERT_EQ(ev.at, Tick{next});
+        ++next;
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
+// ---------------------------------------------------------------------
+// Admission control: typed verdicts.
+// ---------------------------------------------------------------------
+
+TEST(MemcondAdmission, OpenSessionRejectionsCarryReasons)
+{
+    AdmissionConfig cfg;
+    cfg.maxSessions = 2;
+    cfg.maxQuotaPerRound = 16;
+    AdmissionController ac(cfg);
+
+    EXPECT_EQ(ac.openSession("a", 8).kind, VerdictKind::Admit);
+
+    Verdict zero = ac.openSession("b", 0);
+    EXPECT_EQ(zero.kind, VerdictKind::Reject);
+    EXPECT_NE(zero.reason.find("zero"), std::string::npos);
+
+    Verdict greedy = ac.openSession("b", 17);
+    EXPECT_EQ(greedy.kind, VerdictKind::Reject);
+    EXPECT_NE(greedy.reason.find("cap"), std::string::npos);
+
+    EXPECT_EQ(ac.openSession("b", 8).kind, VerdictKind::Admit);
+    Verdict full = ac.openSession("c", 8);
+    EXPECT_EQ(full.kind, VerdictKind::Reject);
+    EXPECT_NE(full.reason.find("full"), std::string::npos);
+    EXPECT_NE(full.reason.find("c"), std::string::npos);
+
+    EXPECT_EQ(ac.activeSessions(), 2u);
+    EXPECT_EQ(ac.admitCount(), 2u);
+    EXPECT_EQ(ac.rejectCount(), 3u);
+
+    ac.closeSession();
+    EXPECT_EQ(ac.openSession("c", 8).kind, VerdictKind::Admit);
+}
+
+TEST(MemcondAdmission, QuotaFirstIsolatesInQuotaDemand)
+{
+    AdmissionConfig cfg;
+    cfg.globalBudgetPerRound = 12;
+    cfg.maxGrantPerRound = 0; // no per-tenant ceiling
+    AdmissionController ac(cfg);
+
+    // Tenant 0 wants 4 (in quota); tenant 1 wants 100 (way over its
+    // quota of 8). Quota-first: 0 gets all 4, 1 gets its quota 8,
+    // leftover 0.
+    std::vector<TenantDemand> d(2);
+    d[0] = {.backlog = 1, .lastOffered = 3, .quota = 8, .priority = 1};
+    d[1] = {.backlog = 60, .lastOffered = 40, .quota = 8, .priority = 2};
+    std::vector<Verdict> v = ac.planRound(d, usToTicks(20.0));
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0].kind, VerdictKind::Admit);
+    EXPECT_EQ(v[0].grant, 4u);
+    EXPECT_EQ(v[1].kind, VerdictKind::Admit);
+    EXPECT_EQ(v[1].grant, 8u);
+}
+
+TEST(MemcondAdmission, LeftoverBudgetFollowsPriorityThenIndex)
+{
+    AdmissionConfig cfg;
+    cfg.globalBudgetPerRound = 30;
+    AdmissionController ac(cfg);
+
+    // Quotas cover 8+8+8 = 24; 6 left over. The priority-3 tenant
+    // (index 2) absorbs all of it despite the index-order tie breaker
+    // favoring earlier tenants at equal priority.
+    std::vector<TenantDemand> d(3);
+    d[0] = {.backlog = 10, .lastOffered = 0, .quota = 8, .priority = 1};
+    d[1] = {.backlog = 10, .lastOffered = 0, .quota = 8, .priority = 1};
+    d[2] = {.backlog = 20, .lastOffered = 0, .quota = 8, .priority = 3};
+    std::vector<Verdict> v = ac.planRound(d, usToTicks(20.0));
+    EXPECT_EQ(v[0].grant, 8u);
+    EXPECT_EQ(v[1].grant, 8u);
+    EXPECT_EQ(v[2].grant, 14u);
+
+    // Equal priorities: leftover goes to the lower index.
+    AdmissionController ac2(cfg);
+    d[2].priority = 1;
+    v = ac2.planRound(d, usToTicks(20.0));
+    EXPECT_EQ(v[0].grant, 10u);
+    EXPECT_EQ(v[1].grant, 10u);
+    EXPECT_EQ(v[2].grant, 10u);
+}
+
+TEST(MemcondAdmission, ThrottleAndRejectVerdictsAreExplicit)
+{
+    AdmissionConfig cfg;
+    cfg.globalBudgetPerRound = 8;
+    AdmissionController ac(cfg);
+
+    // Tenant 0's quota swallows the whole budget; tenant 1 has
+    // demand, gets nothing, and must see Throttle with a concrete
+    // retry tick - not a zero-grant Admit it can't distinguish.
+    // Tenant 2 is shed: Reject, with the governor named.
+    const Tick round_end = usToTicks(40.0);
+    std::vector<TenantDemand> d(3);
+    d[0] = {.backlog = 8, .lastOffered = 0, .quota = 8, .priority = 2};
+    d[1] = {.backlog = 5, .lastOffered = 0, .quota = 8, .priority = 1};
+    d[2] = {.backlog = 5, .lastOffered = 0, .quota = 8, .priority = 1,
+            .shed = true};
+    std::vector<Verdict> v = ac.planRound(d, round_end);
+    EXPECT_EQ(v[0].kind, VerdictKind::Admit);
+    EXPECT_EQ(v[0].grant, 8u);
+    EXPECT_EQ(v[1].kind, VerdictKind::Throttle);
+    EXPECT_EQ(v[1].retryAfter, round_end);
+    EXPECT_EQ(v[2].kind, VerdictKind::Reject);
+    EXPECT_NE(v[2].reason.find("governor"), std::string::npos);
+
+    // A tenant with no demand at all is an Admit{0}, not a throttle:
+    // production resumes immediately next round (no deadlock).
+    std::vector<TenantDemand> idle(1);
+    idle[0] = {.backlog = 0, .lastOffered = 0, .quota = 8, .priority = 1};
+    EXPECT_EQ(ac.planRound(idle, round_end)[0].kind, VerdictKind::Admit);
+
+    EXPECT_EQ(ac.admitCount(), 2u);
+    EXPECT_EQ(ac.throttleCount(), 1u);
+    EXPECT_EQ(ac.rejectCount(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// The overload governor's ladder.
+// ---------------------------------------------------------------------
+
+TEST(MemcondGovernor, EscalatesOneStagePerRoundInDocumentedOrder)
+{
+    OverloadGovernor g{GovernorConfig{}};
+    EXPECT_EQ(g.stage(), GovernorStage::Normal);
+    EXPECT_EQ(g.update(2.0), GovernorStage::ShedScans);
+    EXPECT_EQ(g.update(2.0), GovernorStage::StretchQuanta);
+    EXPECT_EQ(g.update(2.0), GovernorStage::ShedTenants);
+    // The ladder is bounded: no stage beyond ShedTenants.
+    EXPECT_EQ(g.update(50.0), GovernorStage::ShedTenants);
+    EXPECT_EQ(g.escalations(), 3u);
+
+    EXPECT_STREQ(toString(GovernorStage::Normal), "normal");
+    EXPECT_STREQ(toString(GovernorStage::ShedScans), "shed-scans");
+    EXPECT_STREQ(toString(GovernorStage::StretchQuanta),
+                 "stretch-quanta");
+    EXPECT_STREQ(toString(GovernorStage::ShedTenants), "shed-tenants");
+}
+
+TEST(MemcondGovernor, HysteresisRequiresSustainedCalm)
+{
+    GovernorConfig cfg;
+    cfg.coolRounds = 3;
+    OverloadGovernor g(cfg);
+    g.update(2.0);
+    g.update(2.0);
+    ASSERT_EQ(g.stage(), GovernorStage::StretchQuanta);
+
+    // Two calm rounds, then a round inside the hysteresis band
+    // (exit 0.75 <= p <= enter 1.0): the streak resets, no step down.
+    EXPECT_EQ(g.update(0.1), GovernorStage::StretchQuanta);
+    EXPECT_EQ(g.update(0.1), GovernorStage::StretchQuanta);
+    EXPECT_EQ(g.update(0.9), GovernorStage::StretchQuanta);
+    EXPECT_EQ(g.calmStreak(), 0u);
+
+    // Three consecutive calm rounds step down exactly one stage.
+    g.update(0.1);
+    g.update(0.1);
+    EXPECT_EQ(g.update(0.1), GovernorStage::ShedScans);
+    EXPECT_EQ(g.relaxations(), 1u);
+
+    // Restore re-seats the whole ladder.
+    g.restore(GovernorStage::ShedTenants, 2, 7, 4);
+    EXPECT_EQ(g.stage(), GovernorStage::ShedTenants);
+    EXPECT_EQ(g.calmStreak(), 2u);
+    EXPECT_EQ(g.escalations(), 7u);
+    EXPECT_EQ(g.relaxations(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Whole-service behavior.
+// ---------------------------------------------------------------------
+
+TEST(MemcondService, RefusedTenantThrowsWithAdmissionReason)
+{
+    MemcondConfig cfg = smallConfig(5, 1);
+    cfg.admission.maxSessions = 2;
+    try {
+        Memcond svc(cfg, fourTenants());
+        FAIL() << "admission should have refused tenant 3 of 4";
+    } catch (const ServiceError &e) {
+        EXPECT_NE(std::string(e.what()).find("refused admission"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("meek"), std::string::npos);
+    }
+}
+
+TEST(MemcondService, DigestIsBitIdenticalAcrossThreadCounts)
+{
+    Memcond one(smallConfig(5, 1), fourTenants());
+    one.run();
+    Memcond four(smallConfig(5, 4), fourTenants());
+    four.run();
+
+    EXPECT_EQ(one.digest(), four.digest());
+    EXPECT_EQ(one.metricsLines(), four.metricsLines());
+    EXPECT_EQ(one.stageHistory(), four.stageHistory());
+    EXPECT_EQ(one.stageHistory().size(), 12u);
+}
+
+TEST(MemcondService, AccountingIdentityAndLadderUnderOverload)
+{
+    Memcond svc(smallConfig(5, 2, 16), fourTenants());
+    svc.run();
+
+    expectAccountingIdentity(svc);
+
+    // The antagonist drove the ladder to tenant shedding, and its
+    // losses are explicit shed drops - never silent.
+    GovernorStage max_stage = GovernorStage::Normal;
+    for (GovernorStage s : svc.stageHistory())
+        max_stage = std::max(max_stage, s);
+    EXPECT_EQ(max_stage, GovernorStage::ShedTenants);
+    EXPECT_GT(svc.overloadGovernor().escalations(), 0u);
+    EXPECT_GT(svc.tenant(3).droppedShed(), 0u);
+
+    // The in-quota, priority-2 tenants are never the ones shed.
+    EXPECT_EQ(svc.tenant(0).droppedShed(), 0u);
+    EXPECT_EQ(svc.tenant(1).droppedShed(), 0u);
+
+    // Telemetry mirrors the counters it claims to export.
+    StatGroup g = svc.tenantTelemetry(3);
+    EXPECT_DOUBLE_EQ(g.value("offered"),
+                     static_cast<double>(svc.tenant(3).generatedCount()));
+    EXPECT_DOUBLE_EQ(g.value("drops.shed"),
+                     static_cast<double>(svc.tenant(3).droppedShed()));
+    EXPECT_DOUBLE_EQ(g.value("applied"),
+                     static_cast<double>(svc.tenant(3).appliedCount()));
+
+    // Verdict counters reconcile with the rounds planned: one verdict
+    // per tenant per round (openSession admits add 4 more).
+    const std::uint64_t verdicts = svc.admissionController().admitCount() +
+                                   svc.admissionController().throttleCount() +
+                                   svc.admissionController().rejectCount();
+    EXPECT_EQ(verdicts, 16u * 4u + 4u);
+}
+
+TEST(MemcondService, InQuotaTenantIsIsolatedFromAntagonist)
+{
+    // Solo reference: the focus tenant alone. Same service seed, so
+    // its traffic is identical in the co-located run (tenant seeds
+    // derive from the tenant index).
+    Memcond solo(smallConfig(5, 1, 16), {TenantSpec{"focus", 2, 1.0, 8}});
+    solo.run();
+    Memcond coloc(smallConfig(5, 1, 16), fourTenants(8.0));
+    coloc.run();
+
+    const double solo_red = solo.tenant(0).memcon().emergentReduction();
+    const double coloc_red = coloc.tenant(0).memcon().emergentReduction();
+    ASSERT_GT(solo_red, 0.0);
+    // The acceptance bound is 5%; quota-first admission plus
+    // offender-targeted governor stages actually make it exact.
+    EXPECT_NEAR(coloc_red, solo_red, 0.05 * solo_red);
+    EXPECT_EQ(coloc.tenant(0).droppedShed(), 0u);
+}
+
+TEST(MemcondService, GenerousWatchdogDoesNotPerturbTheRun)
+{
+    Memcond plain(smallConfig(5, 2), fourTenants());
+    plain.run();
+
+    MemcondConfig cfg = smallConfig(5, 2);
+    cfg.supervisorTimeoutMs = 30000.0;
+    Memcond watched(cfg, fourTenants());
+    watched.run();
+
+    // Supervision is wall-clock-only bookkeeping; the simulated
+    // outcome must be bit-identical with and without it.
+    EXPECT_EQ(watched.digest(), plain.digest());
+}
+
+// ---------------------------------------------------------------------
+// Snapshots: round trip, strictness, in-process crash resume.
+// ---------------------------------------------------------------------
+
+TEST(MemcondSnapshot, EncodeDecodeRoundTripsTheLiveService)
+{
+    MemcondConfig cfg = smallConfig(5, 2);
+    Memcond svc(cfg, fourTenants());
+    svc.run();
+
+    ServiceSnapshot snap = svc.snapshotState();
+    EXPECT_EQ(snap.roundsDone, cfg.rounds);
+    EXPECT_EQ(snap.journal.size(), cfg.rounds);
+
+    const std::string encoded = encodeServiceSnapshot(snap);
+    ServiceSnapshot back = decodeServiceSnapshot(encoded);
+    // Decode(encode()) is the identity: re-encoding yields the same
+    // bytes, which covers every field including the journal events.
+    EXPECT_EQ(encodeServiceSnapshot(back), encoded);
+    EXPECT_TRUE(back.fingerprint.matches(snap.fingerprint));
+    EXPECT_EQ(back.roundsDone, snap.roundsDone);
+    ASSERT_EQ(back.tenants.size(), 4u);
+    EXPECT_EQ(back.tenants[3].name, "mallory");
+    EXPECT_EQ(back.tenants[3].droppedShed,
+              svc.tenant(3).droppedShed());
+}
+
+TEST(MemcondSnapshot, SaveLoadRoundTripsThroughDisk)
+{
+    std::string path = scratch("snap.txt");
+    MemcondConfig cfg = smallConfig(7, 1, 6);
+    Memcond svc(cfg, fourTenants());
+    svc.run();
+
+    ServiceSnapshot snap = svc.snapshotState();
+    saveServiceSnapshot(path, snap);
+    ServiceSnapshot back = loadServiceSnapshot(path);
+    EXPECT_EQ(encodeServiceSnapshot(back), encodeServiceSnapshot(snap));
+
+    EXPECT_THROW(loadServiceSnapshot(path + ".does_not_exist"),
+                 ServiceError);
+    std::remove(path.c_str());
+}
+
+namespace
+{
+
+/** The in-process stand-in for SIGKILL: thrown from the snapshot
+ *  hook, it unwinds run() the instant a snapshot is durable. */
+struct SimulatedCrash
+{
+};
+
+} // namespace
+
+TEST(MemcondSnapshot, InProcessCrashResumesToIdenticalDigest)
+{
+    std::string path = scratch("snap.txt");
+
+    // Uninterrupted reference (no snapshots; the path is not part of
+    // the fingerprint, so the resumed run below is comparable).
+    Memcond ref(smallConfig(5, 2), fourTenants());
+    ref.run();
+
+    // "Crash" the moment the round-8 snapshot hits the disk.
+    MemcondConfig cfg = smallConfig(5, 2);
+    cfg.snapshotPath = path;
+    cfg.snapshotEveryRounds = 4;
+    cfg.snapshotHook = [](std::uint64_t rounds_done) {
+        if (rounds_done == 8)
+            throw SimulatedCrash{};
+    };
+    {
+        Memcond dying(cfg, fourTenants());
+        EXPECT_THROW(dying.run(), SimulatedCrash);
+        EXPECT_EQ(dying.roundsDone(), 8u);
+    }
+
+    // Resume from the snapshot: replays 8 rounds through the real
+    // consumer path, then runs the remaining 4 live.
+    cfg.snapshotHook = nullptr;
+    Memcond resumed(cfg, fourTenants());
+    resumed.run(true);
+    EXPECT_TRUE(resumed.resumed());
+    EXPECT_EQ(resumed.roundsDone(), 12u);
+    EXPECT_EQ(resumed.digest(), ref.digest());
+    EXPECT_EQ(resumed.metricsLines(), ref.metricsLines());
+    EXPECT_EQ(resumed.stageHistory(), ref.stageHistory());
+    expectAccountingIdentity(resumed);
+    std::remove(path.c_str());
+}
+
+TEST(MemcondSnapshot, ResumeRefusesAForeignConfiguration)
+{
+    std::string path = scratch("snap.txt");
+    MemcondConfig cfg = smallConfig(5, 1, 8);
+    cfg.snapshotPath = path;
+    cfg.snapshotEveryRounds = 4;
+    Memcond svc(cfg, fourTenants());
+    svc.run();
+
+    // Same tenants, different service seed: the fingerprint gate must
+    // refuse before any replay work, naming both sides.
+    MemcondConfig other = smallConfig(6, 1, 8);
+    other.snapshotPath = path;
+    try {
+        Memcond wrong(other, fourTenants());
+        wrong.run(true);
+        FAIL() << "resume accepted a snapshot from another service";
+    } catch (const ckpt::FingerprintMismatch &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(e.found.describe()), std::string::npos);
+        EXPECT_NE(what.find(e.expected.describe()), std::string::npos);
+    }
+
+    // Resume without a snapshot path is a typed refusal too.
+    MemcondConfig pathless = smallConfig(5, 1, 8);
+    Memcond nowhere(pathless, fourTenants());
+    EXPECT_THROW(nowhere.run(true), ServiceError);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Subprocess: a real SIGKILL mid-service, resumed bit-identically.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct RunResult
+{
+    int status = -1;
+    std::string out;
+    std::string err;
+
+    bool exitedWith(int code) const
+    {
+        return WIFEXITED(status) && WEXITSTATUS(status) == code;
+    }
+
+    bool killedBy(int sig) const
+    {
+        // std::system() goes through the shell, which reports a
+        // signal-killed child as exit code 128+sig.
+        return (WIFSIGNALED(status) && WTERMSIG(status) == sig) ||
+               (WIFEXITED(status) && WEXITSTATUS(status) == 128 + sig);
+    }
+};
+
+RunResult
+runTestbed(const std::string &args)
+{
+    static int invocation = 0;
+    std::string tag = scratch(strprintf("io%d", invocation++));
+    std::string out_path = tag + ".out", err_path = tag + ".err";
+    std::string cmd = std::string(MEMCON_SERVICE_TESTBED) + " " + args +
+                      " > " + out_path + " 2> " + err_path;
+    RunResult r;
+    r.status = std::system(cmd.c_str());
+    r.out = slurp(out_path);
+    r.err = slurp(err_path);
+    std::remove(out_path.c_str());
+    std::remove(err_path.c_str());
+    return r;
+}
+
+std::string
+digestOf(const RunResult &r)
+{
+    std::size_t pos = r.out.find("DIGEST ");
+    EXPECT_NE(pos, std::string::npos)
+        << "no DIGEST line in testbed output:\n"
+        << r.out;
+    if (pos == std::string::npos)
+        return "";
+    return r.out.substr(pos + 7, 8);
+}
+
+std::size_t
+resumedOf(const RunResult &r)
+{
+    std::size_t pos = r.out.find("resumed=");
+    EXPECT_NE(pos, std::string::npos);
+    if (pos == std::string::npos)
+        return 0;
+    return static_cast<std::size_t>(
+        std::strtoul(r.out.c_str() + pos + 8, nullptr, 10));
+}
+
+void
+killResumeAt(unsigned threads)
+{
+    std::string snap = scratch(strprintf("t%u.snap", threads));
+
+    // Uninterrupted reference digest (single-threaded on purpose: the
+    // §9 contract says thread count cannot matter, and the resumed
+    // multi-threaded digest below is held to it).
+    RunResult ref =
+        runTestbed("--tenants 4 --threads 1 --seed 23 --rounds 16");
+    ASSERT_TRUE(ref.exitedWith(0)) << ref.err;
+
+    // Die by SIGKILL the instant the round-8 snapshot is durable.
+    RunResult killed = runTestbed(
+        strprintf("--tenants 4 --threads %u --seed 23 --rounds 16 "
+                  "--snapshot-every 4 --snapshot %s --kill-at 8",
+                  threads, snap.c_str()));
+    ASSERT_TRUE(killed.killedBy(SIGKILL)) << "status=" << killed.status;
+
+    // The snapshot the kill left behind decodes cleanly...
+    ServiceSnapshot on_disk = loadServiceSnapshot(snap);
+    EXPECT_EQ(on_disk.roundsDone, 8u);
+    EXPECT_EQ(on_disk.tenants.size(), 4u);
+
+    // ...and the resumed service replays it and lands on the
+    // uninterrupted digest bit for bit.
+    RunResult resumed = runTestbed(
+        strprintf("--tenants 4 --threads %u --seed 23 --rounds 16 "
+                  "--snapshot-every 4 --snapshot %s --resume",
+                  threads, snap.c_str()));
+    EXPECT_TRUE(resumed.exitedWith(0)) << resumed.err;
+    EXPECT_EQ(resumedOf(resumed), 8u);
+    EXPECT_EQ(digestOf(resumed), digestOf(ref));
+    std::remove(snap.c_str());
+}
+
+} // namespace
+
+TEST(MemcondKillResume, SingleThreadDigestSurvivesSigkill)
+{
+    killResumeAt(1);
+}
+
+TEST(MemcondKillResume, EightThreadsDigestSurvivesSigkill)
+{
+    killResumeAt(8);
+}
+
+TEST(MemcondKillResume, TamperedSnapshotIsRefusedOnResume)
+{
+    std::string snap = scratch("tamper.snap");
+    RunResult killed = runTestbed(
+        strprintf("--tenants 4 --threads 2 --seed 23 --rounds 16 "
+                  "--snapshot-every 4 --snapshot %s --kill-at 8",
+                  snap.c_str()));
+    ASSERT_TRUE(killed.killedBy(SIGKILL));
+
+    // Flip one byte mid-file: the resume must fail with the typed
+    // error surfaced on stderr, not limp on from damaged state.
+    std::string content = slurp(snap);
+    ASSERT_GT(content.size(), 100u);
+    content[content.size() / 2] ^= 0x01;
+    {
+        std::ofstream out(snap, std::ios::binary | std::ios::trunc);
+        out << content;
+    }
+    RunResult resumed = runTestbed(
+        strprintf("--tenants 4 --threads 2 --seed 23 --rounds 16 "
+                  "--snapshot-every 4 --snapshot %s --resume",
+                  snap.c_str()));
+    EXPECT_TRUE(resumed.exitedWith(1)) << "status=" << resumed.status;
+    EXPECT_NE(resumed.err.find("snapshot"), std::string::npos)
+        << resumed.err;
+    std::remove(snap.c_str());
+}

@@ -472,6 +472,17 @@ TEST(SweepRunnerWatchdog, TokenThrowIsTaskCancelled)
 // Subprocess: watchdog policy end to end via the campaign testbed.
 // ---------------------------------------------------------------------
 
+TEST(SweepRunnerWatchdog, ExitCodeIsTheSharedNamedConstant)
+{
+    // Every layer that surfaces a watchdog failure (the campaign
+    // runner, the service daemon) names kWatchdogExitCode from
+    // common/supervisor.hh instead of re-hardcoding 76; the runner's
+    // alias must stay bound to it.
+    EXPECT_EQ(kWatchdogExitCode, 76);
+    EXPECT_EQ(kExitWatchdog, kWatchdogExitCode);
+    EXPECT_STREQ(kWatchdogExitCodeName, "kWatchdogExitCode");
+}
+
 TEST(SweepRunnerWatchdog, HungTaskExhaustsRetriesAndExits76)
 {
     RunResult r = runTestbed("--quick --threads 4 --seed 11 --no-json "
@@ -483,6 +494,9 @@ TEST(SweepRunnerWatchdog, HungTaskExhaustsRetriesAndExits76)
     EXPECT_NE(r.err.find("watchdog"), std::string::npos) << r.err;
     EXPECT_NE(r.err.find("task 3"), std::string::npos) << r.err;
     EXPECT_NE(r.err.find("2 attempts"), std::string::npos) << r.err;
+    // The exit code is reported symbolically, by its constant's name.
+    EXPECT_NE(r.err.find(kWatchdogExitCodeName), std::string::npos)
+        << r.err;
 }
 
 TEST(SweepRunnerWatchdog, RequeueAfterTransientHangSucceeds)
