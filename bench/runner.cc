@@ -54,6 +54,10 @@ usage(const char *argv0, int exit_code)
         "                        abandoned and requeued\n"
         "  --task-retries N      requeues granted per abandoned task\n"
         "                        (default 2) before the campaign fails\n"
+        "  --address-map NAME    dram::AddressMap preset for benches\n"
+        "                        that shard by bank (e.g. identity,\n"
+        "                        paper-ddr3-8bank, zen-ddr4-64bank);\n"
+        "                        empty keeps the bench's default\n"
         "  --validate PATH       check a BENCH_*.json or checkpoint for\n"
         "                        torn/corrupt content and exit\n"
         "  --help                this text\n"
@@ -215,6 +219,8 @@ parseSweepArgs(int argc, char **argv)
                 std::strtod(requireValue(argc, argv, i), nullptr);
             fatal_if(opts.taskTimeoutMs <= 0.0,
                      "--task-timeout-ms must be > 0");
+        } else if (std::strcmp(arg, "--address-map") == 0) {
+            opts.addressMap = requireValue(argc, argv, i);
         } else if (std::strcmp(arg, "--task-retries") == 0) {
             opts.taskRetries = static_cast<unsigned>(
                 std::strtoul(requireValue(argc, argv, i), nullptr, 10));

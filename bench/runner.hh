@@ -113,6 +113,15 @@ struct SweepOptions
     unsigned taskRetries = 2;
 
     /**
+     * dram::AddressMap preset name for benches that shard the engine
+     * by bank (--address-map); empty keeps the bench's own default.
+     * A plain string here - the runner stays dram-agnostic; benches
+     * resolve it via dram::AddressMap::preset() (fatal on a typo,
+     * with the known names in the message).
+     */
+    std::string addressMap;
+
+    /**
      * Test hook: called (under the checkpoint lock) after each
      * checkpoint record lands on disk, with the record count so far.
      * The kill-resume tests use it to die at a deterministic point.

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <thread>
 
 #include "common/bitvector.hh"
 #include "common/deadline_wheel.hh"
 #include "common/kway_merge.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "core/pril.hh"
 
 namespace memcon::core
@@ -19,7 +22,8 @@ namespace
  * Concurrent-test budget per quantum, rounded to nearest. The old
  * truncating cast silently yielded a zero budget for sub-64 ms quanta
  * with small slot counts - every test skipped, no diagnostic; the
- * constructor now rejects configurations that round to zero.
+ * constructor now rejects configurations that round to zero. The
+ * budget is a per-bank resource: every shard gets the full amount.
  */
 std::uint64_t
 testsPerQuantum(const MemconConfig &cfg)
@@ -28,12 +32,133 @@ testsPerQuantum(const MemconConfig &cfg)
         cfg.testSlotsPer64ms * (cfg.quantumMs.value() / 64.0)));
 }
 
+/**
+ * The PRIL write buffer can never hold more entries than the shard
+ * has pages (writeMap gates insertion to one entry per page), so
+ * sizing it past the population is pure dead storage - a 1-page bank
+ * beside a 1M-page bank must not carry a 4000-entry buffer each.
+ */
+std::size_t
+clampedBufferCapacity(const MemconConfig &cfg, std::size_t population)
+{
+    return std::min(cfg.writeBufferCapacity, population);
+}
+
+/**
+ * Everything one shard's run produces, before reduction. Integer
+ * counters sum in shard-index order; the per-page floats (indexed by
+ * local page, which is ascending-global within the shard) reduce in
+ * global page order in finalize() - FP addition is not associative,
+ * and fixing one summation order for every sharding is what makes
+ * flat and sharded runs bit-identical (DESIGN.md §17).
+ */
+struct ShardOutcome
+{
+    std::uint64_t writes = 0;
+    std::uint64_t testsRun = 0;
+    std::uint64_t testsPassed = 0;
+    std::uint64_t testsFailed = 0;
+    std::uint64_t testsSkippedBudget = 0;
+    std::uint64_t testsCorrect = 0;
+    std::uint64_t testsMispredicted = 0;
+    std::uint64_t bufferDrops = 0;
+    std::uint64_t silentWritesSkipped = 0;
+    std::uint64_t scrubTests = 0;
+    std::uint64_t scrubDemotions = 0;
+    std::uint64_t heapPushes = 0;
+    std::uint64_t wheelPops = 0;
+    std::uint64_t testsDeferredBudget = 0;
+    std::uint64_t peakLiveStreams = 0;
+    std::size_t trackerStorageBytes = 0;
+
+    /** Closing per-page state, local (ascending-global) order. */
+    std::vector<double> hiMs;
+    std::vector<double> loMs;
+    std::vector<std::uint64_t> writeCount;
+    std::vector<std::uint8_t> atLo;
+};
+
+/**
+ * Reduce shard outcomes into the public result. Counters sum in
+ * shard-index order; per-page floats reduce in global page order via
+ * one cursor per shard (local indices are ascending-global, so a
+ * global walk visits each shard's pages in local order). Derived
+ * times come from the reduced totals, never from per-shard partials.
+ */
+MemconResult
+finalize(const MemconConfig &cfg, std::vector<ShardOutcome> outs,
+         std::uint64_t num_pages, double duration_ms)
+{
+    CostModelConfig cm_cfg;
+    cm_cfg.timings = cfg.timings;
+    cm_cfg.hiRefMs = cfg.hiRefMs;
+    cm_cfg.loRefMs = cfg.loRefMs;
+    CostModel cost(cm_cfg);
+
+    MemconResult res;
+    res.durationMs = duration_ms;
+    res.pages = num_pages;
+    res.shards.reserve(outs.size());
+    for (const ShardOutcome &o : outs) {
+        res.writes += o.writes;
+        res.testsRun += o.testsRun;
+        res.testsPassed += o.testsPassed;
+        res.testsFailed += o.testsFailed;
+        res.testsSkippedBudget += o.testsSkippedBudget;
+        res.testsCorrect += o.testsCorrect;
+        res.testsMispredicted += o.testsMispredicted;
+        res.bufferDrops += o.bufferDrops;
+        res.silentWritesSkipped += o.silentWritesSkipped;
+        res.scrubTests += o.scrubTests;
+        res.scrubDemotions += o.scrubDemotions;
+        res.heapPushes += o.heapPushes;
+        res.wheelPops += o.wheelPops;
+        res.testsDeferredBudget += o.testsDeferredBudget;
+        res.peakLiveStreams =
+            std::max(res.peakLiveStreams, o.peakLiveStreams);
+        res.trackerStorageBytes += o.trackerStorageBytes;
+        res.shards.push_back({o.hiMs.size(), o.writes, o.testsRun,
+                              o.bufferDrops, o.trackerStorageBytes});
+    }
+
+    const dram::AddressMap &map = cfg.addressMap;
+    std::vector<std::size_t> cursor(outs.size(), 0);
+    if (cfg.capturePageEndState)
+        res.pageEnd.reserve(num_pages);
+    for (std::uint64_t p = 0; p < num_pages; ++p) {
+        const std::uint64_t s = outs.size() == 1 ? 0 : map.shardOf(p);
+        const std::size_t i = cursor[s]++;
+        const double hi = outs[s].hiMs[i];
+        const double lo = outs[s].loMs[i];
+        res.hiTimeMs += hi;
+        res.loTimeMs += lo;
+        res.refreshOpsMemcon += hi / cfg.hiRefMs + lo / cfg.loRefMs;
+        if (cfg.capturePageEndState)
+            res.pageEnd.push_back(
+                {outs[s].writeCount[i], outs[s].atLo[i] != 0, hi, lo});
+    }
+
+    // Counts are exact integers however the run was sharded, so one
+    // multiplication gives every sharding the same testing time.
+    res.testTimeNs =
+        static_cast<double>(res.testsRun + res.scrubTests) *
+        cost.testCostNs(cfg.mode);
+    res.refreshOpsBaseline =
+        static_cast<double>(num_pages) * duration_ms / cfg.hiRefMs;
+    res.refreshTimeBaselineNs =
+        res.refreshOpsBaseline * cost.refreshOpNs();
+    res.refreshTimeMemconNs = res.refreshOpsMemcon * cost.refreshOpNs();
+    return res;
+}
+
 // --------------------------------------------------------------------
 // Reference event path (the seed implementation): materialize every
 // write event, stable_sort, and scan all pages per quantum for the
 // re-scrub. Kept behind MemconConfig::referenceEventPath so the
 // equivalence suite can prove the streaming path reproduces it
 // bit-for-bit, and so micro_engine_ops can price the difference.
+// Flat-only: it models the single-bank engine, so it requires the
+// identity address map.
 // --------------------------------------------------------------------
 
 struct Event
@@ -59,9 +184,9 @@ runReference(const MemconConfig &cfg,
              const MemconEngine::TransitionObserver &observer,
              const MemconEngine::TimedFailureOracle &timed_oracle)
 {
-    MemconResult res;
-    res.durationMs = duration_ms;
-    res.pages = page_writes.size();
+    ShardOutcome out;
+    out.hiMs.assign(page_writes.size(), 0.0);
+    out.loMs.assign(page_writes.size(), 0.0);
 
     // Merge all write events into one ordered stream.
     std::vector<Event> events;
@@ -76,7 +201,7 @@ runReference(const MemconConfig &cfg,
                      [](const Event &a, const Event &b) {
                          return a.time < b.time;
                      });
-    res.writes = events.size();
+    out.writes = events.size();
 
     CostModelConfig cm_cfg;
     cm_cfg.timings = cfg.timings;
@@ -85,26 +210,23 @@ runReference(const MemconConfig &cfg,
     CostModel cost(cm_cfg);
     const double min_write_interval =
         cost.minWriteIntervalMs(cfg.mode).value();
-    const double test_cost_ns = cost.testCostNs(cfg.mode);
-    const double refresh_op_ns = cost.refreshOpNs();
 
     const std::uint64_t tests_per_quantum = testsPerQuantum(cfg);
 
-    PrilPredictor pril(page_writes.size(), cfg.writeBufferCapacity);
+    PrilPredictor pril(page_writes.size(),
+                       clampedBufferCapacity(cfg, page_writes.size()));
     std::vector<PageState> state(page_writes.size());
 
-    auto accrue = [&](PageState &ps, double until) {
+    auto accrue = [&](std::uint64_t p, double until) {
+        PageState &ps = state[p];
         double span = until - ps.stateSince;
         panic_if(span < -1e-9, "time went backwards");
         if (span <= 0.0)
             return;
-        if (ps.atLoRef) {
-            res.loTimeMs += span;
-            res.refreshOpsMemcon += span / cfg.loRefMs;
-        } else {
-            res.hiTimeMs += span;
-            res.refreshOpsMemcon += span / cfg.hiRefMs;
-        }
+        if (ps.atLoRef)
+            out.loMs[p] += span;
+        else
+            out.hiMs[p] += span;
         ps.stateSince = until;
     };
 
@@ -112,9 +234,9 @@ runReference(const MemconConfig &cfg,
         if (ps.lastTestAt < 0.0)
             return;
         if (now - ps.lastTestAt >= min_write_interval)
-            ++res.testsCorrect;
+            ++out.testsCorrect;
         else
-            ++res.testsMispredicted;
+            ++out.testsMispredicted;
         ps.lastTestAt = -1.0;
     };
 
@@ -138,19 +260,18 @@ runReference(const MemconConfig &cfg,
     auto run_test = [&](std::uint64_t page, double tq) {
         PageState &ps = state[page];
         panic_if(ps.atLoRef, "tested page already at LO-REF");
-        ++res.testsRun;
-        res.testTimeNs += test_cost_ns;
+        ++out.testsRun;
         ps.lastTestAt = tq;
 
         bool fails = test_fails(page, ps.writeCount, tq);
         if (fails) {
-            ++res.testsFailed;
+            ++out.testsFailed;
             // Data-dependent failure with this content: the row must
             // keep the aggressive rate.
             return;
         }
-        ++res.testsPassed;
-        accrue(ps, tq);
+        ++out.testsPassed;
+        accrue(page, tq);
         ps.atLoRef = true;
         ps.lastVerified = tq;
         if (observer)
@@ -162,7 +283,7 @@ runReference(const MemconConfig &cfg,
         std::uint64_t budget = tests_per_quantum;
         for (PageId page : candidates) {
             if (budget == 0) {
-                ++res.testsSkippedBudget;
+                ++out.testsSkippedBudget;
                 continue;
             }
             --budget;
@@ -184,23 +305,32 @@ runReference(const MemconConfig &cfg,
             --budget;
             run_test(page, tq);
         }
+        if (budget == 0)
+            for (std::uint64_t i = ro_next; i < ro_queue.size(); ++i)
+                if (state[ro_queue[i]].writeCount == 0 &&
+                    !state[ro_queue[i]].atLoRef)
+                    ++out.testsDeferredBudget;
 
         // Idle-row re-scrub: revalidate LO-REF rows whose verdict has
         // aged past the scrub period (VRT protection). Demotions here
         // are the mechanism catching cells that drifted leaky.
         if (cfg.scrubPeriodMs > 0.0) {
-            for (std::uint64_t p = 0;
-                 p < state.size() && budget > 0; ++p) {
+            for (std::uint64_t p = 0; p < state.size(); ++p) {
                 PageState &ps = state[p];
                 if (!ps.atLoRef ||
                     tq - ps.lastVerified < cfg.scrubPeriodMs)
                     continue;
+                if (budget == 0) {
+                    // Deferred, not lost: the row stays due and the
+                    // next quantum retries it.
+                    ++out.testsDeferredBudget;
+                    continue;
+                }
                 --budget;
-                ++res.scrubTests;
-                res.testTimeNs += test_cost_ns;
+                ++out.scrubTests;
                 if (test_fails(p, ps.writeCount, tq)) {
-                    ++res.scrubDemotions;
-                    accrue(ps, tq);
+                    ++out.scrubDemotions;
+                    accrue(p, tq);
                     ps.atLoRef = false;
                     if (observer)
                         observer(p, tq, false, ps.writeCount);
@@ -237,13 +367,13 @@ runReference(const MemconConfig &cfg,
                            11) *
                        0x1.0p-53;
             if (u < cfg.silentWriteFraction) {
-                ++res.silentWritesSkipped;
+                ++out.silentWritesSkipped;
                 continue;
             }
         }
 
         classify(ps, ev.time);
-        accrue(ps, ev.time);
+        accrue(ev.page, ev.time);
         if (ps.atLoRef) {
             // Content changes: protect until retested.
             ps.atLoRef = false;
@@ -257,21 +387,26 @@ runReference(const MemconConfig &cfg,
     // Close out every page at the horizon. Tests with no later write
     // inside the trace are censored, not mispredicted: the predicted
     // idleness did hold for as long as we could observe.
-    for (PageState &ps : state) {
+    out.writeCount.resize(state.size());
+    out.atLo.resize(state.size());
+    for (std::uint64_t p = 0; p < state.size(); ++p) {
+        PageState &ps = state[p];
         if (ps.lastTestAt >= 0.0) {
-            ++res.testsCorrect;
+            ++out.testsCorrect;
             ps.lastTestAt = -1.0;
         }
-        accrue(ps, duration_ms);
+        accrue(p, duration_ms);
+        out.writeCount[p] = ps.writeCount;
+        out.atLo[p] = ps.atLoRef ? 1 : 0;
     }
 
-    res.refreshOpsBaseline =
-        static_cast<double>(res.pages) * duration_ms / cfg.hiRefMs;
-    res.refreshTimeBaselineNs = res.refreshOpsBaseline * refresh_op_ns;
-    res.refreshTimeMemconNs = res.refreshOpsMemcon * refresh_op_ns;
-    res.bufferDrops = pril.bufferDrops();
-    res.trackerStorageBytes = pril.storageBytes();
-    return res;
+    out.bufferDrops = pril.bufferDrops();
+    out.trackerStorageBytes = pril.storageBytes();
+
+    std::vector<ShardOutcome> outs;
+    outs.push_back(std::move(out));
+    return finalize(cfg, std::move(outs), page_writes.size(),
+                    duration_ms);
 }
 
 // --------------------------------------------------------------------
@@ -281,6 +416,13 @@ runReference(const MemconConfig &cfg,
 // re-scrub / read-only bookkeeping runs off deadline wheels instead
 // of full page scans. Metric-bit-identical to the reference path
 // (DESIGN.md §11 documents the ordering contracts that make it so).
+//
+// The unit of execution is one shard (bank): the function below runs
+// one shard's population - its own PRIL, SoA state, and wheels - over
+// *local* page indices, with `global_ids` translating back to global
+// page numbers wherever identity matters (oracles, the silent-write
+// hash, observers). The flat engine is the single-shard special case
+// (global_ids == nullptr, local == global).
 // --------------------------------------------------------------------
 
 /**
@@ -345,16 +487,22 @@ struct VectorStream
 };
 
 template <typename Stream>
-MemconResult
-runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
-             double duration_ms,
-             const MemconEngine::FailureOracle &oracle,
-             const MemconEngine::TransitionObserver &observer,
-             const MemconEngine::TimedFailureOracle &timed_oracle)
+ShardOutcome
+runStreamingShard(const MemconConfig &cfg, std::vector<Stream> streams,
+                  double duration_ms,
+                  const MemconEngine::FailureOracle &oracle,
+                  const MemconEngine::TransitionObserver &observer,
+                  const MemconEngine::TimedFailureOracle &timed_oracle,
+                  const std::uint32_t *global_ids)
 {
-    MemconResult res;
-    res.durationMs = duration_ms;
-    res.pages = streams.size();
+    ShardOutcome out;
+    const std::size_t num_local = streams.size();
+    out.hiMs.assign(num_local, 0.0);
+    out.loMs.assign(num_local, 0.0);
+
+    auto gid = [global_ids](std::uint32_t local) -> std::uint64_t {
+        return global_ids ? global_ids[local] : local;
+    };
 
     CostModelConfig cm_cfg;
     cm_cfg.timings = cfg.timings;
@@ -363,13 +511,11 @@ runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
     CostModel cost(cm_cfg);
     const double min_write_interval =
         cost.minWriteIntervalMs(cfg.mode).value();
-    const double test_cost_ns = cost.testCostNs(cfg.mode);
-    const double refresh_op_ns = cost.refreshOpNs();
 
     const std::uint64_t tests_per_quantum = testsPerQuantum(cfg);
 
-    PrilPredictor pril(res.pages, cfg.writeBufferCapacity);
-    PageSoA st(streams.size());
+    PrilPredictor pril(num_local, clampedBufferCapacity(cfg, num_local));
+    PageSoA st(num_local);
     // The merge windows on the quantum: the consumer drains events
     // quantum by quantum anyway, so staging memory is one quantum's
     // events.
@@ -405,13 +551,10 @@ runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
         panic_if(span < -1e-9, "time went backwards");
         if (span <= 0.0)
             return;
-        if (st.atLoRef.test(p)) {
-            res.loTimeMs += span;
-            res.refreshOpsMemcon += span / cfg.loRefMs;
-        } else {
-            res.hiTimeMs += span;
-            res.refreshOpsMemcon += span / cfg.hiRefMs;
-        }
+        if (st.atLoRef.test(p))
+            out.loMs[p] += span;
+        else
+            out.hiMs[p] += span;
         st.stateSince[p] = until;
     };
 
@@ -419,41 +562,40 @@ runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
         if (st.lastTestAt[p] < 0.0)
             return;
         if (now - st.lastTestAt[p] >= min_write_interval)
-            ++res.testsCorrect;
+            ++out.testsCorrect;
         else
-            ++res.testsMispredicted;
+            ++out.testsMispredicted;
         st.lastTestAt[p] = -1.0;
     };
 
-    auto test_fails = [&](std::uint64_t page, std::uint64_t wc,
+    auto test_fails = [&](std::uint32_t local, std::uint64_t wc,
                           double when) {
         if (timed_oracle)
-            return timed_oracle(page, wc, when);
-        return oracle ? oracle(page, wc) : false;
+            return timed_oracle(gid(local), wc, when);
+        return oracle ? oracle(gid(local), wc) : false;
     };
 
     auto run_test = [&](std::uint32_t page, double tq,
                         std::int64_t epoch) {
         panic_if(st.atLoRef.test(page), "tested page already at LO-REF");
-        ++res.testsRun;
-        res.testTimeNs += test_cost_ns;
+        ++out.testsRun;
         st.lastTestAt[page] = tq;
 
         bool fails = test_fails(page, st.writeCount[page], tq);
         if (fails) {
-            ++res.testsFailed;
+            ++out.testsFailed;
             // Data-dependent failure with this content: the row must
             // keep the aggressive rate.
             return;
         }
-        ++res.testsPassed;
+        ++out.testsPassed;
         accrue(page, tq);
         st.atLoRef.set(page);
         st.lastVerified[page] = tq;
         if (scrub_epochs > 0)
             scrub_wheel.push(epoch + scrub_epochs, {page, tq});
         if (observer)
-            observer(page, tq, true, st.writeCount[page]);
+            observer(gid(page), tq, true, st.writeCount[page]);
     };
 
     auto process_quantum_end = [&](double tq, std::int64_t epoch) {
@@ -461,7 +603,7 @@ runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
         std::uint64_t budget = tests_per_quantum;
         for (PageId page : candidates) {
             if (budget == 0) {
-                ++res.testsSkippedBudget;
+                ++out.testsSkippedBudget;
                 continue;
             }
             --budget;
@@ -477,7 +619,7 @@ runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
                     ro_wheel.push(epoch, p);
         }
         if (!ro_wheel.empty())
-            res.wheelPops += ro_wheel.popDue(epoch, ro_pending);
+            out.wheelPops += ro_wheel.popDue(epoch, ro_pending);
         while (budget > 0 && ro_next < ro_pending.size()) {
             std::uint32_t page = ro_pending[ro_next++];
             // A page written since enqueueing is no longer read-only;
@@ -487,13 +629,20 @@ runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
             --budget;
             run_test(page, tq, epoch);
         }
+        if (budget == 0)
+            for (std::size_t j = ro_next; j < ro_pending.size(); ++j)
+                if (st.writeCount[ro_pending[j]] == 0 &&
+                    !st.atLoRef.test(ro_pending[j]))
+                    ++out.testsDeferredBudget;
 
         // Idle-row re-scrub: revalidate LO-REF rows whose verdict has
         // aged past the scrub period (VRT protection). Demotions here
-        // are the mechanism catching cells that drifted leaky.
-        if (scrub_epochs > 0 && budget > 0 && !scrub_wheel.empty()) {
+        // are the mechanism catching cells that drifted leaky. Runs
+        // even with zero budget left so a starved quantum is counted
+        // as deferral instead of silently parking the due batch.
+        if (scrub_epochs > 0 && !scrub_wheel.empty()) {
             scrub_due.clear();
-            res.wheelPops += scrub_wheel.popDue(epoch, scrub_due);
+            out.wheelPops += scrub_wheel.popDue(epoch, scrub_due);
             std::size_t n = 0;
             for (const ScrubEntry &e : scrub_due) {
                 if (!st.atLoRef.test(e.page) ||
@@ -518,21 +667,22 @@ runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
             for (; i < scrub_due.size() && budget > 0; ++i) {
                 std::uint32_t p = scrub_due[i].page;
                 --budget;
-                ++res.scrubTests;
-                res.testTimeNs += test_cost_ns;
+                ++out.scrubTests;
                 if (test_fails(p, st.writeCount[p], tq)) {
-                    ++res.scrubDemotions;
+                    ++out.scrubDemotions;
                     accrue(p, tq);
                     st.atLoRef.clear(p);
                     if (observer)
-                        observer(p, tq, false, st.writeCount[p]);
+                        observer(gid(p), tq, false, st.writeCount[p]);
                 } else {
                     st.lastVerified[p] = tq;
                     scrub_wheel.push(epoch + scrub_epochs, {p, tq});
                 }
             }
-            for (; i < scrub_due.size(); ++i)
+            for (; i < scrub_due.size(); ++i) {
+                ++out.testsDeferredBudget;
                 scrub_wheel.push(epoch + 1, scrub_due[i]); // starved
+            }
         }
     };
 
@@ -553,20 +703,21 @@ runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
             break;
 
         const auto ev = merge.pop();
-        ++res.writes;
+        ++out.writes;
         const std::uint32_t page = ev.source;
 
         // Silent-write detection (footnote 9): a write that stores
         // the existing value leaves the content - and the validity
-        // of any prior test - intact.
+        // of any prior test - intact. Hashed on the *global* page id
+        // so a page's silent-write sequence is sharding-invariant.
         if (cfg.detectSilentWrites && cfg.silentWriteFraction > 0.0) {
             double u = static_cast<double>(
-                           hashMix64(page * 0x9e3779b97f4a7c15ULL +
+                           hashMix64(gid(page) * 0x9e3779b97f4a7c15ULL +
                                      st.writeCount[page]) >>
                            11) *
                        0x1.0p-53;
             if (u < cfg.silentWriteFraction) {
-                ++res.silentWritesSkipped;
+                ++out.silentWritesSkipped;
                 continue;
             }
         }
@@ -577,7 +728,8 @@ runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
             // Content changes: protect until retested.
             st.atLoRef.clear(page);
             if (observer)
-                observer(page, ev.time, false, st.writeCount[page] + 1);
+                observer(gid(page), ev.time, false,
+                         st.writeCount[page] + 1);
         }
         ++st.writeCount[page];
         pril.onWrite(PageId{page});
@@ -586,23 +738,100 @@ runStreaming(const MemconConfig &cfg, std::vector<Stream> streams,
     // Close out every page at the horizon. Tests with no later write
     // inside the trace are censored, not mispredicted: the predicted
     // idleness did hold for as long as we could observe.
+    out.writeCount.resize(num_local);
+    out.atLo.resize(num_local);
     for (std::size_t p = 0; p < st.size(); ++p) {
         if (st.lastTestAt[p] >= 0.0) {
-            ++res.testsCorrect;
+            ++out.testsCorrect;
             st.lastTestAt[p] = -1.0;
         }
         accrue(p, duration_ms);
+        out.writeCount[p] = st.writeCount[p];
+        out.atLo[p] = st.atLoRef.test(p) ? 1 : 0;
     }
 
-    res.refreshOpsBaseline =
-        static_cast<double>(res.pages) * duration_ms / cfg.hiRefMs;
-    res.refreshTimeBaselineNs = res.refreshOpsBaseline * refresh_op_ns;
-    res.refreshTimeMemconNs = res.refreshOpsMemcon * refresh_op_ns;
-    res.bufferDrops = pril.bufferDrops();
-    res.trackerStorageBytes = pril.storageBytes();
-    res.heapPushes = merge.heapPushes();
-    res.peakLiveStreams = merge.peakLiveSources();
-    return res;
+    out.bufferDrops = pril.bufferDrops();
+    out.trackerStorageBytes = pril.storageBytes();
+    out.heapPushes = merge.heapPushes();
+    out.peakLiveStreams = merge.peakLiveSources();
+    return out;
+}
+
+/**
+ * Partition the population across the address map's shards and run
+ * them - inline when shardThreads <= 1, else on a thread pool. Local
+ * page indices are assigned in ascending global order (the partition
+ * walk below), which is what lets PRIL's sorted candidate lists and
+ * finalize()'s cursor reduction reproduce the flat engine's orders.
+ * `make_stream(global_page)` builds one page's write stream; it runs
+ * on worker threads, so it must be pure.
+ */
+template <typename MakeStream>
+MemconResult
+runShardedStreaming(const MemconConfig &cfg, std::uint64_t num_pages,
+                    double duration_ms, MakeStream &&make_stream,
+                    const MemconEngine::FailureOracle &oracle,
+                    const MemconEngine::TransitionObserver &observer,
+                    const MemconEngine::TimedFailureOracle &timed_oracle)
+{
+    using Stream = decltype(make_stream(std::uint64_t{0}));
+    const dram::AddressMap &map = cfg.addressMap;
+    const std::uint64_t num_shards = map.numShards();
+    std::vector<ShardOutcome> outs;
+
+    if (num_shards == 1) {
+        std::vector<Stream> streams;
+        streams.reserve(num_pages);
+        for (std::uint64_t p = 0; p < num_pages; ++p)
+            streams.push_back(make_stream(p));
+        outs.push_back(runStreamingShard(cfg, std::move(streams),
+                                         duration_ms, oracle, observer,
+                                         timed_oracle, nullptr));
+        return finalize(cfg, std::move(outs), num_pages, duration_ms);
+    }
+
+    // Transition observers see one global time-ordered sequence; the
+    // sharded run has no such sequence to offer (each bank replays
+    // its own timeline), so the combination is rejected rather than
+    // silently reordered.
+    fatal_if(static_cast<bool>(observer),
+             "transition observers require the identity address map");
+
+    std::vector<std::vector<std::uint32_t>> members(num_shards);
+    for (std::uint64_t p = 0; p < num_pages; ++p)
+        members[map.shardOf(p)].push_back(static_cast<std::uint32_t>(p));
+
+    outs.resize(num_shards);
+    auto run_shard = [&](std::uint64_t s) {
+        const std::vector<std::uint32_t> &gids = members[s];
+        if (gids.empty())
+            return; // a bank with no pages: the default empty outcome
+        std::vector<Stream> streams;
+        streams.reserve(gids.size());
+        for (std::uint32_t g : gids)
+            streams.push_back(make_stream(g));
+        outs[s] = runStreamingShard(cfg, std::move(streams), duration_ms,
+                                    oracle, {}, timed_oracle, gids.data());
+    };
+
+    const unsigned threads =
+        cfg.shardThreads == 0
+            ? std::max(1u, std::thread::hardware_concurrency())
+            : cfg.shardThreads;
+    if (threads <= 1) {
+        for (std::uint64_t s = 0; s < num_shards; ++s)
+            run_shard(s);
+    } else {
+        ThreadPool pool(threads);
+        std::vector<std::future<void>> done;
+        done.reserve(num_shards);
+        for (std::uint64_t s = 0; s < num_shards; ++s)
+            done.push_back(
+                pool.submit([&run_shard, s] { run_shard(s); }));
+        for (std::future<void> &f : done)
+            f.get();
+    }
+    return finalize(cfg, std::move(outs), num_pages, duration_ms);
 }
 
 } // namespace
@@ -620,6 +849,10 @@ MemconEngine::MemconEngine(const MemconConfig &config) : cfg(config)
     fatal_if(cfg.silentWriteFraction < 0.0 ||
                  cfg.silentWriteFraction > 1.0,
              "silent-write fraction must lie in [0, 1]");
+    fatal_if(cfg.referenceEventPath && cfg.addressMap.numShards() > 1,
+             "the reference event path models the flat engine; "
+             "it requires the identity address map (got '%s')",
+             cfg.addressMap.name().c_str());
 }
 
 MemconResult
@@ -648,12 +881,12 @@ MemconEngine::run(const std::vector<std::vector<TimeMs>> &page_writes,
         return runReference(cfg, page_writes, duration_ms, oracle,
                             observer, timed_oracle);
 
-    std::vector<VectorStream> streams;
-    streams.reserve(page_writes.size());
-    for (const std::vector<TimeMs> &w : page_writes)
-        streams.emplace_back(w);
-    return runStreaming(cfg, std::move(streams), duration_ms, oracle,
-                        observer, timed_oracle);
+    return runShardedStreaming(
+        cfg, page_writes.size(), duration_ms,
+        [&page_writes](std::uint64_t g) {
+            return VectorStream(page_writes[g]);
+        },
+        oracle, observer, timed_oracle);
 }
 
 MemconResult
@@ -676,13 +909,14 @@ MemconEngine::runOnApp(const trace::AppPersona &persona,
              "too many pages");
     // Generate each page's write process lazily inside the merge:
     // peak memory is one generator per page, never the materialized
-    // write vectors.
-    std::vector<trace::PageWriteStream> streams;
-    streams.reserve(persona.pages);
-    for (std::uint64_t p = 0; p < persona.pages; ++p)
-        streams.emplace_back(persona, p);
-    return runStreaming(cfg, std::move(streams), duration_ms, oracle,
-                        observer, {});
+    // write vectors. Each generator seeds from its global page id,
+    // so a page's write timeline is sharding-invariant.
+    return runShardedStreaming(
+        cfg, persona.pages, duration_ms,
+        [&persona](std::uint64_t g) {
+            return trace::PageWriteStream(persona, g);
+        },
+        oracle, observer, TimedFailureOracle{});
 }
 
 } // namespace memcon::core

@@ -29,6 +29,7 @@
 
 #include "common/units.hh"
 #include "core/cost_model.hh"
+#include "dram/address_map.hh"
 #include "trace/app_model.hh"
 
 namespace memcon::core
@@ -78,13 +79,66 @@ struct MemconConfig
      * pages per quantum for scrub) instead of the streaming k-way
      * merge + deadline wheel. Metrics are bit-identical either way;
      * the flag exists so tests/test_engine_equiv.cc can keep proving
-     * it, and so micro_engine_ops can price the difference.
+     * it, and so micro_engine_ops can price the difference. Requires
+     * the identity address map.
      */
     bool referenceEventPath = false;
+
+    /**
+     * How pages interleave across channel/rank/bank shards
+     * (DESIGN.md §17). The identity map (default) is the flat engine:
+     * one shard owning every page, bit-identical to the pre-sharding
+     * behavior. A multi-shard map partitions the population; each
+     * shard owns its own PRIL (write maps and buffers sized to the
+     * shard), SoA page state, and scrub wheel, and runs its quantum
+     * loop independently - the per-bank structures real controllers
+     * have. The test budget (testSlotsPer64ms) and the PRIL write
+     * buffer are per-bank resources, so each shard gets the full
+     * configured amount.
+     */
+    dram::AddressMap addressMap{};
+
+    /**
+     * Worker threads for the sharded path; 1 runs the shards
+     * serially, 0 means hardware concurrency. Results are reduced in
+     * (shard index, then global page) order, so every thread count
+     * produces bit-identical metrics. Failure oracles must be pure
+     * functions of their arguments when this exceeds 1 - they are
+     * called concurrently from shard workers.
+     */
+    unsigned shardThreads = 1;
+
+    /**
+     * Capture MemconResult::pageEnd, the per-page closing state. The
+     * shard-equivalence suite uses it to prove the sharded engine
+     * leaves every page exactly where the flat engine does.
+     */
+    bool capturePageEndState = false;
 };
 
 struct MemconResult
 {
+    /** Per-shard slice of the run, in shard-index order. */
+    struct ShardBreakdown
+    {
+        std::uint64_t pages = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t testsRun = 0;
+        std::uint64_t bufferDrops = 0;
+        std::size_t trackerStorageBytes = 0;
+    };
+
+    /** Closing state of one page (capturePageEndState only). */
+    struct PageEndState
+    {
+        std::uint64_t writeCount = 0;
+        bool atLoRef = false;
+        double hiTimeMs = 0.0;
+        double loTimeMs = 0.0;
+
+        bool operator==(const PageEndState &) const = default;
+    };
+
     double durationMs = 0.0;
     std::uint64_t pages = 0;
     std::uint64_t writes = 0;
@@ -125,6 +179,28 @@ struct MemconResult
     std::uint64_t heapPushes = 0;      //!< k-way merge heap inserts
     std::uint64_t wheelPops = 0;       //!< scrub/read-only wheel pops
     std::uint64_t peakLiveStreams = 0; //!< max concurrent merge sources
+
+    /**
+     * Work items (read-only sweep entries, due scrubs) pushed past
+     * their quantum because the test budget ran out. Unlike
+     * testsSkippedBudget the work is retried later, so nothing is
+     * lost - but a nonzero count means the per-quantum budget was a
+     * binding shared resource, and flat vs sharded runs are then free
+     * to diverge (each shard holds its own budget). Counted on both
+     * event paths; the exact value is instrumentation, outside the
+     * digest surface - only zero vs nonzero carries a contract.
+     */
+    std::uint64_t testsDeferredBudget = 0;
+
+    /**
+     * One entry per shard of the address map (a single entry under
+     * the identity map). Like the instrumentation counters above,
+     * outside the digest surface.
+     */
+    std::vector<ShardBreakdown> shards;
+
+    /** Per-page closing state; empty unless capturePageEndState. */
+    std::vector<PageEndState> pageEnd;
 
     /** Fractional reduction in refresh operations vs. the baseline. */
     double reduction() const

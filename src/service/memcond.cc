@@ -65,10 +65,16 @@ Memcond::fingerprint() const
     // label CRC; a snapshot from any differently-configured service
     // is rejected before any replay work happens.
     std::string labels;
-    for (const TenantSpec &t : specs)
-        labels += strprintf("tenant=%s prio=%u rate=%.17g quota=%llu\n",
+    for (const TenantSpec &t : specs) {
+        labels += strprintf("tenant=%s prio=%u rate=%.17g quota=%llu",
                             t.name.c_str(), t.priority, t.rateScale,
                             (unsigned long long)t.quotaPerRound);
+        // Bank placement reshapes the tenant's whole event stream, so
+        // it gates snapshot compatibility like any other spec field.
+        for (unsigned b : t.bankSet)
+            labels += strprintf(" bank=%u", b);
+        labels += "\n";
+    }
     const TenantRuntimeConfig &rt = cfg.tenant;
     labels += strprintf(
         "geom=%ux%ux%ux%llu ring=%zu patience=%llu fail=%.17g\n",
@@ -76,11 +82,13 @@ Memcond::fingerprint() const
         (unsigned long long)rt.geometry.rowsPerBank, rt.ringCapacity,
         (unsigned long long)rt.dropPatience.value(), rt.failRowPercent);
     labels += strprintf(
-        "mech q=%llu idle=%llu retarget=%llu slots=%zu words=%zu\n",
+        "mech q=%llu idle=%llu retarget=%llu slots=%zu words=%zu "
+        "map=%s\n",
         (unsigned long long)rt.memcon.quantum.value(),
         (unsigned long long)rt.memcon.testIdle.value(),
         (unsigned long long)rt.memcon.retargetPeriod.value(),
-        rt.memcon.testEngine.slots, rt.memcon.testEngine.wordsPerRow);
+        rt.memcon.testEngine.slots, rt.memcon.testEngine.wordsPerRow,
+        rt.memcon.addressMap.name().c_str());
     labels += strprintf(
         "admission budget=%llu maxq=%llu maxg=%llu\n",
         (unsigned long long)cfg.admission.globalBudgetPerRound,

@@ -28,6 +28,27 @@ trafficConfig(const TenantSpec &spec, const TenantRuntimeConfig &rc,
     t.rateScale = spec.rateScale;
     t.horizonMs = rc.horizonMs;
     t.seed = tenantSeed(rc.seed, tenant_index);
+    if (!spec.bankSet.empty()) {
+        // Confine the tenant to its declared banks: it owns its
+        // proportional share of the module's rows, and the stream
+        // emits the physical row each logical row lands on. The
+        // placement must tile exactly - a module whose rows do not
+        // divide evenly over the banks is a config error, not a
+        // truncation.
+        const std::uint64_t shards = rc.memcon.addressMap.numShards();
+        const std::uint64_t total = rc.geometry.totalRows();
+        fatal_if(total % shards != 0,
+                 "tenant '%s': %llu module rows do not tile over the "
+                 "%llu-bank map '%s'",
+                 spec.name.c_str(),
+                 static_cast<unsigned long long>(total),
+                 static_cast<unsigned long long>(shards),
+                 rc.memcon.addressMap.name().c_str());
+        t.rows = total / shards * spec.bankSet.size();
+        t.addressMap = rc.memcon.addressMap;
+        t.bankSet = spec.bankSet;
+        t.physicalRowLimit = total;
+    }
     return t;
 }
 

@@ -65,6 +65,17 @@ struct TenantSpec
 
     /** Declared event quota per service round. */
     std::uint64_t quotaPerRound = 8;
+
+    /**
+     * Bank placement within the tenant's module: when non-empty, the
+     * tenant's write traffic is confined to exactly these banks of
+     * the runtime config's `memcon.addressMap`, spread round-robin
+     * (see trace::TenantTrafficConfig). The tenant then owns
+     * totalRows * |bankSet| / numShards rows - its proportional share
+     * of the module. Empty keeps the whole-module default,
+     * bit-identical to a spec without placement.
+     */
+    std::vector<unsigned> bankSet;
 };
 
 /** Service-level knobs every session shares. */

@@ -43,6 +43,30 @@ TenantTrafficConfig::persona() const
 TenantWriteStream::TenantWriteStream(const TenantTrafficConfig &config)
     : cfg(config), personaState(config.persona())
 {
+    if (!cfg.bankSet.empty()) {
+        const std::uint64_t shards = cfg.addressMap.numShards();
+        const std::uint64_t banks = cfg.bankSet.size();
+        for (unsigned bank : cfg.bankSet)
+            fatal_if(bank >= shards,
+                     "tenant bank %u is outside the %llu-shard map '%s'",
+                     bank, static_cast<unsigned long long>(shards),
+                     cfg.addressMap.name().c_str());
+        rowMap.resize(cfg.rows);
+        for (std::uint64_t i = 0; i < cfg.rows; ++i) {
+            const std::uint64_t physical = cfg.addressMap.pageOf(
+                cfg.bankSet[i % banks], i / banks);
+            fatal_if(cfg.physicalRowLimit != 0 &&
+                         physical >= cfg.physicalRowLimit,
+                     "tenant row %llu maps to physical row %llu past "
+                     "the module's %llu rows",
+                     static_cast<unsigned long long>(i),
+                     static_cast<unsigned long long>(physical),
+                     static_cast<unsigned long long>(
+                         cfg.physicalRowLimit));
+            rowMap[i] = physical;
+        }
+    }
+
     std::vector<PageWriteStream> streams;
     streams.reserve(cfg.rows);
     for (std::uint64_t row = 0; row < cfg.rows; ++row)
@@ -64,7 +88,7 @@ TenantWriteStream::peek(Tick *at, std::uint64_t *row)
     // monotone input stays monotone under a monotone rounding map, so
     // consumers see non-decreasing ticks.
     *at = msToTicks(item.time / cfg.rateScale);
-    *row = item.source;
+    *row = rowMap.empty() ? item.source : rowMap[item.source];
     return true;
 }
 

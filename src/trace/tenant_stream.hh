@@ -24,9 +24,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/kway_merge.hh"
 #include "common/units.hh"
+#include "dram/address_map.hh"
 #include "trace/app_model.hh"
 
 namespace memcon::trace
@@ -36,6 +38,28 @@ struct TenantTrafficConfig
 {
     /** Rows in the tenant's module (one write process per row). */
     std::uint64_t rows = 128;
+
+    /**
+     * Bank placement (palloc-style tenant partitioning): when
+     * `bankSet` is non-empty, the tenant's logical rows are spread
+     * round-robin over exactly those banks of `addressMap` - logical
+     * row i lands on bank bankSet[i % B] at local row i / B, and the
+     * stream emits the *physical* flat row index addressMap encodes
+     * for that coordinate. An empty bankSet keeps logical == physical
+     * (the whole-module tenant), bit-identical to the pre-placement
+     * stream. The event *timing* never depends on placement: the
+     * write processes are seeded by logical row.
+     */
+    dram::AddressMap addressMap{};
+    std::vector<unsigned> bankSet;
+
+    /**
+     * Upper bound for the mapped physical rows (the module's
+     * totalRows); 0 skips the check. A placement that maps any
+     * logical row past this is a config error and fatals at
+     * construction instead of corrupting a neighbor's rows.
+     */
+    std::uint64_t physicalRowLimit = 0;
 
     /**
      * Time-compression factor: events arrive rateScale-times faster
@@ -64,7 +88,9 @@ class TenantWriteStream
 
     /**
      * The next event, without consuming it: its service-time Tick and
-     * flat row index. @return false once the horizon is exhausted.
+     * flat row index (physical - routed through the bank placement
+     * when one is configured). @return false once the horizon is
+     * exhausted.
      */
     bool peek(Tick *at, std::uint64_t *row);
 
@@ -89,6 +115,9 @@ class TenantWriteStream
     AppPersona personaState;
     std::unique_ptr<KWayMerge<PageWriteStream>> merge;
     std::uint64_t popped = 0;
+
+    /** Logical row -> physical flat row; empty when unplaced. */
+    std::vector<std::uint64_t> rowMap;
 };
 
 } // namespace memcon::trace

@@ -103,6 +103,40 @@ TEST(Golden, Fig14RefreshReductionWithinPaperBand)
     EXPECT_GE(sum / 3.0, 0.60);
 }
 
+TEST(Golden, Fig14ShardedEightBankReproducesFlatRunExactly)
+{
+    // The headline Figure 14 scenario, replayed through the paper's
+    // 8-bank module map: per-bank sharding is an implementation
+    // detail, so the reduction and the test overhead must come out
+    // bit-identical to the flat run - not merely within the band.
+    // The equality is only guaranteed while no shared resource binds
+    // in the flat run (independent per-page trajectories), so those
+    // preconditions are asserted rather than assumed.
+    const MemconResult flat = runPersona("ACBrotherHood", 1024.0);
+    ASSERT_EQ(flat.bufferDrops, 0u);
+    ASSERT_EQ(flat.testsSkippedBudget, 0u);
+    ASSERT_EQ(flat.testsDeferredBudget, 0u);
+
+    trace::AppPersona p = trace::AppPersona::byName("ACBrotherHood");
+    MemconConfig cfg;
+    cfg.quantumMs = TimeMs{1024.0};
+    cfg.addressMap = dram::AddressMap::paperDdr3_8bank();
+    cfg.shardThreads = 2;
+    const MemconResult sharded = MemconEngine(cfg).runOnApp(p);
+
+    ASSERT_EQ(sharded.shards.size(), 8u);
+    EXPECT_EQ(sharded.refreshOpsMemcon, flat.refreshOpsMemcon);
+    EXPECT_EQ(sharded.refreshOpsBaseline, flat.refreshOpsBaseline);
+    EXPECT_EQ(sharded.reduction(), flat.reduction());
+    EXPECT_EQ(sharded.hiTimeMs, flat.hiTimeMs);
+    EXPECT_EQ(sharded.loTimeMs, flat.loTimeMs);
+    EXPECT_EQ(sharded.testsRun, flat.testsRun);
+    EXPECT_EQ(sharded.testTimeNs, flat.testTimeNs);
+    EXPECT_EQ(sharded.testTimeOverBaselineRefresh(),
+              flat.testTimeOverBaselineRefresh());
+    EXPECT_EQ(sharded.writes, flat.writes);
+}
+
 TEST(Golden, Fig17LoRefCoverageNear95Percent)
 {
     double sum = 0.0;

@@ -143,6 +143,64 @@ TEST(OnlineMemcon, DemandWriteDemotesLoRow)
     EXPECT_FALSE(rig.memcon->isLoRef(RowId{7}));
 }
 
+TEST(OnlineMemcon, PerBankLoFractionsPartitionTheModule)
+{
+    // 2048 rows over the 8-bank map: 256 rows per bank, and the
+    // per-bank LO fractions must always reassemble the global one
+    // exactly (they are views of the same counters).
+    OnlineMemconConfig cfg = Rig::smallConfig();
+    cfg.addressMap = dram::AddressMap::paperDdr3_8bank();
+    Rig rig(cfg);
+    for (std::uint64_t r = 0; r < 8; ++r)
+        rig.writeRow(r);
+    rig.spin(250000);
+    ASSERT_GT(rig.memcon->loRefFraction(), 0.0);
+    double weighted = 0.0;
+    for (std::uint64_t s = 0; s < 8; ++s) {
+        const double f = rig.memcon->loRefFraction(s);
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+        weighted += f * 256.0;
+    }
+    EXPECT_DOUBLE_EQ(weighted / 2048.0, rig.memcon->loRefFraction());
+}
+
+TEST(OnlineMemcon, DemotionDebitsTheRowsOwnBank)
+{
+    // Row 13 sits in bank 5 of the 8-bank map (13 & 7): its
+    // promotion credits exactly that bank and its write-demotion
+    // debits it again. Every other row is condemned by the oracle, so
+    // the background read-only sweep cannot promote anything else and
+    // the per-bank counters are fully deterministic.
+    OnlineMemconConfig cfg = Rig::smallConfig();
+    cfg.addressMap = dram::AddressMap::paperDdr3_8bank();
+    auto oracle = [](RowId row) { return row != RowId{13}; };
+    Rig rig(cfg, oracle);
+    rig.writeRow(13);
+    rig.spin(250000);
+    ASSERT_TRUE(rig.memcon->isLoRef(RowId{13}));
+    for (std::uint64_t s = 0; s < 8; ++s)
+        EXPECT_DOUBLE_EQ(rig.memcon->loRefFraction(s),
+                         s == 5 ? 1.0 / 256.0 : 0.0)
+            << "bank " << s;
+
+    rig.writeRow(13);
+    rig.spin(100);
+    ASSERT_FALSE(rig.memcon->isLoRef(RowId{13}));
+    for (std::uint64_t s = 0; s < 8; ++s)
+        EXPECT_DOUBLE_EQ(rig.memcon->loRefFraction(s), 0.0)
+            << "bank " << s;
+}
+
+TEST(OnlineMemcon, IdentityMapHasOneWholeModuleBucket)
+{
+    Rig rig;
+    rig.writeRow(3);
+    rig.spin(250000);
+    EXPECT_DOUBLE_EQ(rig.memcon->loRefFraction(0),
+                     rig.memcon->loRefFraction());
+}
+
 TEST(OnlineMemcon, ControllerRefreshReductionTracksLoFraction)
 {
     Rig rig;

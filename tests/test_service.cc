@@ -27,6 +27,7 @@
 
 #include "common/checkpoint.hh"
 #include "common/logging.hh"
+#include "dram/address_map.hh"
 #include "service/memcond.hh"
 
 using namespace memcon;
@@ -425,6 +426,44 @@ TEST(MemcondService, AccountingIdentityAndLadderUnderOverload)
                                    svc.admissionController().throttleCount() +
                                    svc.admissionController().rejectCount();
     EXPECT_EQ(verdicts, 16u * 4u + 4u);
+}
+
+TEST(MemcondService, BankPlacedTenantsWriteOnlyTheirBanks)
+{
+    // Tenants declare bank sets over the module's 8-bank map: every
+    // event the service journal records for a placed tenant must land
+    // in a declared bank, the placement must be deterministic across
+    // thread counts, and the accounting identity still holds.
+    const dram::AddressMap map = dram::AddressMap::paperDdr3_8bank();
+    auto placedSpecs = [] {
+        std::vector<TenantSpec> specs = fourTenants();
+        specs[0].bankSet = {0, 1};
+        specs[3].bankSet = {6, 7}; // the antagonist, fenced off
+        return specs;
+    };
+    MemcondConfig cfg = smallConfig(7, 1);
+    cfg.tenant.memcon.addressMap = map;
+    Memcond svc(cfg, placedSpecs());
+    svc.run();
+    expectAccountingIdentity(svc);
+
+    ServiceSnapshot snap = svc.snapshotState();
+    std::uint64_t focus_events = 0;
+    for (const RoundRecord &r : snap.journal) {
+        for (const WriteEvent &e : r.applied[0]) {
+            EXPECT_LT(map.shardOf(e.row), 2u) << "row " << e.row;
+            ++focus_events;
+        }
+        for (const WriteEvent &e : r.applied[3])
+            EXPECT_GE(map.shardOf(e.row), 6u) << "row " << e.row;
+    }
+    EXPECT_GT(focus_events, 0u);
+
+    MemcondConfig cfg4 = smallConfig(7, 4);
+    cfg4.tenant.memcon.addressMap = map;
+    Memcond par(cfg4, placedSpecs());
+    par.run();
+    EXPECT_EQ(par.digest(), svc.digest());
 }
 
 TEST(MemcondService, InQuotaTenantIsIsolatedFromAntagonist)

@@ -13,9 +13,11 @@
 #include <set>
 #include <sstream>
 
+#include "dram/address_map.hh"
 #include "trace/analyzer.hh"
 #include "trace/app_model.hh"
 #include "trace/cpu_gen.hh"
+#include "trace/tenant_stream.hh"
 #include "trace/trace_io.hh"
 
 namespace memcon::trace
@@ -464,6 +466,123 @@ TEST(TraceErrors, RecoverableByLibraryCallers)
     std::istringstream good("wtrace v1 1 10\n0 5\n");
     WriteTrace t = readWriteTrace(good);
     EXPECT_EQ(t.totalWrites(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Tenant stream bank placement (DESIGN.md §17).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Drain a tenant stream into (tick, row) pairs. */
+std::vector<std::pair<Tick, std::uint64_t>>
+drain(TenantWriteStream &s)
+{
+    std::vector<std::pair<Tick, std::uint64_t>> events;
+    Tick at{};
+    std::uint64_t row = 0;
+    while (s.peek(&at, &row)) {
+        events.emplace_back(at, row);
+        s.pop();
+    }
+    return events;
+}
+
+TenantTrafficConfig
+placedConfig()
+{
+    TenantTrafficConfig cfg;
+    cfg.rows = 64;
+    cfg.horizonMs = 0.5;
+    cfg.seed = 11;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TenantStream, BankPlacementRoutesRowsThroughTheMap)
+{
+    // Two streams from the same seed: one logical, one placed on
+    // banks {2, 5} of the 8-bank map. Placement must change ONLY the
+    // row labels - same events, same ticks, and each logical row i
+    // relabels to pageOf(bankSet[i % 2], i / 2), which lands every
+    // event in an owned bank.
+    const dram::AddressMap map = dram::AddressMap::paperDdr3_8bank();
+    TenantTrafficConfig logical = placedConfig();
+    TenantTrafficConfig placed = placedConfig();
+    placed.addressMap = map;
+    placed.bankSet = {2, 5};
+    placed.physicalRowLimit = 512;
+
+    TenantWriteStream a(logical);
+    TenantWriteStream b(placed);
+    auto la = drain(a);
+    auto lb = drain(b);
+    ASSERT_FALSE(la.empty());
+    ASSERT_EQ(la.size(), lb.size());
+    for (std::size_t i = 0; i < la.size(); ++i) {
+        EXPECT_EQ(la[i].first, lb[i].first) << "event " << i;
+        const std::uint64_t logical_row = la[i].second;
+        const std::uint64_t physical = lb[i].second;
+        EXPECT_EQ(physical,
+                  map.pageOf(logical_row % 2 == 0 ? 2 : 5,
+                             logical_row / 2))
+            << "event " << i;
+        const std::uint64_t bank = map.shardOf(physical);
+        EXPECT_TRUE(bank == 2 || bank == 5) << "event " << i;
+    }
+}
+
+TEST(TenantStream, EmptyBankSetKeepsLogicalRows)
+{
+    // A non-identity map with no bankSet must be a no-op: the
+    // placement only engages when banks are declared.
+    TenantTrafficConfig plain = placedConfig();
+    TenantTrafficConfig mapped = placedConfig();
+    mapped.addressMap = dram::AddressMap::zenDdr4_64bank();
+
+    TenantWriteStream a(plain);
+    TenantWriteStream b(mapped);
+    EXPECT_EQ(drain(a), drain(b));
+}
+
+TEST(TenantStream, FastForwardReplaysPlacedStreamExactly)
+{
+    // The crash-restore path must commute with placement: draining
+    // after fastForward(k) yields the same physical-row suffix.
+    TenantTrafficConfig placed = placedConfig();
+    placed.addressMap = dram::AddressMap::paperDdr3_8bank();
+    placed.bankSet = {1, 3, 6};
+    placed.physicalRowLimit = 512;
+
+    TenantWriteStream full(placed);
+    auto all = drain(full);
+    ASSERT_GT(all.size(), 10u);
+
+    TenantWriteStream resumed(placed);
+    resumed.fastForward(10);
+    auto suffix = drain(resumed);
+    ASSERT_EQ(suffix.size(), all.size() - 10);
+    for (std::size_t i = 0; i < suffix.size(); ++i)
+        EXPECT_EQ(suffix[i], all[i + 10]) << "event " << i;
+}
+
+TEST(TenantStream, PlacementConfigErrorsDie)
+{
+    // A bank outside the map.
+    TenantTrafficConfig bad_bank = placedConfig();
+    bad_bank.addressMap = dram::AddressMap::paperDdr3_8bank();
+    bad_bank.bankSet = {8};
+    EXPECT_DEATH(TenantWriteStream{bad_bank}, "outside the");
+
+    // A placement that maps past the module's rows.
+    TenantTrafficConfig overflow = placedConfig();
+    overflow.addressMap = dram::AddressMap::paperDdr3_8bank();
+    overflow.bankSet = {0};
+    overflow.physicalRowLimit = 64; // 64 rows on one of 8 banks: the
+                                    // last local row maps to page 504
+    EXPECT_DEATH(TenantWriteStream{overflow}, "past");
 }
 
 } // namespace
