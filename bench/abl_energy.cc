@@ -25,7 +25,7 @@ main()
     // Part 1: per-row refresh energy over one Table 1 run.
     {
         auto timing =
-            dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+            dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
         dram::EnergyModel em(dram::PowerParams::ddr3_1600(), timing);
 
         core::MemconEngine engine{core::MemconConfig{}};
@@ -76,7 +76,7 @@ main()
             sim::System sys(cfg, mix);
             sim::RunResult r = sys.run(300000);
 
-            auto timing = dram::TimingParams::ddr3_1600(d, 16.0);
+            auto timing = dram::TimingParams::ddr3_1600(d, TimeMs{16.0});
             dram::EnergyModel em(dram::PowerParams::ddr3_1600(),
                                  timing);
             auto e = em.fromControllerStats(

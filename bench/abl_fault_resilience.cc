@@ -71,7 +71,7 @@ runOne(double transient_rate, Layer layer, std::uint64_t seed, bool quick)
 {
     dram::Geometry geom;
     geom.rowsPerBank = 64; // 512 rows
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
 
     // The AVATAR hazard, time-compressed: cells toggle on the same
     // scale the run covers, so certifications go stale mid-run. The

@@ -38,7 +38,7 @@ runOne(const char *persona_name, bool with_memcon, std::uint64_t seed,
 {
     dram::Geometry geom;
     geom.rowsPerBank = 64; // 512 rows: testable within the window
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
 
     OnlineMemcon *slot = nullptr;
     sim::ControllerConfig mc_cfg;

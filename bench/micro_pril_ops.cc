@@ -91,7 +91,7 @@ BM_ChannelCommandIssue(benchmark::State &state)
 {
     dram::Geometry g;
     g.rowsPerBank = 1 << 12;
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     dram::Channel chan(g, timing);
     Tick now{};
     std::uint64_t row = 0;

@@ -37,7 +37,7 @@ main()
     dram::Geometry geom;
     geom.rowsPerBank = 32; // 256 rows
     auto timing =
-        dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+        dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
 
     // VRT cells that toggle on the run's (compressed) timescale, plus
     // a transient-upset process hot enough to watch.

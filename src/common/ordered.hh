@@ -7,9 +7,9 @@
  * contract (DESIGN.md §9) lets near stats, logs, or bench JSON. Any
  * code that walks an unordered_map/unordered_set on a path that can
  * reach an observable output must do it through these helpers, which
- * materialise a key-sorted snapshot first. memcon_lint bans bare
- * range-for (and begin()/end()) over unordered containers in src/
- * and bench/ to enforce this.
+ * materialise a key-sorted snapshot first. memcon_analyze bans bare
+ * range-for (and begin()/end()) over unordered containers in src/,
+ * bench/, tools/, and examples/ to enforce this.
  *
  * The copies are deliberate: every current call site iterates either
  * a bounded container (test sessions, write buffers) or runs once at

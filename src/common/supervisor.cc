@@ -107,6 +107,7 @@ Supervisor::currentDeadlineMs() const
     return deadlineMsLocked();
 }
 
+// memcon:requires(mtx) - *Locked suffix: every caller holds the lock
 double
 Supervisor::deadlineMsLocked() const
 {

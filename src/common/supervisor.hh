@@ -134,13 +134,15 @@ class Supervisor
 
     mutable std::mutex mtx;
     std::condition_variable wake;
-    bool stopping = false;
+    bool stopping = false; // memcon:guarded_by(mtx)
+    // memcon:guarded_by(mtx)
     std::map<std::size_t, Running> running;
-    std::vector<double> completedMs; //!< kept sorted for the median
-    std::size_t completedTasks = 0;
-    unsigned timeouts = 0;
-    bool failed = false;
-    std::string failReason;
+    // memcon:guarded_by(mtx) - kept sorted for the median
+    std::vector<double> completedMs;
+    std::size_t completedTasks = 0; // memcon:guarded_by(mtx)
+    unsigned timeouts = 0;          // memcon:guarded_by(mtx)
+    bool failed = false;            // memcon:guarded_by(mtx)
+    std::string failReason;         // memcon:guarded_by(mtx)
 
     std::thread monitor;
 };

@@ -114,13 +114,14 @@ class ThreadPool
     void workerLoop();
 
     std::size_t capacity;
+    // memcon:guarded_by(mtx)
     std::deque<std::packaged_task<void()>> queue;
     mutable std::mutex mtx;
     std::condition_variable notEmpty; //!< queue gained work / stopping
     std::condition_variable notFull;  //!< queue lost work
     std::condition_variable idle;     //!< all work drained
-    std::size_t inFlight = 0;         //!< tasks popped but not finished
-    bool stopping = false;
+    std::size_t inFlight = 0; // memcon:guarded_by(mtx) popped, unfinished
+    bool stopping = false;    // memcon:guarded_by(mtx)
     std::vector<std::thread> workers;
 };
 

@@ -71,11 +71,12 @@ struct ShardOutcome
     std::uint64_t peakLiveStreams = 0;
     std::size_t trackerStorageBytes = 0;
 
-    /** Closing per-page state, local (ascending-global) order. */
-    std::vector<double> hiMs;
-    std::vector<double> loMs;
-    std::vector<std::uint64_t> writeCount;
-    std::vector<std::uint8_t> atLo;
+    /** Closing per-page state, local (ascending-global) order.
+     *  Produced shard-privately, consumed by finalize(). */
+    std::vector<double> hiMs;               // memcon:shard_local
+    std::vector<double> loMs;               // memcon:shard_local
+    std::vector<std::uint64_t> writeCount;  // memcon:shard_local
+    std::vector<std::uint8_t> atLo;         // memcon:shard_local
 };
 
 /**
@@ -85,6 +86,8 @@ struct ShardOutcome
  * global walk visits each shard's pages in local order). Derived
  * times come from the reduced totals, never from per-shard partials.
  */
+// memcon:shard_scope - runs after every shard worker has returned;
+// the reduction is the audited hand-off point out of shard state
 MemconResult
 finalize(const MemconConfig &cfg, std::vector<ShardOutcome> outs,
          std::uint64_t num_pages, double duration_ms)
@@ -167,16 +170,23 @@ struct Event
     std::uint32_t page;
 };
 
-/** Refresh state of one modelled row/page (reference path only). */
+/**
+ * Refresh state of one modelled row/page (reference path only).
+ * Fields mirror PageSoA below and share its shard-confinement
+ * contract: the name-based concurrency pass audits the union of
+ * both structs' accessors, so every field is tagged here too.
+ */
 struct PageState
 {
-    double stateSince = 0.0;
-    bool atLoRef = false;
-    std::uint64_t writeCount = 0;
-    double lastTestAt = -1.0;   //!< pending idle-length classification
-    double lastVerified = -1.0; //!< when content was last test-passed
+    double stateSince = 0.0;       // memcon:shard_local
+    bool atLoRef = false;          // memcon:shard_local
+    std::uint64_t writeCount = 0;  // memcon:shard_local
+    double lastTestAt = -1.0;      // memcon:shard_local idle pending
+    double lastVerified = -1.0;    // memcon:shard_local last pass
 };
 
+// memcon:shard_scope - the one-shard reference engine; owns its
+// whole page table for the duration of the run
 MemconResult
 runReference(const MemconConfig &cfg,
              const std::vector<std::vector<TimeMs>> &page_writes,
@@ -432,12 +442,13 @@ runReference(const MemconConfig &cfg,
  */
 struct PageSoA
 {
-    BitVector atLoRef;
-    std::vector<double> stateSince;
-    std::vector<std::uint64_t> writeCount;
-    std::vector<double> lastTestAt;
-    std::vector<double> lastVerified;
+    BitVector atLoRef;                      // memcon:shard_local
+    std::vector<double> stateSince;         // memcon:shard_local
+    std::vector<std::uint64_t> writeCount;  // memcon:shard_local
+    std::vector<double> lastTestAt;         // memcon:shard_local
+    std::vector<double> lastVerified;       // memcon:shard_local
 
+    // memcon:shard_scope - built by the owning shard worker
     explicit PageSoA(std::size_t num_pages)
         : atLoRef(num_pages), stateSince(num_pages, 0.0),
           writeCount(num_pages, 0), lastTestAt(num_pages, -1.0),
@@ -445,6 +456,7 @@ struct PageSoA
     {
     }
 
+    // memcon:shard_scope - size is fixed at construction
     std::size_t size() const { return stateSince.size(); }
 };
 
@@ -486,6 +498,8 @@ struct VectorStream
     }
 };
 
+// memcon:shard_scope - one invocation per shard worker; touches only
+// its own PageSoA and its own ShardOutcome
 template <typename Stream>
 ShardOutcome
 runStreamingShard(const MemconConfig &cfg, std::vector<Stream> streams,

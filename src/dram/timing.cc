@@ -58,11 +58,11 @@ densityTrfcNs(Density density)
 }
 
 TimingParams
-TimingParams::ddr3_1600(Density density, double refresh_interval_ms)
+TimingParams::ddr3_1600(Density density, TimeMs refresh_interval)
 {
-    fatal_if(refresh_interval_ms <= 0.0,
-             "refresh interval must be positive, got %f",
-             refresh_interval_ms);
+    fatal_if(refresh_interval.value() <= 0.0,
+             "refresh interval must be positive, got %f ms",
+             refresh_interval.value());
 
     TimingParams t{};
     t.tCk = nsToTicks(1.25); // 800 MHz
@@ -84,7 +84,7 @@ TimingParams::ddr3_1600(Density density, double refresh_interval_ms)
     t.tRFC = static_cast<unsigned>(std::ceil(trfc_ns / 1.25));
 
     // 8192 REF commands must cover the retention period.
-    double trefi_ns = refresh_interval_ms * 1e6 / 8192.0;
+    double trefi_ns = refresh_interval.value() * 1e6 / 8192.0;
     t.tREFI = static_cast<unsigned>(trefi_ns / 1.25);
     return t;
 }

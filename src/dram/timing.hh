@@ -84,14 +84,15 @@ struct TimingParams
      * DDR3-1600 (11-11-11) with the Table 2 refresh figures. The
      * baseline tREFI of 1.95 us corresponds to refreshing the whole
      * device every 16 ms (8192 REF commands); pass a different
-     * refresh_interval_ms to rescale (e.g. 64 -> 7.8 us).
+     * refresh_interval to rescale (e.g. TimeMs{64.0} -> 7.8 us).
      *
-     * @param density            chip density, selects tRFC
-     * @param refresh_interval_ms full-device retention period the REF
-     *                           stream must cover
+     * @param density          chip density, selects tRFC
+     * @param refresh_interval full-device retention period the REF
+     *                         stream must cover
      */
     static TimingParams ddr3_1600(Density density,
-                                  double refresh_interval_ms = 16.0);
+                                  TimeMs refresh_interval =
+                                      TimeMs{16.0});
 };
 
 /** @return the Table 2 tRFC for a chip density, in nanoseconds. */

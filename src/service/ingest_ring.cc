@@ -19,6 +19,7 @@ roundUpPow2(std::size_t n)
 
 } // namespace
 
+// memcon:shard_scope - construction precedes any concurrent use
 IngestRing::IngestRing(std::size_t capacity)
 {
     fatal_if(capacity == 0, "ingest ring needs at least one slot");
@@ -27,6 +28,7 @@ IngestRing::IngestRing(std::size_t capacity)
     mask = cap - 1;
 }
 
+// memcon:shard_scope - producer endpoint
 PushResult
 IngestRing::tryPush(const WriteEvent &event)
 {
@@ -39,6 +41,7 @@ IngestRing::tryPush(const WriteEvent &event)
     return PushResult::Ok;
 }
 
+// memcon:shard_scope - consumer endpoint
 bool
 IngestRing::peek(WriteEvent *out) const
 {
@@ -68,6 +71,7 @@ IngestRing::tryPop(WriteEvent *out)
     return true;
 }
 
+// memcon:shard_scope - quiescent-only snapshot reader
 std::vector<WriteEvent>
 IngestRing::contents() const
 {

@@ -80,6 +80,8 @@ class IngestRing
     std::size_t size() const;
 
     bool empty() const { return size() == 0; }
+
+    // memcon:shard_scope - capacity is fixed at construction
     std::size_t capacity() const { return slots.size(); }
 
     /**
@@ -90,6 +92,10 @@ class IngestRing
     std::vector<WriteEvent> contents() const;
 
   private:
+    // Slot payloads are published/consumed only through the
+    // acquire/release head/tail protocol; the annotated accessors
+    // are the closed set of functions touching them.
+    // memcon:shard_local
     std::vector<WriteEvent> slots;
     std::size_t mask;
 

@@ -23,6 +23,7 @@ stageAtLeast(GovernorStage stage, GovernorStage floor)
 
 } // namespace
 
+// memcon:shard_scope - builds the session table before any worker runs
 Memcond::Memcond(const MemcondConfig &config, std::vector<TenantSpec> ts)
     : cfg(config),
       specs(std::move(ts)),
@@ -112,6 +113,7 @@ Memcond::fingerprint() const
     return fp;
 }
 
+// memcon:shard_scope - serial phase between parallel rounds
 void
 Memcond::planRound(std::uint64_t round, std::vector<RoundDirectives> *out)
 {
@@ -187,6 +189,8 @@ Memcond::planRound(std::uint64_t round, std::vector<RoundDirectives> *out)
     }
 }
 
+// memcon:shard_scope - hands sessions[i] to worker i; the table
+// itself is never resized while workers are in flight
 void
 Memcond::runRounds()
 {
@@ -280,6 +284,7 @@ Memcond::runRounds()
     }
 }
 
+// memcon:shard_scope - single-threaded resume path
 void
 Memcond::replaySnapshot(const ServiceSnapshot &snap)
 {
@@ -355,6 +360,7 @@ Memcond::run(bool resume)
     runRounds();
 }
 
+// memcon:shard_scope - quiescent-only (between rounds)
 ServiceSnapshot
 Memcond::snapshotState() const
 {
@@ -390,6 +396,7 @@ Memcond::snapshotState() const
     return s;
 }
 
+// memcon:shard_scope - quiescent-only (between rounds)
 std::vector<std::string>
 Memcond::metricsLines() const
 {
@@ -409,6 +416,7 @@ Memcond::digest() const
     return strprintf("%08x", ckpt::crc32(joined));
 }
 
+// memcon:shard_scope - quiescent-only (between rounds)
 StatGroup
 Memcond::tenantTelemetry(std::size_t i) const
 {

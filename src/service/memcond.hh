@@ -113,7 +113,9 @@ class Memcond
     void run(bool resume = false);
 
     std::uint64_t roundsDone() const { return done; }
+    // memcon:shard_scope - table size is fixed after construction
     std::size_t tenantCount() const { return sessions.size(); }
+    // memcon:shard_scope - read-only view, callers use it quiescently
     const TenantSession &tenant(std::size_t i) const { return *sessions[i]; }
 
     GovernorStage stage() const { return governor.stage(); }
@@ -157,6 +159,10 @@ class Memcond
 
     AdmissionController admission;
     OverloadGovernor governor;
+    // One session per tenant; inside a round worker i touches only
+    // *sessions[i], and the table is resized only while no worker is
+    // in flight.
+    // memcon:shard_local
     std::vector<std::unique_ptr<TenantSession>> sessions;
     ThreadPool pool;
 

@@ -83,7 +83,7 @@ struct TenantRuntimeConfig
 {
     dram::Geometry geometry;
     dram::TimingParams timing =
-        dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+        dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     core::OnlineMemconConfig memcon;
 
     /** Ingest ring slots (rounded up to a power of two). */

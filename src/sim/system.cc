@@ -81,7 +81,7 @@ System::System(const SystemConfig &config,
                const std::vector<trace::CpuPersona> &mix)
     : cfg(config),
       timing(dram::TimingParams::ddr3_1600(config.density,
-                                           config.refreshIntervalMs))
+                                           config.refreshInterval))
 {
     fatal_if(mix.size() != cfg.cores,
              "mix has %zu personas for %u cores", mix.size(), cfg.cores);

@@ -83,7 +83,7 @@ struct SystemConfig
     dram::Density density = dram::Density::Gb8;
 
     /** Full-device refresh period the baseline REF stream covers. */
-    double refreshIntervalMs = 16.0;
+    TimeMs refreshInterval = TimeMs{16.0};
 
     /** Fraction of refresh operations eliminated (MEMCON/RAIDR). */
     double refreshReduction = 0.0;

@@ -22,7 +22,7 @@ namespace
 
 TEST(Timing, Ddr3SpeedBin)
 {
-    TimingParams t = TimingParams::ddr3_1600(Density::Gb8, 16.0);
+    TimingParams t = TimingParams::ddr3_1600(Density::Gb8, TimeMs{16.0});
     EXPECT_EQ(t.tCk, nsToTicks(1.25));
     EXPECT_EQ(t.tCL, 11u);
     EXPECT_EQ(t.tRCD, 11u);
@@ -36,8 +36,8 @@ TEST(Timing, Ddr3SpeedBin)
 
 TEST(Timing, TrefiScalesWithRefreshInterval)
 {
-    TimingParams t16 = TimingParams::ddr3_1600(Density::Gb8, 16.0);
-    TimingParams t64 = TimingParams::ddr3_1600(Density::Gb8, 64.0);
+    TimingParams t16 = TimingParams::ddr3_1600(Density::Gb8, TimeMs{16.0});
+    TimingParams t64 = TimingParams::ddr3_1600(Density::Gb8, TimeMs{64.0});
     EXPECT_NEAR(static_cast<double>(t64.tREFI) / t16.tREFI, 4.0, 0.01);
     // 64 ms corresponds to the standard 7.8 us tREFI.
     EXPECT_NEAR(ticksToNs(t64.cyc(t64.tREFI)), 7812.0, 8.0);
@@ -53,7 +53,7 @@ TEST_P(TrfcByDensity, MatchesTable2)
 {
     auto [density, expected_ns] = GetParam();
     EXPECT_DOUBLE_EQ(densityTrfcNs(density), expected_ns);
-    TimingParams t = TimingParams::ddr3_1600(density, 16.0);
+    TimingParams t = TimingParams::ddr3_1600(density, TimeMs{16.0});
     EXPECT_NEAR(ticksToNs(t.cyc(t.tRFC)), expected_ns, 1.25);
 }
 
@@ -170,7 +170,7 @@ class ChannelTest : public ::testing::Test
   protected:
     ChannelTest()
         : geom(smallGeom()),
-          timing(TimingParams::ddr3_1600(Density::Gb8, 16.0)),
+          timing(TimingParams::ddr3_1600(Density::Gb8, TimeMs{16.0})),
           chan(geom, timing)
     {
     }
@@ -353,7 +353,7 @@ TEST_P(ChannelFuzz, LegalDriverNeverPanics)
     g.ranks = 2;
     g.banks = 4;
     g.rowsPerBank = 64;
-    TimingParams timing = TimingParams::ddr3_1600(Density::Gb8, 16.0);
+    TimingParams timing = TimingParams::ddr3_1600(Density::Gb8, TimeMs{16.0});
     Channel chan(g, timing);
     Rng rng(GetParam());
 

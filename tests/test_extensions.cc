@@ -275,7 +275,7 @@ TEST(TestEngine, ReserveRowsRecycled)
 
 TEST(Energy, ComponentEnergiesArePositiveAndOrdered)
 {
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     dram::EnergyModel em(dram::PowerParams::ddr3_1600(), timing);
     EXPECT_GT(em.actPreEnergy(), 0.0);
     EXPECT_GT(em.readEnergy(), 0.0);
@@ -286,8 +286,8 @@ TEST(Energy, ComponentEnergiesArePositiveAndOrdered)
 TEST(Energy, RefreshEnergyScalesWithDensity)
 {
     auto p = dram::PowerParams::ddr3_1600();
-    auto t8 = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
-    auto t32 = dram::TimingParams::ddr3_1600(dram::Density::Gb32, 16.0);
+    auto t8 = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
+    auto t32 = dram::TimingParams::ddr3_1600(dram::Density::Gb32, TimeMs{16.0});
     dram::EnergyModel e8(p, t8), e32(p, t32);
     // tRFC 350 -> 890 ns: the burst is ~2.5x longer.
     EXPECT_NEAR(e32.refreshEnergy() / e8.refreshEnergy(), 890.0 / 350.0,
@@ -296,7 +296,7 @@ TEST(Energy, RefreshEnergyScalesWithDensity)
 
 TEST(Energy, BackgroundInterpolatesStandbyCurrents)
 {
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     dram::EnergyModel em(dram::PowerParams::ddr3_1600(), timing);
     double idle = em.backgroundEnergy(msToTicks(1.0), 0.0);
     double active = em.backgroundEnergy(msToTicks(1.0), 1.0);
@@ -307,7 +307,7 @@ TEST(Energy, BackgroundInterpolatesStandbyCurrents)
 
 TEST(Energy, PolicyRefreshEnergyTracksOpCount)
 {
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     dram::EnergyModel em(dram::PowerParams::ddr3_1600(), timing);
     double base = em.refreshEnergyFromOps(1000.0);
     double memcon = em.refreshEnergyFromOps(300.0); // 70% reduction

@@ -1,11 +1,14 @@
 /**
  * @file
- * Tests for the determinism lint (tools/memcon_lint): a fixture
- * corpus where every banned pattern is flagged exactly once, the
- * lint:allow escape hatch, the companion-header declaration lookup,
- * and a run over the real src/ + bench/ tree asserting zero
- * violations - the same gate the tier-1 `lint.tree` ctest holds CI
- * to, but inspectable from a debugger.
+ * Tests for the determinism pass of memcon_analyze (the legacy
+ * memcon::lint entry points): a fixture corpus where every banned
+ * pattern is flagged exactly once, the lint:allow escape hatch,
+ * marker hygiene (rule lint-marker), the companion-header
+ * declaration lookup, and a run over the real src/ + bench/ +
+ * tools/ + examples/ tree asserting zero violations - the same gate
+ * the tier-1 `lint.tree` ctest holds CI to, but inspectable from a
+ * debugger. The multi-pass framework (concurrency, layering, units)
+ * is covered by test_analyze.cc.
  *
  * The banned spellings below are assembled from fragments so this
  * file itself stays lint-clean if the gate ever widens to tests/.
@@ -313,12 +316,56 @@ TEST(Lint, ServiceSupervisionWallClockNeedsTheAllowEscape)
               (std::vector<std::string>{"wall-clock"}));
 }
 
+TEST(Lint, MalformedAllowMarkerIsReportedNotDropped)
+{
+    // The historical bug: an unterminated allow marker parsed as
+    // "no marker here" and the suppression silently never engaged.
+    // Now it is a violation of its own, so the author finds out.
+    const std::string unterminated =
+        "// lint:allow(random-device - note the missing paren\n"
+        "std::" + kRandomDevice + " rd;\n";
+    auto vs = lintSource("bad.cc", unterminated);
+    ASSERT_EQ(vs.size(), 2u) << memcon::lint::formatReport(vs);
+    EXPECT_EQ(vs[0].rule, "lint-marker");
+    EXPECT_EQ(vs[0].line, 1u);
+    // ...and the intended suppression is indeed inert.
+    EXPECT_EQ(vs[1].rule, "random-device");
+}
+
+TEST(Lint, TwoAllowMarkersOnOneLineBothRegister)
+{
+    // Also historical: the scanner failed to advance past a matched
+    // marker, so a second marker on the same line was lost.
+    const std::string two =
+        "// lint:allow(random-device) lint:allow(wall-clock)\n"
+        "std::" + kRandomDevice + " rd; long t = time(nullptr);\n";
+    EXPECT_TRUE(lintSource("ok.cc", two).empty())
+        << memcon::lint::formatReport(lintSource("ok.cc", two));
+}
+
+TEST(Lint, MalformedMarkerItselfSuppressible)
+{
+    // lint-marker is a rule like any other: a justified allow on the
+    // same line silences it (useful for prose that must spell out a
+    // broken marker, as this corpus does). The suppression must come
+    // first so the broken marker cannot steal its closing paren.
+    const std::string hushed =
+        "// lint:allow(lint-marker) here is one: lint:allow(broken\n";
+    EXPECT_TRUE(lintSource("ok.cc", hushed).empty());
+    // Without the suppression the same line reports.
+    const std::string bare = "// here is one: lint:allow(broken\n";
+    EXPECT_EQ(rulesOf(lintSource("bad.cc", bare)),
+              std::vector<std::string>{"lint-marker"});
+}
+
 TEST(Lint, RealTreeIsClean)
 {
-    // The shipping gate: src/ and bench/ hold zero violations. A
-    // failure here prints the same report the lint.tree ctest (and
-    // CI) would.
+    // The shipping gate: src/, bench/, tools/, and examples/ hold
+    // zero violations. A failure here prints the same report the
+    // lint.tree ctest (and CI) would.
     auto vs = lintPaths({std::string(MEMCON_SOURCE_DIR) + "/src",
-                         std::string(MEMCON_SOURCE_DIR) + "/bench"});
+                         std::string(MEMCON_SOURCE_DIR) + "/bench",
+                         std::string(MEMCON_SOURCE_DIR) + "/tools",
+                         std::string(MEMCON_SOURCE_DIR) + "/examples"});
     EXPECT_TRUE(vs.empty()) << memcon::lint::formatReport(vs);
 }

@@ -23,7 +23,7 @@ struct Rig
     explicit Rig(OnlineMemconConfig cfg = smallConfig(),
                  OnlineMemcon::RowFailureOracle oracle = {})
         : geom(smallGeom()),
-          timing(dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0))
+          timing(dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0}))
     {
         sim::ControllerConfig mc_cfg;
         OnlineMemcon::installObserver(mc_cfg, memconSlot);
@@ -238,7 +238,7 @@ TEST(OnlineMemcon, FullSystemClosedLoop)
     // module and compressed quanta keep the test fast.
     dram::Geometry geom = Rig::smallGeom();
     geom.rowsPerBank = 16; // 128 rows
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
 
     auto run = [&](bool with_memcon) {
         OnlineMemcon *slot = nullptr;

@@ -33,7 +33,7 @@ struct Rig
     explicit Rig(OnlineMemconConfig cfg = smallConfig(),
                  OnlineMemcon::RowFailureOracle oracle = {})
         : geom(smallGeom()),
-          timing(dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0))
+          timing(dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0}))
     {
         sim::ControllerConfig mc_cfg;
         OnlineMemcon::installObserver(mc_cfg, memconSlot);

@@ -55,7 +55,7 @@ TEST(Channel, PreaClosesEveryBank)
 {
     dram::Geometry g;
     g.rowsPerBank = 64;
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     dram::Channel chan(g, timing);
 
     Tick t{};
@@ -83,7 +83,7 @@ TEST(Controller, AgedRequestBypassesRowHits)
     // threshold plus service time.
     dram::Geometry g;
     g.rowsPerBank = 1 << 12;
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     sim::ControllerConfig cfg;
     cfg.refreshEnabled = false;
     cfg.starvationThreshold = Tick{tickPerUs}; // 1 us
@@ -134,7 +134,7 @@ TEST(Controller, TestAdmissionLimitKeepsDemandHeadroom)
 {
     dram::Geometry g;
     g.rowsPerBank = 1 << 12;
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     sim::ControllerConfig cfg;
     cfg.refreshEnabled = false;
     cfg.testAdmissionLimit = 4;
@@ -166,7 +166,7 @@ TEST(OnlineMemconModes, CopyAndCompareClosedLoop)
 {
     dram::Geometry g;
     g.rowsPerBank = 16; // 128 rows
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
 
     core::OnlineMemcon *slot = nullptr;
     sim::ControllerConfig mc_cfg;
@@ -210,7 +210,7 @@ TEST(Energy, StatsDrivenTallyTracksActivity)
 {
     dram::Geometry g;
     g.rowsPerBank = 1 << 12;
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     sim::ControllerConfig cfg;
     sim::MemoryController mc(g, timing, cfg);
 

@@ -34,7 +34,7 @@ class ControllerTest : public ::testing::Test
   protected:
     ControllerTest()
         : geom(smallGeom()),
-          timing(dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0))
+          timing(dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0}))
     {
         cfg.refreshEnabled = false; // most tests want a quiet channel
         mc = std::make_unique<MemoryController>(geom, timing, cfg);
@@ -220,7 +220,7 @@ TEST_P(RefreshReduction, ScalesRefreshCount)
 {
     double reduction = GetParam();
     dram::Geometry geom = smallGeom();
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     ControllerConfig base_cfg, red_cfg;
     base_cfg.refreshEnabled = red_cfg.refreshEnabled = true;
     red_cfg.refreshReduction = reduction;
@@ -325,7 +325,7 @@ TEST(SystemTest, MismatchedMixIsFatal)
 TEST(TestTraffic, InjectorPacesTests)
 {
     dram::Geometry geom = smallGeom();
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     ControllerConfig c;
     c.refreshEnabled = false;
     MemoryController mc(geom, timing, c);
@@ -347,7 +347,7 @@ TEST(TestTraffic, InjectorPacesTests)
 TEST(TestTraffic, CopyModeAddsWrites)
 {
     dram::Geometry geom = smallGeom();
-    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+    auto timing = dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     ControllerConfig c;
     c.refreshEnabled = false;
     MemoryController mc(geom, timing, c);

@@ -85,7 +85,7 @@ TEST(Units, TickArithmeticMatchesRawIntegers)
 TEST(Units, Ddr3TimingStaysTickExact)
 {
     auto timing =
-        dram::TimingParams::ddr3_1600(dram::Density::Gb8, 16.0);
+        dram::TimingParams::ddr3_1600(dram::Density::Gb8, TimeMs{16.0});
     EXPECT_EQ(timing.tCk, Tick{1250});
     // cyc() scales the clock without drifting off the integer grid.
     EXPECT_EQ(timing.cyc(4), Tick{5000});

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The memcon_analyze framework: runs every registered pass
+ * (determinism, markers, concurrency, layering, units - see
+ * registry.hh) over a set of sources, applies lint:allow
+ * suppressions once, centrally, and renders text or JSON.
+ *
+ * Passes are per-file except layering, which sees the whole set at
+ * once (its subject is the include graph). For an X.cc, a sibling
+ * X.hh is attached as companion declaration context, so members
+ * annotated in the class header are enforced in the implementation
+ * file.
+ */
+
+#ifndef MEMCON_TOOLS_ANALYZE_ANALYZE_HH
+#define MEMCON_TOOLS_ANALYZE_ANALYZE_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "source_model.hh"
+
+namespace memcon::analyze
+{
+
+struct AnalyzeOptions
+{
+    /** Run only these rules (empty = all). */
+    std::vector<std::string> only;
+    /** Drop these rules after the run. */
+    std::vector<std::string> skip;
+};
+
+struct AnalyzeResult
+{
+    std::vector<Violation> violations;
+    std::size_t filesScanned = 0;
+};
+
+/**
+ * Analyze in-memory sources: (path, text) pairs. The path decides
+ * layering component, units.hh exemption, and companion pairing
+ * (same directory, same stem, .hh/.hpp against .cc/.cpp). Fixture
+ * tests inject synthetic trees - including deliberate back-edges -
+ * through this entry point.
+ */
+AnalyzeResult
+analyzeSources(
+    const std::vector<std::pair<std::string, std::string>> &sources,
+    const AnalyzeOptions &options);
+
+/**
+ * Analyze files and directories on disk (recursively expanded to
+ * .cc/.hh/.cpp/.hpp, sorted for stable reports). A .cc whose header
+ * was not in the expansion still gets its disk sibling as companion
+ * context.
+ */
+AnalyzeResult analyzePaths(const std::vector<std::string> &paths,
+                           const AnalyzeOptions &options);
+
+/** "file:line: [rule] message" lines - the problem-matcher format. */
+std::string formatText(const AnalyzeResult &result);
+
+/** Machine-readable report: {"violations":[...],"files_scanned":N}. */
+std::string formatJson(const AnalyzeResult &result);
+
+// --- file-system helpers shared with the legacy lint entry points ---
+
+/** Read a whole file; false when it cannot be opened. */
+bool readFileText(const std::string &path, std::string *out);
+
+/** Text of the sibling .hh/.hpp for a .cc/.cpp path, else "". */
+std::string companionText(const std::string &path);
+
+/**
+ * Expand files/directories to every C++ source under them
+ * (.cc/.hh/.cpp/.hpp), recursively, sorted.
+ */
+std::vector<std::string>
+expandPaths(const std::vector<std::string> &paths);
+
+} // namespace memcon::analyze
+
+#endif // MEMCON_TOOLS_ANALYZE_ANALYZE_HH

@@ -1,0 +1,225 @@
+#include "concurrency.hh"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace memcon::analyze
+{
+namespace
+{
+
+bool
+isLockType(const std::string &t)
+{
+    return t == "lock_guard" || t == "scoped_lock" ||
+           t == "unique_lock";
+}
+
+/**
+ * A mutex held at some point in the scan: the names passed to a RAII
+ * guard's constructor, and the brace depth the guard was declared at
+ * (it dies when the scan leaves that block).
+ */
+struct HeldLock
+{
+    std::set<std::string> mutexes;
+    int depth;
+};
+
+/**
+ * From a lock_guard/scoped_lock/unique_lock token at `i`, find the
+ * constructor's argument list and collect the mutex names inside it.
+ * Returns the index just past the closing ')' (or `i` when this is
+ * not a construction - a parameter type, an out-of-line method on the
+ * lock, etc.).
+ */
+std::size_t
+collectLockArgs(const std::vector<Token> &tokens, std::size_t i,
+                std::set<std::string> &mutexes)
+{
+    std::size_t j = i + 1;
+    // Skip an explicit template argument list.
+    if (tok(tokens, j) == "<") {
+        int tdepth = 0;
+        for (; j < tokens.size(); ++j) {
+            if (tokens[j].text == "<")
+                ++tdepth;
+            else if (tokens[j].text == ">" && --tdepth == 0) {
+                ++j;
+                break;
+            }
+        }
+    }
+    // A construction is `lock_guard [<...>] name ( args )` or (rare
+    // here) `lock_guard{...}`-free CTAD with parens. Stop at anything
+    // that ends the declarator without an argument list.
+    while (j < tokens.size()) {
+        const std::string &t = tokens[j].text;
+        if (t == "(")
+            break;
+        if (t == ";" || t == ")" || t == "{" || t == "}" ||
+            t == ",")
+            return i;
+        ++j;
+    }
+    if (j >= tokens.size())
+        return i;
+    int depth = 0;
+    std::set<std::string> found;
+    for (; j < tokens.size(); ++j) {
+        const std::string &t = tokens[j].text;
+        if (t == "(") {
+            ++depth;
+        } else if (t == ")") {
+            if (--depth == 0)
+                break;
+        } else if (depth >= 1 && isIdentChar(t[0]) &&
+                   !std::isdigit(
+                       static_cast<unsigned char>(t[0])) &&
+                   t != "std" && t != "this" && t != "defer_lock" &&
+                   t != "adopt_lock" && t != "try_to_lock") {
+            found.insert(t);
+        }
+    }
+    if (found.empty())
+        return i;
+    mutexes.insert(found.begin(), found.end());
+    return j;
+}
+
+} // namespace
+
+std::vector<Violation>
+concurrencyPass(const SourceFile &file, const SourceFile *companion)
+{
+    std::vector<Violation> raw;
+
+    // Member contracts come from this file's annotations plus the
+    // companion header's (a .cc implements members its .hh declares).
+    // The companion's unresolvable annotations are NOT reported here:
+    // the header is diagnosed when it is analyzed as itself.
+    std::vector<AnnotatedMember> members =
+        annotatedMembers(file, &raw);
+    if (companion) {
+        std::vector<AnnotatedMember> inherited =
+            annotatedMembers(*companion, nullptr);
+        members.insert(members.end(), inherited.begin(),
+                       inherited.end());
+    }
+
+    std::map<std::string, std::string> guardedBy; // member -> mutex
+    std::set<std::string> shardLocal;
+    std::set<std::pair<std::string, unsigned>> declHere;
+    for (const AnnotatedMember &m : members) {
+        if (m.kind == "guarded_by")
+            guardedBy[m.name] = m.arg;
+        else
+            shardLocal.insert(m.name);
+    }
+    for (const AnnotatedMember &m : annotatedMembers(file, nullptr))
+        declHere.emplace(m.name, m.declLine);
+
+    if (guardedBy.empty() && shardLocal.empty())
+        return raw;
+
+    // Function regions are file-local: shard_scope / requires mark
+    // definitions, and definitions live in the file being scanned.
+    std::vector<AnnotatedRegion> regions =
+        annotatedRegions(file, &raw);
+
+    const std::vector<Token> &tokens = file.tokens;
+    int braceDepth = 0;
+    std::vector<HeldLock> locks;
+
+    auto regionsAt = [&](std::size_t i, const std::string &kind,
+                         std::set<std::string> *args) {
+        bool inside = false;
+        for (const AnnotatedRegion &r : regions) {
+            if (r.kind != kind || i < r.beginTok || i > r.endTok)
+                continue;
+            inside = true;
+            if (args && !r.arg.empty())
+                args->insert(r.arg);
+        }
+        return inside;
+    };
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &t = tokens[i].text;
+        if (t == "{") {
+            ++braceDepth;
+            continue;
+        }
+        if (t == "}") {
+            --braceDepth;
+            while (!locks.empty() && locks.back().depth > braceDepth)
+                locks.pop_back();
+            continue;
+        }
+        if (isLockType(t) && !isMemberAccess(tokens, i) &&
+            (i == 0 || tokens[i - 1].text != "<")) {
+            std::set<std::string> mutexes;
+            std::size_t end = collectLockArgs(tokens, i, mutexes);
+            if (end != i) {
+                locks.push_back({std::move(mutexes), braceDepth});
+                i = end;
+            }
+            continue;
+        }
+        if (!isIdentChar(t[0]) ||
+            std::isdigit(static_cast<unsigned char>(t[0])))
+            continue;
+        // `std::queue` and other qualified type names are not
+        // accesses to an identically-named member.
+        if (i >= 1 && tokens[i - 1].text == ":")
+            continue;
+        if (declHere.count({t, tokens[i].line}))
+            continue; // the declaration itself
+
+        auto g = guardedBy.find(t);
+        if (g != guardedBy.end()) {
+            // Only unqualified and this-> uses are checkable: access
+            // through another object is guarded by *that* object's
+            // mutex, which a per-file scan cannot see.
+            bool qualified = isMemberAccess(tokens, i) &&
+                             !isThisAccess(tokens, i);
+            if (!qualified) {
+                bool held = false;
+                std::set<std::string> required;
+                regionsAt(i, "requires", &required);
+                if (required.count(g->second))
+                    held = true;
+                for (const HeldLock &l : locks)
+                    if (l.mutexes.count(g->second))
+                        held = true;
+                if (!held)
+                    raw.push_back(
+                        {file.path, tokens[i].line, "guarded-by",
+                         "'" + t + "' is memcon:guarded_by(" +
+                             g->second +
+                             ") but no lock_guard/scoped_lock/"
+                             "unique_lock on '" +
+                             g->second +
+                             "' (or memcon:requires region) covers "
+                             "this use"});
+            }
+        }
+
+        if (shardLocal.count(t)) {
+            // Qualified accesses count too: shard state reached
+            // through any object must still come from an audited
+            // accessor.
+            if (!regionsAt(i, "shard_scope", nullptr))
+                raw.push_back(
+                    {file.path, tokens[i].line, "shard-local",
+                     "'" + t +
+                         "' is memcon:shard_local but this use is "
+                         "outside any memcon:shard_scope function"});
+        }
+    }
+
+    return raw;
+}
+
+} // namespace memcon::analyze

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The concurrency-discipline pass (rules `guarded-by` and
+ * `shard-local`).
+ *
+ * MEMCON's determinism contract (DESIGN.md §9) survives threading
+ * only because every piece of cross-thread state follows one of two
+ * disciplines, and this pass makes both machine-checked from
+ * annotations in ordinary comments (grammar in source_model.hh):
+ *
+ *  - `guarded_by(<mutex>)` on a member declaration: every
+ *    unqualified (or this->) use of that member must sit inside a
+ *    scope that acquired <mutex> through std::lock_guard,
+ *    std::scoped_lock, or std::unique_lock, or inside a function
+ *    annotated `requires(<mutex>)` (a *Locked-style helper whose
+ *    caller holds the lock).
+ *
+ *  - `shard_local` on a member or local declaration: every use of
+ *    that name, qualified or not, must sit inside a function
+ *    annotated `shard_scope`. The pass guarantees the access
+ *    point SET is closed and auditable - a new code path touching
+ *    shard state cannot appear without a visible annotation diff.
+ *    Whether the marked accessors are actually scheduled one shard
+ *    per thread remains TSan's job; this is the static half of that
+ *    argument.
+ *
+ * Heuristic limits, accepted for a milliseconds-fast token scanner:
+ * lock association is by mutex *name* (an access guarded by another
+ * object's equally-named mutex passes), member access through an
+ * object other than `this` is not checked for guarded_by, and
+ * manual mtx.lock()/unlock() pairs or std::defer_lock are invisible
+ * - the repository uses RAII guards exclusively, and the lint gate
+ * keeps it that way de facto.
+ */
+
+#ifndef MEMCON_TOOLS_ANALYZE_CONCURRENCY_HH
+#define MEMCON_TOOLS_ANALYZE_CONCURRENCY_HH
+
+#include <vector>
+
+#include "source_model.hh"
+
+namespace memcon::analyze
+{
+
+/**
+ * Run the concurrency pass over one file. `companion` (the matching
+ * header when checking an X.cc) contributes member annotations only;
+ * its own code is checked when it is linted as itself. Returns raw
+ * violations - allowances are applied centrally by the framework.
+ */
+std::vector<Violation>
+concurrencyPass(const SourceFile &file, const SourceFile *companion);
+
+} // namespace memcon::analyze
+
+#endif // MEMCON_TOOLS_ANALYZE_CONCURRENCY_HH

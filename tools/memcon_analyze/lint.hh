@@ -1,10 +1,7 @@
 /**
  * @file
- * memcon_lint: the determinism lint pass (DESIGN.md §10).
- *
- * A deliberately small token-scanner - not a compiler plugin - that
- * enforces the repository's determinism contract where the type
- * system cannot reach:
+ * The determinism rules (DESIGN.md §10), now one pass of the
+ * memcon_analyze framework (DESIGN.md §18):
  *
  *   random-device   std::random_device anywhere (seeds must be fixed
  *                   and flow through common/random.hh)
@@ -18,6 +15,9 @@
  *   empty-catch     a catch handler with an empty body (swallowing
  *                   an error hides crash-safety bugs; handle it,
  *                   rethrow, or lint:allow with a justification)
+ *   lint-marker     a malformed lint:allow or memcon: marker - a
+ *                   suppression or annotation that silently fails to
+ *                   parse is reported, never dropped
  *
  * A violation on line N is suppressed by `// lint:allow(<rule>)` on
  * line N or N-1. The scanner strips comments and string literals
@@ -27,6 +27,11 @@
  * container received as a template or function parameter is invisible
  * to unordered-iter. That is the accepted trade-off for a lint that
  * builds in-tree in milliseconds and runs as a tier-1 test.
+ *
+ * This header keeps the original memcon_lint entry points; they run
+ * the determinism rules only. The full multi-pass framework
+ * (concurrency discipline, layering, unit literals) lives in
+ * analyze.hh.
  */
 
 #ifndef MEMCON_TOOLS_LINT_HH
@@ -35,18 +40,14 @@
 #include <string>
 #include <vector>
 
+#include "source_model.hh"
+
 namespace memcon::lint
 {
 
-struct Violation
-{
-    std::string file;
-    unsigned line = 0;
-    std::string rule;
-    std::string message;
-};
+using analyze::Violation;
 
-/** The rule identifiers, as accepted by lint:allow(...). */
+/** The determinism rule identifiers, as accepted by lint:allow(...). */
 const std::vector<std::string> &ruleNames();
 
 /**
@@ -75,6 +76,16 @@ std::vector<Violation> lintPaths(const std::vector<std::string> &paths);
 
 /** One "file:line: [rule] message" line per violation. */
 std::string formatReport(const std::vector<Violation> &violations);
+
+/**
+ * The determinism pass over an already-parsed file: raw violations,
+ * before lint:allow suppression (the framework applies allowances
+ * once, centrally). `companion` contributes unordered-container
+ * declarations only.
+ */
+std::vector<Violation>
+determinismPass(const analyze::SourceFile &file,
+                const analyze::SourceFile *companion);
 
 } // namespace memcon::lint
 

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * CLI driver:
+ *
+ *   memcon_analyze [--format=text|json] [--only=r1,r2] [--skip=r1,r2]
+ *                  [--list] <file-or-dir>...
+ *
+ * Runs every registered pass (see registry.hh) over the given trees
+ * and prints one line per violation (or a JSON report). Exit codes:
+ * 0 clean, 1 violations, 2 usage error. The tier-1 ctest runs this
+ * over src/, bench/, tools/, and examples/; run it locally the same
+ * way:
+ *
+ *   ./build/tools/memcon_analyze/memcon_analyze src bench tools examples
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyze.hh"
+#include "registry.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: memcon_analyze [--format=text|json] [--only=r1,r2]\n"
+        "                      [--skip=r1,r2] [--list] "
+        "<file-or-dir>...\n"
+        "suppress a rule with: // lint:allow(<rule>)\n"
+        "list rules with: memcon_analyze --list\n");
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            parts.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return parts;
+}
+
+bool
+validateRules(const std::vector<std::string> &rules,
+              const char *flag)
+{
+    using memcon::analyze::knownRule;
+    bool ok = true;
+    for (const std::string &r : rules) {
+        if (!knownRule(r)) {
+            std::fprintf(stderr,
+                         "memcon_analyze: %s names unknown rule "
+                         "'%s' (see --list)\n",
+                         flag, r.c_str());
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace memcon::analyze;
+
+    AnalyzeOptions options;
+    std::string format = "text";
+    std::vector<std::string> paths;
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "json") {
+                std::fprintf(stderr,
+                             "memcon_analyze: unknown format '%s'\n",
+                             format.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--only=", 0) == 0) {
+            std::vector<std::string> rules =
+                splitCommas(arg.substr(7));
+            options.only.insert(options.only.end(), rules.begin(),
+                                rules.end());
+        } else if (arg.rfind("--skip=", 0) == 0) {
+            std::vector<std::string> rules =
+                splitCommas(arg.substr(7));
+            options.skip.insert(options.skip.end(), rules.begin(),
+                                rules.end());
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr,
+                         "memcon_analyze: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (list) {
+        for (const RuleInfo &r : ruleRegistry())
+            std::printf("%-15s %-12s %-6s %s\n", r.name.c_str(),
+                        r.pass.c_str(), r.severity.c_str(),
+                        r.summary.c_str());
+        return 0;
+    }
+    if (!validateRules(options.only, "--only") ||
+        !validateRules(options.skip, "--skip"))
+        return 2;
+    if (paths.empty()) {
+        usage();
+        return 2;
+    }
+
+    AnalyzeResult result = analyzePaths(paths, options);
+    if (format == "json") {
+        std::printf("%s", formatJson(result).c_str());
+    } else {
+        std::printf("%s", formatText(result).c_str());
+        if (result.violations.empty())
+            std::printf("memcon_analyze: clean (%zu files)\n",
+                        result.filesScanned);
+        else
+            std::printf("memcon_analyze: %zu violation(s)\n",
+                        result.violations.size());
+    }
+    return result.violations.empty() ? 0 : 1;
+}

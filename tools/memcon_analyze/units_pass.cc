@@ -1,0 +1,103 @@
+#include "units_pass.hh"
+
+#include <cctype>
+
+namespace memcon::analyze
+{
+namespace
+{
+
+bool
+hasUnitSuffix(const std::string &name, std::string &unit)
+{
+    static const char *const suffixes[] = {"_ms", "_ns", "_ticks"};
+    for (const char *s : suffixes) {
+        std::string suf = s;
+        if (name.size() > suf.size() &&
+            name.compare(name.size() - suf.size(), suf.size(),
+                         suf) == 0) {
+            unit = suf.substr(1);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** A token that can be part of a numeric literal: `16`, `0x1F`,
+ *  `1'000`, the `.` of `16.0`, or a `5f`/`0ull` suffixed chunk. */
+bool
+isNumericToken(const std::string &t)
+{
+    if (t == ".")
+        return true;
+    if (!std::isdigit(static_cast<unsigned char>(t[0])))
+        return false;
+    return true;
+}
+
+bool
+isUnitsHeader(const std::string &path)
+{
+    const std::string tail = "common/units.hh";
+    return path.size() >= tail.size() &&
+           path.compare(path.size() - tail.size(), tail.size(),
+                        tail) == 0;
+}
+
+} // namespace
+
+std::vector<Violation>
+unitsPass(const SourceFile &file)
+{
+    std::vector<Violation> raw;
+    if (isUnitsHeader(file.path))
+        return raw;
+
+    const std::vector<Token> &tokens = file.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &name = tokens[i].text;
+        if (!isIdentChar(name[0]) ||
+            std::isdigit(static_cast<unsigned char>(name[0])))
+            continue;
+        std::string unit;
+        if (!hasUnitSuffix(name, unit))
+            continue;
+        // `Tick total_ticks = ...` / `TimeMs budget_ms{...}` carry
+        // their unit in the type; the strong constructor checks the
+        // representation, not this pass.
+        if (i >= 1 && (tokens[i - 1].text == "Tick" ||
+                       tokens[i - 1].text == "TimeMs"))
+            continue;
+        const std::string &open = tok(tokens, i + 1);
+        if (open != "=" && open != "{" && open != "(")
+            continue;
+        // The initializer must be a PURE literal: numeric tokens
+        // only, up to a terminator. Any identifier or operator makes
+        // it an expression, which is out of scope by design.
+        std::size_t j = i + 2;
+        bool sawNumber = false, pure = true;
+        for (; j < tokens.size(); ++j) {
+            const std::string &t = tokens[j].text;
+            if (t == ";" || t == "," || t == ")" || t == "}")
+                break;
+            if (!isNumericToken(t)) {
+                pure = false;
+                break;
+            }
+            if (t != ".")
+                sawNumber = true;
+        }
+        if (!pure || !sawNumber)
+            continue;
+        // `{16}` and `(16)` must close; `= 16` must hit ; or ,
+        raw.push_back(
+            {file.path, tokens[i].line, "unit-literal",
+             "raw literal flows into '" + name +
+                 "' (a *_" + unit +
+                 " quantity); construct it as Tick{...}/TimeMs{...} "
+                 "from common/units.hh so the unit is checked"});
+    }
+    return raw;
+}
+
+} // namespace memcon::analyze

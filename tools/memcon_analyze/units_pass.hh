@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The raw-unit-literal pass (rule `unit-literal`).
+ *
+ * MEMCON carries time in the strong types of common/units.hh - Tick
+ * (integer picoseconds) and TimeMs (double milliseconds) - precisely
+ * so a bare `16` can never be silently read as the wrong unit. This
+ * pass closes the remaining hole: an integer or floating literal
+ * initializing (or defaulting, or assigned to) a name that ends in
+ * `_ms`, `_ns`, or `_ticks` must flow through a Tick/TimeMs
+ * constructor, not appear raw.
+ *
+ * The check is deliberately conservative: only a *pure* literal
+ * initializer fires (`x_ms = 16.0`), never an expression
+ * (`x_ms = 2.0 * cfg.base`) - arithmetic already had to think about
+ * units, and flagging it would bury the signal. common/units.hh
+ * itself is exempt (it is where raw representations are allowed to
+ * exist), and an initializer already wrapped - `TimeMs{16.0}` -
+ * never matches because the literal is not directly after the
+ * name's `=`/`{`/`(`.
+ */
+
+#ifndef MEMCON_TOOLS_ANALYZE_UNITS_PASS_HH
+#define MEMCON_TOOLS_ANALYZE_UNITS_PASS_HH
+
+#include <vector>
+
+#include "source_model.hh"
+
+namespace memcon::analyze
+{
+
+/**
+ * Scan one file for raw literals flowing into `_ms`/`_ns`/`_ticks`
+ * names. Returns raw violations - allowances are applied centrally
+ * by the framework.
+ */
+std::vector<Violation> unitsPass(const SourceFile &file);
+
+} // namespace memcon::analyze
+
+#endif // MEMCON_TOOLS_ANALYZE_UNITS_PASS_HH
