@@ -38,11 +38,13 @@ main()
     DramTester tester(model);
 
     TextTable table;
-    table.header({"benchmark", "failing-rows", "min", "max"});
+    table.header({"benchmark", "failing-rows", "min", "max",
+                  "visible-bits/epoch"});
 
     double lowest = 1.0, highest = 0.0;
     for (const auto &persona : ContentPersona::specSuite()) {
         double sum = 0.0, mn = 1.0, mx = 0.0;
+        std::uint64_t bits = 0;
         const unsigned epochs = 5; // 0.5 B instructions
         for (unsigned e = 0; e < epochs; ++e) {
             ProgramContent content(persona, e);
@@ -51,12 +53,19 @@ main()
             sum += frac;
             mn = std::min(mn, frac);
             mx = std::max(mx, frac);
+            // The bit-parallel pass prices severity, not just row
+            // verdicts: how many visible bits the controller would
+            // actually see flip under this content (DESIGN.md §19).
+            bits += tester.testWithContentBlock(content, 328.0)
+                        .failingBits;
         }
         double mean = sum / epochs;
         lowest = std::min(lowest, mean);
         highest = std::max(highest, mean);
         table.row({persona.name, TextTable::pct(mean, 2),
-                   TextTable::pct(mn, 2), TextTable::pct(mx, 2)});
+                   TextTable::pct(mn, 2), TextTable::pct(mx, 2),
+                   TextTable::num(
+                       static_cast<double>(bits) / epochs, 1)});
     }
 
     double all_fail =

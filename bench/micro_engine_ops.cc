@@ -22,6 +22,7 @@
 
 #include "bench_util.hh"
 #include "common/random.hh"
+#include "common/simd.hh"
 #include "common/table.hh"
 #include "core/engine.hh"
 #include "runner.hh"
@@ -103,6 +104,9 @@ main(int argc, char **argv)
                   "streaming engine vs reference event path");
     note("Same traces, bit-identical metrics; only the wall clock and "
          "the event-plumbing counters differ between the paths.");
+    note(strprintf("kernel set: %s%s (MEMCON_FORCE_SCALAR pins scalar)",
+                   simd::activeKernelSetName(),
+                   simd::scalarForced() ? " [forced]" : ""));
 
     const std::size_t pages = 100000; // the acceptance-bar trace width
     const double duration_ms = opts.quick ? 20000.0 : 60000.0;
@@ -205,14 +209,21 @@ main(int argc, char **argv)
     }
     std::printf("%s", table.render().c_str());
 
-    // The acceptance bar: the streaming path must clear 2x the
-    // reference path's events/sec on the 100k-page headline trace.
+    // The acceptance bars: the streaming path must clear 4x the
+    // reference path's events/sec on the 100k-page headline trace and
+    // 1.5x on the scan-free merge_only pair (ISSUE 9).
     double wall_ref = runner.pointWallSeconds(0);
     double wall_stream = runner.pointWallSeconds(1);
     if (wall_stream > 0.0)
         note(strprintf("headline speedup: %.2fx events/sec over the "
-                       "reference path (target >= 2x)",
+                       "reference path (target >= 4x)",
                        wall_ref / wall_stream));
+    double wall_merge_ref = runner.pointWallSeconds(2);
+    double wall_merge_stream = runner.pointWallSeconds(3);
+    if (wall_merge_stream > 0.0)
+        note(strprintf("merge_only speedup: %.2fx events/sec over the "
+                       "reference path (target >= 1.5x)",
+                       wall_merge_ref / wall_merge_stream));
     double q_full = runner.pointWallSeconds(0) / results[0].metric("quanta");
     double q_quarter =
         runner.pointWallSeconds(4) / results[4].metric("quanta");

@@ -42,6 +42,9 @@ usage(const char *argv0, int exit_code)
         "  --json PATH           write the machine-readable results to\n"
         "                        PATH (default BENCH_<artifact>.json)\n"
         "  --no-json             skip the JSON emitter\n"
+        "  --digest-out PATH     write the one-line metrics digest to\n"
+        "                        PATH, for cross-run comparison (e.g.\n"
+        "                        native vs MEMCON_FORCE_SCALAR=1)\n"
         "  --checkpoint PATH     record each completed task to PATH so\n"
         "                        a killed campaign can be resumed\n"
         "  --resume PATH         resume a campaign from its checkpoint;\n"
@@ -210,6 +213,8 @@ parseSweepArgs(int argc, char **argv)
             opts.jsonPath = requireValue(argc, argv, i);
         } else if (std::strcmp(arg, "--no-json") == 0) {
             opts.writeJson = false;
+        } else if (std::strcmp(arg, "--digest-out") == 0) {
+            opts.digestOutPath = requireValue(argc, argv, i);
         } else if (std::strcmp(arg, "--checkpoint") == 0) {
             opts.checkpointPath = requireValue(argc, argv, i);
         } else if (std::strcmp(arg, "--resume") == 0) {
@@ -617,6 +622,15 @@ void
 SweepRunner::finish() const
 {
     fatal_if(!executed, "finish() before run()");
+
+    if (!opts.digestOutPath.empty()) {
+        std::ofstream dout(opts.digestOutPath,
+                           std::ios::binary | std::ios::trunc);
+        fatal_if(!dout, "cannot write digest to %s",
+                 opts.digestOutPath.c_str());
+        dout << resultsDigest(reduced) << '\n';
+    }
+
     if (!opts.writeJson)
         return;
 

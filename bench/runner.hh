@@ -82,6 +82,13 @@ struct SweepOptions
     bool writeJson = true;
 
     /**
+     * Write the final metrics digest (one line) to this path, so CI
+     * can `cmp` runs - e.g. native vs MEMCON_FORCE_SCALAR=1 - without
+     * parsing JSON. Empty disables it.
+     */
+    std::string digestOutPath;
+
+    /**
      * Execute the whole sweep this many times and report per-point
      * wall-clock medians, so timings are stable enough to compare
      * across revisions. Metrics must be identical on every repeat

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A bump-pointer arena for per-quantum / per-row scratch buffers.
+ *
+ * The bit-parallel test path (DESIGN.md §19) needs a handful of
+ * row-sized u64 buffers per tested row and a candidate list per
+ * quantum. Allocating them from the heap per row re-pays malloc and
+ * page-fault cost millions of times per campaign; the arena pays it
+ * once, then every reset() reuses the same backing storage.
+ *
+ * Usage pattern: allocate<T>(n) inside the hot loop, reset() at the
+ * iteration boundary. reset() invalidates every span handed out
+ * since the previous reset but keeps (and coalesces) the backing
+ * capacity, so steady state is allocation-free. Trivial types only -
+ * no constructors or destructors run.
+ */
+
+#ifndef MEMCON_COMMON_ARENA_HH
+#define MEMCON_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace memcon
+{
+
+class Arena
+{
+  public:
+    explicit Arena(std::size_t initial_bytes = 0)
+    {
+        if (initial_bytes > 0)
+            chunks.push_back(Chunk(initial_bytes));
+    }
+
+    /**
+     * A span of count Ts, aligned for T, zero-initialized on a fresh
+     * chunk but RECYCLED DIRTY after reset() - callers overwrite.
+     */
+    template <typename T>
+    T *
+    allocate(std::size_t count)
+    {
+        static_assert(std::is_trivial_v<T>,
+                      "arena spans never run ctors/dtors");
+        std::size_t bytes = count * sizeof(T);
+        return static_cast<T *>(allocateBytes(bytes, alignof(T)));
+    }
+
+    /**
+     * Invalidate every outstanding span and make the full capacity
+     * available again. If the previous cycle overflowed into extra
+     * chunks, the backing store is coalesced into one chunk sized
+     * for the whole observed demand, so the next cycle bumps through
+     * a single contiguous block.
+     */
+    void
+    reset()
+    {
+        if (chunks.size() > 1) {
+            std::size_t total = 0;
+            for (const Chunk &c : chunks)
+                total += c.storage.size();
+            chunks.clear();
+            chunks.push_back(Chunk(total));
+        } else if (!chunks.empty()) {
+            chunks.front().used = 0;
+        }
+    }
+
+    /** Total backing capacity in bytes. */
+    std::size_t
+    capacityBytes() const
+    {
+        std::size_t total = 0;
+        for (const Chunk &c : chunks)
+            total += c.storage.size();
+        return total;
+    }
+
+    /** Bytes handed out since the last reset (incl. padding). */
+    std::size_t
+    usedBytes() const
+    {
+        std::size_t total = 0;
+        for (const Chunk &c : chunks)
+            total += c.used;
+        return total;
+    }
+
+  private:
+    struct Chunk
+    {
+        explicit Chunk(std::size_t bytes) : storage(bytes) {}
+        std::vector<std::byte> storage;
+        std::size_t used = 0;
+    };
+
+    void *
+    allocateBytes(std::size_t bytes, std::size_t align)
+    {
+        panic_if((align & (align - 1)) != 0,
+                 "alignment must be a power of two");
+        if (!chunks.empty()) {
+            Chunk &c = chunks.back();
+            std::size_t at = (c.used + align - 1) & ~(align - 1);
+            if (at + bytes <= c.storage.size()) {
+                c.used = at + bytes;
+                return c.storage.data() + at;
+            }
+        }
+        // Grow geometrically over the largest extent seen so far so
+        // a steady-state workload converges to a single chunk.
+        std::size_t want = bytes + align;
+        std::size_t grown =
+            chunks.empty() ? 4096 : chunks.back().storage.size() * 2;
+        chunks.push_back(Chunk(want > grown ? want : grown));
+        Chunk &c = chunks.back();
+        std::size_t at = (c.used + align - 1) & ~(align - 1);
+        c.used = at + bytes;
+        return c.storage.data() + at;
+    }
+
+    std::vector<Chunk> chunks;
+};
+
+} // namespace memcon
+
+#endif // MEMCON_COMMON_ARENA_HH

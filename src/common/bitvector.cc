@@ -68,26 +68,41 @@ BitVector::clearAll()
 std::size_t
 BitVector::count() const
 {
-    std::size_t total = 0;
-    for (std::uint64_t w : words)
-        total += static_cast<std::size_t>(std::popcount(w));
-    return total;
+    return static_cast<std::size_t>(
+        simd::popcountWords(words.data(), words.size()));
 }
 
 std::vector<std::size_t>
 BitVector::setBits() const
 {
     std::vector<std::size_t> out;
-    out.reserve(count());
-    for (std::size_t wi = 0; wi < words.size(); ++wi) {
-        std::uint64_t w = words[wi];
-        while (w) {
-            int bit = std::countr_zero(w);
-            out.push_back(wi * 64 + static_cast<std::size_t>(bit));
-            w &= w - 1;
-        }
-    }
+    setBitsInto(out);
     return out;
+}
+
+void
+BitVector::setBitsInto(std::vector<std::size_t> &out) const
+{
+    out.clear();
+    visitSetBits([&out](std::size_t bit) { out.push_back(bit); });
+}
+
+void
+BitVector::orWith(const BitVector &src)
+{
+    panic_if(numBits != src.numBits,
+             "bitvector size mismatch (%zu vs %zu)", numBits,
+             src.numBits);
+    simd::orWords(words.data(), src.words.data(), words.size());
+}
+
+void
+BitVector::andNotWith(const BitVector &src)
+{
+    panic_if(numBits != src.numBits,
+             "bitvector size mismatch (%zu vs %zu)", numBits,
+             src.numBits);
+    simd::andNotWords(words.data(), src.words.data(), words.size());
 }
 
 } // namespace memcon

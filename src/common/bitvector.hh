@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.hh"
+
 namespace memcon
 {
 
@@ -55,6 +57,40 @@ class BitVector
 
     /** @return indices of all set bits, ascending. */
     std::vector<std::size_t> setBits() const;
+
+    /**
+     * Append the indices of all set bits, ascending, into out
+     * (cleared first; capacity retained). The allocation-free form
+     * of setBits() for per-quantum hot paths.
+     */
+    void setBitsInto(std::vector<std::size_t> &out) const;
+
+    /**
+     * Invoke fn(bit_index) for every set bit, ascending, through the
+     * dispatched kernel. fn may clear the current or an earlier bit
+     * (each word is snapshotted before its bits dispatch); setting
+     * bits mid-visit is undefined.
+     */
+    template <typename Fn>
+    void
+    visitSetBits(Fn &&fn) const
+    {
+        simd::visitSetBits(words.data(), words.size(),
+                           std::forward<Fn>(fn));
+    }
+
+    /**
+     * dst |= src over the word arrays. Sizes must match. Tail bits
+     * past size() stay zero because both operands keep them zero.
+     */
+    void orWith(const BitVector &src);
+
+    /** dst &= ~src over the word arrays. Sizes must match. */
+    void andNotWith(const BitVector &src);
+
+    /** Raw word span, for the simd kernels. */
+    const std::uint64_t *wordData() const { return words.data(); }
+    std::size_t wordCount() const { return words.size(); }
 
     /** Storage footprint in bytes (for overhead accounting). */
     std::size_t storageBytes() const { return words.size() * sizeof(std::uint64_t); }

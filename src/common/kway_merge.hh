@@ -198,12 +198,64 @@ class KWayMerge
                 ++pushes;
             }
             peakLive = std::max(peakLive, wheel.size() + due.size());
-            std::sort(batch.begin(), batch.end(),
-                      [](const Staged &a, const Staged &b) {
-                          if (a.time != b.time)
-                              return a.time < b.time;
-                          return a.seq < b.seq;
-                      });
+            sortBatch(static_cast<double>(epoch) * window, bound);
+        }
+    }
+
+    /**
+     * Order the staged batch by (time, seq). The batch holds one
+     * window's events, so times cluster inside [lo, hi); a monotone
+     * distribution pass into ~8-event buckets followed by tiny
+     * per-bucket sorts does the same work as a full introsort at a
+     * fraction of the comparisons (the batch sort was the largest
+     * single cost of the merge at 100k single-write sources). The
+     * bucket index is a monotone function of time and every bucket
+     * is finished with a real (time, seq) sort, so the concatenated
+     * result is exact whatever the distribution - early-bucketed
+     * stragglers below lo merely crowd bucket 0.
+     */
+    void sortBatch(double lo, double hi)
+    {
+        auto byTimeSeq = [](const Staged &a, const Staged &b) {
+            if (a.time != b.time)
+                return a.time < b.time;
+            return a.seq < b.seq;
+        };
+        const std::size_t n = batch.size();
+        if (n < 64 || !(hi > lo)) {
+            std::sort(batch.begin(), batch.end(), byTimeSeq);
+            return;
+        }
+        std::size_t nb = 16;
+        while (nb * 8 < n && nb < 4096)
+            nb <<= 1;
+        const double scale = static_cast<double>(nb) / (hi - lo);
+        bucketOfStaged.resize(n);
+        bucketEnds.assign(nb + 1, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double rel = (batch[i].time - lo) * scale;
+            std::size_t b =
+                rel <= 0.0 ? 0 : static_cast<std::size_t>(rel);
+            if (b >= nb)
+                b = nb - 1;
+            bucketOfStaged[i] = static_cast<std::uint32_t>(b);
+            ++bucketEnds[b + 1];
+        }
+        for (std::size_t b = 1; b <= nb; ++b)
+            bucketEnds[b] += bucketEnds[b - 1];
+        // bucketEnds[b] is bucket b's start; the scatter cursors it
+        // forward so it finishes as bucket b's end offset.
+        stagedScratch.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            stagedScratch[bucketEnds[bucketOfStaged[i]]++] = batch[i];
+        batch.swap(stagedScratch);
+        std::size_t begin = 0;
+        for (std::size_t b = 0; b < nb; ++b) {
+            const std::size_t end = bucketEnds[b];
+            if (end - begin > 1)
+                std::sort(batch.begin() + begin, batch.begin() + end,
+                          byTimeSeq);
+            begin = end;
         }
     }
 
@@ -212,6 +264,10 @@ class KWayMerge
     DeadlineWheel<Pending> wheel;
     std::vector<Pending> due;
     std::vector<Staged> batch;
+    // sortBatch() scratch, reused across windows.
+    std::vector<std::uint32_t> bucketOfStaged;
+    std::vector<std::uint32_t> bucketEnds;
+    std::vector<Staged> stagedScratch;
     std::size_t batchPos = 0;
     double horizon;
     double window;

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Runtime-dispatched bit-parallel kernels over 64-bit word spans.
+ *
+ * The row test-and-compare hot path (DESIGN.md §19) reduces to a
+ * handful of primitives on flat std::uint64_t buffers: whole-row
+ * equality, first mismatching word, xor-popcount (failing-bit
+ * counts), bulk or/andnot (pattern-battery union masks), and
+ * visit-set-bits (PRIL candidate extraction). Each primitive exists
+ * as a scalar-u64 kernel and, on x86-64, an AVX2 kernel; a
+ * function-pointer table resolved once per process picks the widest
+ * set the CPU supports.
+ *
+ * Determinism contract: every kernel computes an exact integer
+ * function of its inputs, so the scalar and AVX2 variants are
+ * bit-identical by construction - vectorization only changes how
+ * fast the same bits are produced. The property suite cross-checks
+ * every kernel of every compiled set against a naive reference, and
+ * CI re-runs the engine micro-bench with MEMCON_FORCE_SCALAR=1 to
+ * prove the digest never depends on which set ran.
+ *
+ * MEMCON_FORCE_SCALAR: set to anything but "0" or "" to pin the
+ * scalar set regardless of CPU features (surfaced in bench banners
+ * via activeKernelSetName()).
+ */
+
+#ifndef MEMCON_COMMON_SIMD_HH
+#define MEMCON_COMMON_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace memcon::simd
+{
+
+/** Returned by firstMismatch when the spans are identical. */
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/**
+ * One ISA level's implementations. All pointers are non-null; n is
+ * a word count and may be zero (every kernel accepts empty spans).
+ */
+struct KernelSet
+{
+    const char *name;
+
+    /** a[0..n) == b[0..n). */
+    bool (*equal)(const std::uint64_t *a, const std::uint64_t *b,
+                  std::size_t n);
+
+    /** Index of the first word where a and b differ, or npos. */
+    std::size_t (*firstMismatch)(const std::uint64_t *a,
+                                 const std::uint64_t *b, std::size_t n);
+
+    /** popcount(a ^ b) over the span: the number of differing bits. */
+    std::uint64_t (*xorPopcount)(const std::uint64_t *a,
+                                 const std::uint64_t *b, std::size_t n);
+
+    /** popcount over the span. */
+    std::uint64_t (*popcountWords)(const std::uint64_t *a, std::size_t n);
+
+    /** dst[i] |= src[i]. */
+    void (*orWords)(std::uint64_t *dst, const std::uint64_t *src,
+                    std::size_t n);
+
+    /** dst[i] &= ~src[i]. */
+    void (*andNotWords)(std::uint64_t *dst, const std::uint64_t *src,
+                        std::size_t n);
+
+    /**
+     * Invoke cb(bit_index, ctx) for every set bit, ascending. The
+     * callback may clear the current or an earlier bit in the span
+     * (each word is read exactly once, before its bits dispatch);
+     * setting bits mid-visit is undefined.
+     */
+    void (*visitSetBits)(const std::uint64_t *words, std::size_t n,
+                         void (*cb)(std::size_t, void *), void *ctx);
+};
+
+/** The portable scalar-u64 reference set; always available. */
+const KernelSet &scalarKernels();
+
+/**
+ * The set the process dispatches to: the widest one the CPU
+ * supports, unless MEMCON_FORCE_SCALAR pins the scalar set. Resolved
+ * once on first use and never changes afterwards.
+ */
+const KernelSet &activeKernels();
+
+/** True when MEMCON_FORCE_SCALAR overrode the cpuid dispatch. */
+bool scalarForced();
+
+/**
+ * Every kernel set compiled into this binary (scalar first), for the
+ * property suite to cross-check each against the naive reference.
+ */
+const KernelSet *const *compiledKernelSets(std::size_t *count);
+
+/** Dispatch-result name for bench banners, e.g. "avx2". */
+inline const char *
+activeKernelSetName()
+{
+    return activeKernels().name;
+}
+
+// --- thin dispatching wrappers -------------------------------------
+
+inline bool
+rowsEqual(const std::uint64_t *a, const std::uint64_t *b, std::size_t n)
+{
+    return activeKernels().equal(a, b, n);
+}
+
+inline std::size_t
+firstMismatch(const std::uint64_t *a, const std::uint64_t *b,
+              std::size_t n)
+{
+    return activeKernels().firstMismatch(a, b, n);
+}
+
+inline std::uint64_t
+xorPopcount(const std::uint64_t *a, const std::uint64_t *b, std::size_t n)
+{
+    return activeKernels().xorPopcount(a, b, n);
+}
+
+inline std::uint64_t
+popcountWords(const std::uint64_t *a, std::size_t n)
+{
+    return activeKernels().popcountWords(a, n);
+}
+
+inline void
+orWords(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    activeKernels().orWords(dst, src, n);
+}
+
+inline void
+andNotWords(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    activeKernels().andNotWords(dst, src, n);
+}
+
+/** Dispatched visit-set-bits over any callable (type-erased once). */
+template <typename Fn>
+inline void
+visitSetBits(const std::uint64_t *words, std::size_t n, Fn &&fn)
+{
+    using Plain = std::remove_reference_t<Fn>;
+    activeKernels().visitSetBits(
+        words, n,
+        [](std::size_t bit, void *ctx) {
+            (*static_cast<Plain *>(ctx))(bit);
+        },
+        const_cast<void *>(static_cast<const void *>(&fn)));
+}
+
+} // namespace memcon::simd
+
+#endif // MEMCON_COMMON_SIMD_HH

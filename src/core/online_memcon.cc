@@ -19,10 +19,12 @@ namespace
  * which makes the comparison (data or ECC signature) fail through
  * the same machinery a real decayed cell would.
  */
-std::uint64_t
-syntheticWord(RowId row, std::size_t word)
+void
+syntheticFillRow(RowId row, std::uint64_t *dst, std::size_t n_words)
 {
-    return hashMix64(row.value() * 0x9e3779b97f4a7c15ULL + word);
+    const std::uint64_t base = row.value() * 0x9e3779b97f4a7c15ULL;
+    for (std::size_t w = 0; w < n_words; ++w)
+        dst[w] = hashMix64(base + w);
 }
 
 } // namespace
@@ -146,10 +148,12 @@ OnlineMemcon::enterFallback(Tick now)
         return; // already falling back; the hold was extended
     // Blanket HI-REF: every LO verdict is revoked, remembered, and
     // re-earned through a full re-certification once trust returns.
-    for (std::size_t row : loRows.setBits()) {
+    // demoteRow clears the visited bit, which the visit contract
+    // permits (words are snapshotted before their bits dispatch).
+    loRows.visitSetBits([this](std::size_t row) {
         recoveryQueue.push_back(RowId{row});
         demoteRow(RowId{row}, "demote.fallback");
-    }
+    });
     // Drain the test slots: verdicts in flight are no longer safe to
     // act on.
     std::vector<RowId> in_test = engine.rowsUnderTest();
@@ -179,9 +183,10 @@ OnlineMemcon::startCandidateTests(Tick now)
         if (engine.isUnderTest(row) || loRows.test(row.value()) ||
             resilience.isPinned(row))
             continue;
-        bool ok = engine.beginTest(row, [](RowId r, std::size_t w) {
-            return syntheticWord(r, w);
-        });
+        bool ok = engine.beginTest(
+            row, [](RowId r, std::uint64_t *dst, std::size_t n) {
+                syntheticFillRow(r, dst, n);
+            });
         if (!ok)
             break; // reserve region exhausted (Copy&Compare)
 
@@ -208,9 +213,10 @@ OnlineMemcon::startScrubTests(Tick now)
         // Demoted or re-queued since the sweep picked it: skip.
         if (!loRows.test(row.value()) || engine.isUnderTest(row))
             continue;
-        bool ok = engine.beginTest(row, [](RowId r, std::size_t w) {
-            return syntheticWord(r, w);
-        });
+        bool ok = engine.beginTest(
+            row, [](RowId r, std::uint64_t *dst, std::size_t n) {
+                syntheticFillRow(r, dst, n);
+            });
         if (!ok) {
             scrubQueue.push_front(row);
             break; // reserve region exhausted (Copy&Compare)
@@ -288,12 +294,11 @@ OnlineMemcon::completeDueTests(Tick now)
         bool is_scrub = it->isScrub;
         bool decayed = oracle && oracle(row);
         TestOutcome outcome = engine.completeTest(
-            row, [decayed](RowId r, std::size_t w) {
-                std::uint64_t word = syntheticWord(r, w);
+            row, [decayed](RowId r, std::uint64_t *dst, std::size_t n) {
+                syntheticFillRow(r, dst, n);
                 // A condemned row reads back with a flipped cell.
-                if (decayed && w == 0)
-                    word ^= 1;
-                return word;
+                if (decayed && n > 0)
+                    dst[0] ^= 1;
             });
         if (is_scrub) {
             // The row was LO throughout; a pass re-affirms it, a
@@ -349,11 +354,9 @@ OnlineMemcon::stateFingerprint() const
     mix(roScanDone ? 1 : 0);
     mix(resilience.inFallback() ? 1 : 0);
     mix(resilience.pinnedRows());
-    for (std::size_t bit : loRows.setBits())
-        mix(bit);
+    loRows.visitSetBits([&mix](std::size_t bit) { mix(bit); });
     mix(0xA5A5A5A5ull);
-    for (std::size_t bit : everWritten.setBits())
-        mix(bit);
+    everWritten.visitSetBits([&mix](std::size_t bit) { mix(bit); });
     mix(0x5A5A5A5Aull);
     for (const ActiveTest &t : activeTests) {
         mix(t.row.value());

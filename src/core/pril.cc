@@ -9,14 +9,22 @@
 namespace memcon::core
 {
 
+// --------------------------------------------------------------------
+// PrilPredictor: flat-set buffers, batched candidate extraction.
+// --------------------------------------------------------------------
+
 PrilPredictor::PrilPredictor(std::uint64_t num_pages,
                              std::size_t buffer_capacity)
-    : pages(num_pages), capacity(buffer_capacity)
+    : pages(num_pages), capacity(buffer_capacity),
+      writeBuffer{FlatPageSet(buffer_capacity),
+                  FlatPageSet(buffer_capacity)}
 {
     fatal_if(num_pages == 0, "tracker needs at least one page");
     fatal_if(buffer_capacity == 0, "write buffer cannot be empty");
     writeMap[0].resizeAndClear(num_pages);
     writeMap[1].resizeAndClear(num_pages);
+    erasedMap[0].resizeAndClear(num_pages);
+    erasedMap[1].resizeAndClear(num_pages);
 }
 
 void
@@ -29,41 +37,66 @@ PrilPredictor::onWrite(PageId page)
     unsigned prev = 1 - current;
 
     // A write in this quantum disqualifies any candidacy from the
-    // previous quantum (step 3 in Figure 13).
-    writeBuffer[prev].erase(page);
+    // previous quantum (step 3 in Figure 13). Buffer membership
+    // implies the map bit is set, so a clear bit skips the probe -
+    // the common case under sparse traffic.
+    if (writeMap[prev].test(page.value()) &&
+        writeBuffer[prev].erase(page.value()))
+        erasedMap[prev].set(page.value());
 
     bool already_written = writeMap[cur].testAndSet(page.value());
     if (!already_written) {
         // First write this quantum (step 1): track it, unless full.
         if (writeBuffer[cur].size() >= capacity) {
             ++drops;
+            erasedMap[cur].set(page.value());
             return;
         }
-        writeBuffer[cur].insert(page);
+        writeBuffer[cur].insert(page.value());
         peakOccupancy = std::max(peakOccupancy, writeBuffer[cur].size());
     } else {
         // Second or later write (step 2): interval below a quantum.
-        writeBuffer[cur].erase(page);
+        if (writeBuffer[cur].erase(page.value()))
+            erasedMap[cur].set(page.value());
     }
 }
 
 std::vector<PageId>
 PrilPredictor::endQuantum()
 {
+    std::vector<PageId> candidates;
+    endQuantumInto(candidates);
+    return candidates;
+}
+
+void
+PrilPredictor::endQuantumInto(std::vector<PageId> &out)
+{
     unsigned prev = 1 - current;
 
     // Pages surviving in the previous buffer had exactly one write
-    // in the quantum before last and none since (step 4). The
-    // candidate list feeds test scheduling and stats, so it must not
-    // inherit hash-set iteration order.
-    std::vector<PageId> candidates =
-        ordered::sortedValues(writeBuffer[prev]);
+    // in the quantum before last and none since (step 4). Buffer
+    // membership is exactly {map bit set, erased bit clear} - pages
+    // enter the buffer only after testAndSet, every departure (step-2
+    // erase, step-3 eviction, drop) stamps the erased map, and
+    // re-entry within a quantum is impossible - so one bulk
+    // `map ANDNOT erased` pass plus a visit of the surviving bits
+    // (ascending by construction) reproduces the sorted candidate
+    // list without per-page hashing, materializing, or sorting.
+    out.clear();
+    if (!writeBuffer[prev].empty()) {
+        extractScratch = writeMap[prev];
+        extractScratch.andNotWith(erasedMap[prev]);
+        extractScratch.visitSetBits([&out](std::size_t bit) {
+            out.push_back(PageId{bit});
+        });
+    }
 
     // Step 5: clear the previous structures and swap roles.
-    writeBuffer[prev].clear();
+    writeBuffer[prev].clearAll();
     writeMap[prev].clearAll();
+    erasedMap[prev].clearAll();
     current = prev;
-    return candidates;
 }
 
 std::size_t
@@ -71,7 +104,10 @@ PrilPredictor::storageBytes() const
 {
     // Two bit-vector write-maps plus two write-buffers of page
     // addresses (modelled at 34 bits, rounded to 5 bytes, per entry
-    // as in §6.4's 17 KB for 4000 entries).
+    // as in §6.4's 17 KB for 4000 entries). The flat set's host-side
+    // slot array and the derived erased maps are implementation
+    // details, not modelled SRAM, so the accounting matches the
+    // reference predictor exactly.
     return writeMap[0].storageBytes() + writeMap[1].storageBytes() +
            2 * capacity * 5;
 }
@@ -79,15 +115,118 @@ PrilPredictor::storageBytes() const
 bool
 PrilPredictor::isTracked(PageId page) const
 {
-    return writeBuffer[0].count(page) || writeBuffer[1].count(page);
+    return writeBuffer[0].contains(page.value()) ||
+           writeBuffer[1].contains(page.value());
 }
 
 std::uint32_t
 PrilPredictor::stateFingerprint() const
 {
     // CRC over a canonical little-endian serialization: the swap
-    // phase, counters, each map's set bits, and each buffer sorted
-    // (hash-set iteration order must not leak into the fingerprint).
+    // phase, counters, each map's set bits, and each buffer's members
+    // in ascending page order. Membership order comes from the
+    // derived erased map (`map ANDNOT erased` visits ascending), not
+    // from flat-set slot order - slot layout under linear probing is
+    // a function of the operation history, while this serialization
+    // depends only on the logical state, so two predictors in equal
+    // states fingerprint identically however they got there
+    // (DESIGN.md §19).
+    std::uint32_t c = 0;
+    auto mix = [&c](std::uint64_t v) {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        c = ckpt::crc32(b, sizeof(b), c);
+    };
+    mix(current);
+    mix(drops);
+    mix(peakOccupancy);
+    for (unsigned side = 0; side < 2; ++side) {
+        writeMap[side].visitSetBits([&mix](std::size_t bit) {
+            mix(bit);
+        });
+        mix(0xA5A5A5A5ull); // side separator
+        BitVector members = writeMap[side];
+        members.andNotWith(erasedMap[side]);
+        members.visitSetBits([&mix](std::size_t bit) { mix(bit); });
+        mix(0x5A5A5A5Aull);
+    }
+    return c;
+}
+
+// --------------------------------------------------------------------
+// ReferencePrilPredictor: the seed hash-set implementation, kept as
+// the priced baseline. Semantics are identical to the flat predictor
+// (the property suite locksteps the two); only the container and the
+// fingerprint ordering differ.
+// --------------------------------------------------------------------
+
+ReferencePrilPredictor::ReferencePrilPredictor(std::uint64_t num_pages,
+                                               std::size_t buffer_capacity)
+    : pages(num_pages), capacity(buffer_capacity)
+{
+    fatal_if(num_pages == 0, "tracker needs at least one page");
+    fatal_if(buffer_capacity == 0, "write buffer cannot be empty");
+    writeMap[0].resizeAndClear(num_pages);
+    writeMap[1].resizeAndClear(num_pages);
+}
+
+void
+ReferencePrilPredictor::onWrite(PageId page)
+{
+    panic_if(page.value() >= pages, "page %llu out of range",
+             static_cast<unsigned long long>(page.value()));
+
+    unsigned cur = current;
+    unsigned prev = 1 - current;
+
+    writeBuffer[prev].erase(page);
+
+    bool already_written = writeMap[cur].testAndSet(page.value());
+    if (!already_written) {
+        if (writeBuffer[cur].size() >= capacity) {
+            ++drops;
+            return;
+        }
+        writeBuffer[cur].insert(page);
+        peakOccupancy = std::max(peakOccupancy, writeBuffer[cur].size());
+    } else {
+        writeBuffer[cur].erase(page);
+    }
+}
+
+std::vector<PageId>
+ReferencePrilPredictor::endQuantum()
+{
+    unsigned prev = 1 - current;
+
+    // The candidate list feeds test scheduling and stats, so it must
+    // not inherit hash-set iteration order.
+    std::vector<PageId> candidates =
+        ordered::sortedValues(writeBuffer[prev]);
+
+    writeBuffer[prev].clear();
+    writeMap[prev].clearAll();
+    current = prev;
+    return candidates;
+}
+
+std::size_t
+ReferencePrilPredictor::storageBytes() const
+{
+    return writeMap[0].storageBytes() + writeMap[1].storageBytes() +
+           2 * capacity * 5;
+}
+
+bool
+ReferencePrilPredictor::isTracked(PageId page) const
+{
+    return writeBuffer[0].count(page) || writeBuffer[1].count(page);
+}
+
+std::uint32_t
+ReferencePrilPredictor::stateFingerprint() const
+{
     std::uint32_t c = 0;
     auto mix = [&c](std::uint64_t v) {
         unsigned char b[8];
@@ -102,9 +241,9 @@ PrilPredictor::stateFingerprint() const
         for (std::size_t bit : writeMap[side].setBits())
             mix(bit);
         mix(0xA5A5A5A5ull); // side separator
-        const std::vector<PageId> pages =
+        const std::vector<PageId> sorted =
             ordered::sortedValues(writeBuffer[side]);
-        for (PageId page : pages)
+        for (PageId page : sorted)
             mix(page.value());
         mix(0x5A5A5A5Aull);
     }

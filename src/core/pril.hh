@@ -22,6 +22,25 @@
  *
  * A full write-buffer drops the new page (footnote 10): MEMCON keeps
  * it at HI-REF, losing opportunity but never correctness.
+ *
+ * Two implementations live here (DESIGN.md §19):
+ *
+ *  - PrilPredictor: the production predictor. Write-buffers are
+ *    deterministic open-addressing flat sets (no per-write node
+ *    churn). A derived erased-map per side (bit set when a page
+ *    leaves or is refused the buffer) makes candidate extraction a
+ *    bulk `map ANDNOT erased` + visit-set-bits pass - no per-page
+ *    hashing - which reproduces the sorted candidate list exactly:
+ *    buffer membership is precisely {map bit set, erased bit clear},
+ *    because pages enter the buffer only after testAndSet, leave it
+ *    at most once per quantum (re-insertion is impossible - insert
+ *    happens only on the first write), and buffer erases never clear
+ *    map bits. The same invariant lets onWrite skip the
+ *    previous-buffer probe whenever the previous map bit is clear.
+ *  - ReferencePrilPredictor: the seed std::unordered_set
+ *    implementation, kept verbatim as the priced baseline for the
+ *    reference event path, the property cross-checks, and the
+ *    micro_pril_ops speedup denominators.
  */
 
 #ifndef MEMCON_CORE_PRIL_HH
@@ -32,6 +51,7 @@
 #include <vector>
 
 #include "common/bitvector.hh"
+#include "common/flat_set.hh"
 #include "common/strong_id.hh"
 #include "common/units.hh"
 
@@ -57,6 +77,12 @@ class PrilPredictor
      */
     std::vector<PageId> endQuantum();
 
+    /**
+     * endQuantum() without the per-quantum allocation: candidates are
+     * written into out (cleared first; capacity retained), ascending.
+     */
+    void endQuantumInto(std::vector<PageId> &out);
+
     std::uint64_t numPages() const { return pages; }
     std::size_t bufferCapacity() const { return capacity; }
 
@@ -74,9 +100,12 @@ class PrilPredictor
 
     /**
      * CRC over the complete predictor state (maps, buffers, swap
-     * phase, drop/peak counters). Two predictors that processed the
-     * same write sequence fingerprint identically; the service layer
-     * uses this to prove a journal-replayed restore reconverged.
+     * phase, drop/peak counters). Two predictors in equal logical
+     * states fingerprint identically regardless of how they reached
+     * them; the service layer uses this to prove a journal-replayed
+     * restore reconverged. Buffer members are mixed in ascending
+     * page order, recovered for free from the derived erased map
+     * (`map ANDNOT erased`), so no sorting pass is needed.
      */
     std::uint32_t stateFingerprint() const;
 
@@ -86,6 +115,57 @@ class PrilPredictor
 
     // Index 0/1 with `current` selecting the active pair; the other
     // pair is the previous quantum's.
+    BitVector writeMap[2];
+    FlatPageSet writeBuffer[2];
+
+    // Host-side acceleration state, not modelled SRAM: erasedMap[s]
+    // holds exactly (map[s] set bits) minus (buffer[s] members) -
+    // every page that set its map bit but then left the buffer
+    // (re-write), was evicted from the previous buffer (write in the
+    // following quantum), or was refused entry (drop). Maintained on
+    // the rare leave/drop paths only; rebuilt for free on restore
+    // because restore replays the write journal through onWrite().
+    BitVector erasedMap[2];
+
+    // Per-quantum extraction scratch (capacity retained across
+    // quanta): map ANDNOT erased, then visit.
+    BitVector extractScratch;
+
+    unsigned current = 0;
+
+    std::uint64_t drops = 0;
+    std::size_t peakOccupancy = 0;
+};
+
+/**
+ * The seed hash-set PRIL implementation, bit-for-bit equivalent to
+ * PrilPredictor in candidates, drops, peak occupancy, and storage
+ * accounting (the property suite pins this). The reference event
+ * path prices against it; micro_pril_ops uses it as the speedup
+ * baseline. Fingerprints are NOT comparable across the two classes -
+ * this one mixes buffers in sorted order, the flat one in slot order.
+ */
+class ReferencePrilPredictor
+{
+  public:
+    ReferencePrilPredictor(std::uint64_t num_pages,
+                           std::size_t buffer_capacity);
+
+    void onWrite(PageId page);
+    std::vector<PageId> endQuantum();
+
+    std::uint64_t numPages() const { return pages; }
+    std::size_t bufferCapacity() const { return capacity; }
+    std::uint64_t bufferDrops() const { return drops; }
+    std::size_t peakBufferOccupancy() const { return peakOccupancy; }
+    std::size_t storageBytes() const;
+    bool isTracked(PageId page) const;
+    std::uint32_t stateFingerprint() const;
+
+  private:
+    std::uint64_t pages;
+    std::size_t capacity;
+
     BitVector writeMap[2];
     std::unordered_set<PageId> writeBuffer[2];
     unsigned current = 0;

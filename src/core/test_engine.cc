@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/ordered.hh"
+#include "common/simd.hh"
 
 namespace memcon::core
 {
@@ -41,7 +42,7 @@ TestEngine::isUnderTest(RowId row) const
 }
 
 bool
-TestEngine::beginTest(RowId row, const RowReader &reader)
+TestEngine::beginTest(RowId row, const BlockRowReader &reader)
 {
     panic_if(isUnderTest(row), "row is already under test");
     if (sessions.size() >= cfg.slots)
@@ -58,23 +59,31 @@ TestEngine::beginTest(RowId row, const RowReader &reader)
     if (cfg.mode == TestMode::ReadAndCompare) {
         // Buffer the whole row in the controller.
         session.reserveRow = 0;
-        session.bufferedData.reserve(cfg.wordsPerRow);
-        for (std::size_t w = 0; w < cfg.wordsPerRow; ++w)
-            session.bufferedData.push_back(reader(row, w));
+        session.bufferedData.resize(cfg.wordsPerRow);
+        reader(row, session.bufferedData.data(), cfg.wordsPerRow);
     } else {
         // Copy to the reserve region; retain only the signature.
         session.reserveRow = freeReserveRows.back();
         freeReserveRows.pop_back();
-        std::vector<std::uint64_t> words;
-        words.reserve(cfg.wordsPerRow);
-        for (std::size_t w = 0; w < cfg.wordsPerRow; ++w)
-            words.push_back(reader(row, w));
-        session.signature = dram::Secded64::rowSignature(words);
+        readbackScratch.resize(cfg.wordsPerRow);
+        reader(row, readbackScratch.data(), cfg.wordsPerRow);
+        session.signature = dram::Secded64::rowSignature(readbackScratch);
     }
 
     sessions.emplace(row, std::move(session));
     ++started;
     return true;
+}
+
+bool
+TestEngine::beginTest(RowId row, const RowReader &reader)
+{
+    return beginTest(
+        row, BlockRowReader([&reader](RowId r, std::uint64_t *dst,
+                                      std::size_t n_words) {
+            for (std::size_t w = 0; w < n_words; ++w)
+                dst[w] = reader(r, w);
+        }));
 }
 
 std::optional<Redirection>
@@ -116,22 +125,21 @@ TestEngine::onWrite(RowId row)
 }
 
 TestOutcome
-TestEngine::completeTest(RowId row, const RowReader &reader)
+TestEngine::completeTest(RowId row, const BlockRowReader &reader)
 {
     auto it = sessions.find(row);
     panic_if(it == sessions.end(), "completing a test that never began");
     const Session &session = it->second;
 
     bool clean = true;
+    readbackScratch.resize(cfg.wordsPerRow);
+    reader(row, readbackScratch.data(), cfg.wordsPerRow);
     if (cfg.mode == TestMode::ReadAndCompare) {
-        for (std::size_t w = 0; w < cfg.wordsPerRow && clean; ++w)
-            clean = reader(row, w) == session.bufferedData[w];
+        clean = simd::rowsEqual(readbackScratch.data(),
+                                session.bufferedData.data(),
+                                cfg.wordsPerRow);
     } else {
-        std::vector<std::uint64_t> words;
-        words.reserve(cfg.wordsPerRow);
-        for (std::size_t w = 0; w < cfg.wordsPerRow; ++w)
-            words.push_back(reader(row, w));
-        clean = dram::Secded64::compareSignature(words,
+        clean = dram::Secded64::compareSignature(readbackScratch,
                                                  session.signature)
                     .empty();
     }
@@ -143,6 +151,17 @@ TestEngine::completeTest(RowId row, const RowReader &reader)
     else
         ++failed;
     return clean ? TestOutcome::Pass : TestOutcome::Fail;
+}
+
+TestOutcome
+TestEngine::completeTest(RowId row, const RowReader &reader)
+{
+    return completeTest(
+        row, BlockRowReader([&reader](RowId r, std::uint64_t *dst,
+                                      std::size_t n_words) {
+            for (std::size_t w = 0; w < n_words; ++w)
+                dst[w] = reader(r, w);
+        }));
 }
 
 std::vector<RowId>

@@ -79,6 +79,14 @@ class TestEngine
     using RowReader =
         std::function<std::uint64_t(RowId row, std::size_t word_idx)>;
 
+    /**
+     * Reads the whole row into dst[0..n_words) in one call - the
+     * bit-parallel form (DESIGN.md §19). The captured buffers are
+     * then compared through the dispatched simd kernels.
+     */
+    using BlockRowReader = std::function<void(
+        RowId row, std::uint64_t *dst, std::size_t n_words)>;
+
     explicit TestEngine(const TestEngineConfig &config);
 
     const TestEngineConfig &config() const { return cfg; }
@@ -96,6 +104,9 @@ class TestEngine
      *
      * @return false if no slot or (in C&C) no reserve row is free.
      */
+    bool beginTest(RowId row, const BlockRowReader &reader);
+
+    /** Per-word convenience wrapper around the block form. */
     bool beginTest(RowId row, const RowReader &reader);
 
     /**
@@ -117,6 +128,9 @@ class TestEngine
      * Finish the test: read the decayed row back and compare against
      * the captured state.
      */
+    TestOutcome completeTest(RowId row, const BlockRowReader &reader);
+
+    /** Per-word convenience wrapper around the block form. */
     TestOutcome completeTest(RowId row, const RowReader &reader);
 
     /** Rows currently under test, ascending. */
@@ -151,6 +165,8 @@ class TestEngine
     void releaseSession(const Session &session);
 
     TestEngineConfig cfg;
+    /** Reused readback scratch for the C&C and completion paths. */
+    std::vector<std::uint64_t> readbackScratch;
     std::unordered_map<RowId, Session> sessions;
     std::vector<bool> slotBusy;
     std::vector<std::uint64_t> freeReserveRows;

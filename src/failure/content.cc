@@ -6,6 +6,17 @@
 namespace memcon::failure
 {
 
+void
+ContentProvider::fillRow(std::uint64_t row, std::uint64_t *dst,
+                         std::size_t n_words) const
+{
+    // Default: one virtual call per word. This is the only sanctioned
+    // per-word wordAt loop outside the providers themselves - the
+    // memcon_analyze content-wordat rule flags any other caller.
+    for (std::size_t w = 0; w < n_words; ++w)
+        dst[w] = wordAt(row, w);
+}
+
 std::string
 toString(PatternKind kind)
 {
@@ -63,6 +74,27 @@ PatternContent::wordAt(std::uint64_t row, std::uint64_t word_idx) const
                          hashMix64(row * 131 + word_idx));
     }
     panic("unknown pattern kind");
+}
+
+void
+PatternContent::fillRow(std::uint64_t row, std::uint64_t *dst,
+                        std::size_t n_words) const
+{
+    // Every pattern except Random is constant across a row, so the
+    // switch resolves once and the loop is a plain fill.
+    switch (patternKind) {
+      case PatternKind::Random:
+        for (std::size_t w = 0; w < n_words; ++w)
+            dst[w] = hashMix64(param * 0x9e3779b97f4a7c15ULL ^
+                               hashMix64(row * 131 + w));
+        return;
+      default: {
+        const std::uint64_t word = wordAt(row, 0);
+        for (std::size_t w = 0; w < n_words; ++w)
+            dst[w] = word;
+        return;
+      }
+    }
 }
 
 std::string
@@ -195,6 +227,30 @@ ProgramContent::wordAt(std::uint64_t row, std::uint64_t word_idx) const
         }
     }
     return generateWord(base ^ hashMix64(last_changed + 1));
+}
+
+void
+ProgramContent::fillRow(std::uint64_t row, std::uint64_t *dst,
+                        std::size_t n_words) const
+{
+    // Same word function as wordAt, devirtualized and with the
+    // row-invariant seed product hoisted out of the loop.
+    const std::uint64_t seeded = personaDesc.seed * 0x2545f4914f6cdd1dULL;
+    const std::uint64_t row_base = row * 4099;
+    for (std::size_t w = 0; w < n_words; ++w) {
+        std::uint64_t base = seeded ^ hashMix64(row_base + w);
+        std::uint64_t last_changed = 0;
+        for (std::uint64_t e = epochIdx; e > 0; --e) {
+            double u = static_cast<double>(
+                           hashMix64(base ^ (e * 0x51ed2701)) >> 11) *
+                       0x1.0p-53;
+            if (u < kEpochChurn) {
+                last_changed = e;
+                break;
+            }
+        }
+        dst[w] = generateWord(base ^ hashMix64(last_changed + 1));
+    }
 }
 
 std::string

@@ -22,6 +22,7 @@
 #ifndef MEMCON_FAILURE_CONTENT_HH
 #define MEMCON_FAILURE_CONTENT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,6 +39,18 @@ class ContentProvider
     /** 64-bit word at the given logical row and word index. */
     virtual std::uint64_t wordAt(std::uint64_t row,
                                  std::uint64_t word_idx) const = 0;
+
+    /**
+     * Fill dst[0..n_words) with words 0..n_words of the row - the
+     * block form the bit-parallel test path compares from (DESIGN.md
+     * §19). Contract: fillRow(row, dst, n) leaves dst[w] ==
+     * wordAt(row, w) for every w; the property suite pins this for
+     * every provider. The default loops over the virtual wordAt;
+     * concrete providers override with bulk generation that hoists
+     * the per-row decisions out of the word loop.
+     */
+    virtual void fillRow(std::uint64_t row, std::uint64_t *dst,
+                         std::size_t n_words) const;
 
     /** A printable identifier for reports. */
     virtual std::string name() const = 0;
@@ -73,6 +86,8 @@ class PatternContent : public ContentProvider
 
     std::uint64_t wordAt(std::uint64_t row,
                          std::uint64_t word_idx) const override;
+    void fillRow(std::uint64_t row, std::uint64_t *dst,
+                 std::size_t n_words) const override;
     std::string name() const override;
 
     PatternKind kind() const { return patternKind; }
@@ -122,6 +137,8 @@ class ProgramContent : public ContentProvider
 
     std::uint64_t wordAt(std::uint64_t row,
                          std::uint64_t word_idx) const override;
+    void fillRow(std::uint64_t row, std::uint64_t *dst,
+                 std::size_t n_words) const override;
     std::string name() const override;
 
     const ContentPersona &persona() const { return personaDesc; }

@@ -46,6 +46,7 @@
 #ifndef MEMCON_FAILURE_MODEL_HH
 #define MEMCON_FAILURE_MODEL_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -197,6 +198,21 @@ class FailureModel
      */
     bool chargedAt(RowId physical_row, std::uint64_t storage_col,
                    const ContentProvider &content) const;
+
+    /**
+     * The logical words read back from one physical row after it
+     * idles for interval_ms with the content installed: fillRow of
+     * the scrambled logical row, with each *logically visible*
+     * failing cell's bit flipped (a failure always reads as the
+     * discharged state, i.e. the stored bit inverted). Failures at
+     * unused spare or fused-off columns have no logical address and
+     * are invisible here - the block test path (DESIGN.md §19)
+     * therefore sees exactly what the memory controller would see.
+     */
+    void readbackPhysicalRow(RowId physical_row,
+                             const ContentProvider &content,
+                             double interval_ms, std::uint64_t *dst,
+                             std::size_t n_words) const;
 
   private:
     struct RowPopulation

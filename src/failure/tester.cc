@@ -1,8 +1,11 @@
 #include "failure/tester.hh"
 
 #include <cmath>
+#include <cstring>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace memcon::failure
 {
@@ -45,6 +48,40 @@ DramTester::testWithContent(const ContentProvider &content,
             ++result.rowsFailing;
             result.failures.insert(result.failures.end(), fails.begin(),
                                    fails.end());
+        }
+    }
+    return result;
+}
+
+std::size_t
+DramTester::rowWords() const
+{
+    return static_cast<std::size_t>((model.cellsPerRow() + 63) / 64);
+}
+
+TestResult
+DramTester::testWithContentBlock(const ContentProvider &content,
+                                 double interval_ms,
+                                 std::uint64_t row_limit) const
+{
+    std::uint64_t limit = rowLimitOrAll(row_limit);
+    const std::size_t n_words = rowWords();
+    TestResult result;
+    result.rowsTested = limit;
+
+    Arena arena;
+    std::uint64_t *expected = arena.allocate<std::uint64_t>(n_words);
+    std::uint64_t *readback = arena.allocate<std::uint64_t>(n_words);
+
+    for (std::uint64_t r = 0; r < limit; ++r) {
+        std::uint64_t logical_row = model.scrambler().logicalRow(r);
+        content.fillRow(logical_row, expected, n_words);
+        model.readbackPhysicalRow(RowId{r}, content, interval_ms,
+                                  readback, n_words);
+        if (!simd::rowsEqual(expected, readback, n_words)) {
+            ++result.rowsFailing;
+            result.failingBits +=
+                simd::xorPopcount(expected, readback, n_words);
         }
     }
     return result;
@@ -110,6 +147,51 @@ DramTester::perPatternFailingCells(
             }
         }
         out.push_back(std::move(cells));
+    }
+    return out;
+}
+
+std::vector<DramTester::PatternBitCounts>
+DramTester::batteryFailingBitCounts(
+    const std::vector<PatternContent> &battery, double interval_ms,
+    std::uint64_t row_limit) const
+{
+    std::uint64_t limit = rowLimitOrAll(row_limit);
+    const std::size_t n_words = rowWords();
+    std::vector<PatternBitCounts> out(battery.size());
+
+    Arena arena;
+    std::uint64_t *expected = arena.allocate<std::uint64_t>(n_words);
+    std::uint64_t *readback = arena.allocate<std::uint64_t>(n_words);
+    std::uint64_t *diff = arena.allocate<std::uint64_t>(n_words);
+    std::uint64_t *fresh = arena.allocate<std::uint64_t>(n_words);
+    // One seen-mask per row, accumulated across the battery.
+    std::uint64_t *seen = arena.allocate<std::uint64_t>(limit * n_words);
+    std::memset(seen, 0, limit * n_words * sizeof(std::uint64_t));
+
+    for (std::size_t i = 0; i < battery.size(); ++i) {
+        const PatternContent &pattern = battery[i];
+        for (std::uint64_t r = 0; r < limit; ++r) {
+            std::uint64_t logical_row = model.scrambler().logicalRow(r);
+            pattern.fillRow(logical_row, expected, n_words);
+            model.readbackPhysicalRow(RowId{r}, pattern, interval_ms,
+                                      readback, n_words);
+            for (std::size_t w = 0; w < n_words; ++w)
+                diff[w] = expected[w] ^ readback[w];
+            std::uint64_t bits = simd::popcountWords(diff, n_words);
+            if (bits == 0)
+                continue;
+            out[i].failingBits += bits;
+
+            // New bits = diff with everything already seen masked
+            // off; then fold this pattern's diff into the row mask.
+            std::uint64_t *row_seen = seen + r * n_words;
+            std::memcpy(fresh, diff, n_words * sizeof(std::uint64_t));
+            simd::andNotWords(fresh, row_seen, n_words);
+            out[i].newFailingBits +=
+                simd::popcountWords(fresh, n_words);
+            simd::orWords(row_seen, diff, n_words);
+        }
     }
     return out;
 }

@@ -46,6 +46,14 @@ struct TestResult
 {
     std::uint64_t rowsTested = 0;
     std::uint64_t rowsFailing = 0;
+
+    /**
+     * Total logically visible failing bits (xor-popcount of expected
+     * vs readback). Populated by the block test path; the sparse
+     * per-cell paths leave it zero.
+     */
+    std::uint64_t failingBits = 0;
+
     std::vector<CellFailure> failures;
 
     double failingRowFraction() const
@@ -69,6 +77,24 @@ class DramTester
     TestResult testWithContent(const ContentProvider &content,
                                double interval_ms,
                                std::uint64_t row_limit = 0) const;
+
+    /**
+     * The bit-parallel form of testWithContent (DESIGN.md §19):
+     * fill the expected row, read the row back as a flat word
+     * buffer, and compare through the dispatched kernels. Reports
+     * rowsFailing and failingBits but leaves the failures vector
+     * empty - per-cell attribution needs the sparse path.
+     *
+     * Verdict caveat: this path sees what the memory controller
+     * sees, so failures at unused spare / fused-off columns (no
+     * logical address) are invisible here while testWithContent
+     * reports them. On a model with redundantColumns == 0 the two
+     * paths' rowsFailing match exactly (pinned by the property
+     * suite).
+     */
+    TestResult testWithContentBlock(const ContentProvider &content,
+                                    double interval_ms,
+                                    std::uint64_t row_limit = 0) const;
 
     /**
      * Run a battery of patterns and return the union of failures -
@@ -98,8 +124,32 @@ class DramTester
                            double interval_ms,
                            std::uint64_t row_limit = 0) const;
 
+    /** Per-pattern failing-bit totals from the block battery sweep. */
+    struct PatternBitCounts
+    {
+        /** Logically visible bits differing under this pattern. */
+        std::uint64_t failingBits = 0;
+        /** Of those, bits no earlier battery pattern had flagged. */
+        std::uint64_t newFailingBits = 0;
+    };
+
+    /**
+     * Bit-parallel battery sweep for the Figure 3 pattern-coverage
+     * curves: per pattern, the visible failing-bit count and how many
+     * of those bits are new versus all preceding patterns. The
+     * per-row "seen" masks are maintained with the bulk or/andnot
+     * kernels, so the whole sweep never materializes per-cell sets.
+     */
+    std::vector<PatternBitCounts>
+    batteryFailingBitCounts(const std::vector<PatternContent> &battery,
+                            double interval_ms,
+                            std::uint64_t row_limit = 0) const;
+
   private:
     std::uint64_t rowLimitOrAll(std::uint64_t row_limit) const;
+
+    /** Words per row in the block views (ceil of cells / 64). */
+    std::size_t rowWords() const;
 
     const FailureModel &model;
 };

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/arena.hh"
 #include "common/bitvector.hh"
 #include "common/histogram.hh"
 #include "common/linear_fit.hh"
@@ -255,6 +256,121 @@ TEST(BitVector, StorageMatchesWordCount)
 {
     BitVector bv(65);
     EXPECT_EQ(bv.storageBytes(), 2 * sizeof(std::uint64_t));
+}
+
+TEST(BitVector, VisitSetBitsAscendingAndAllocationFree)
+{
+    BitVector bv(200);
+    for (std::size_t i : {0u, 63u, 64u, 65u, 128u, 199u})
+        bv.set(i);
+
+    std::vector<std::size_t> visited;
+    bv.visitSetBits([&visited](std::size_t bit) {
+        visited.push_back(bit);
+    });
+    EXPECT_EQ(visited, (std::vector<std::size_t>{0, 63, 64, 65, 128, 199}));
+
+    // setBitsInto reuses the caller's vector and matches setBits().
+    std::vector<std::size_t> into{99, 98}; // stale content: must clear
+    bv.setBitsInto(into);
+    EXPECT_EQ(into, bv.setBits());
+}
+
+TEST(BitVector, VisitSetBitsToleratesClearingDuringVisit)
+{
+    // The documented mutation contract: the callback may clear the
+    // current or an earlier bit (each word is snapshotted before its
+    // bits dispatch), as enterFallback's demoteRow does.
+    BitVector bv(130);
+    for (std::size_t i : {3u, 64u, 65u, 129u})
+        bv.set(i);
+    std::vector<std::size_t> visited;
+    bv.visitSetBits([&bv, &visited](std::size_t bit) {
+        visited.push_back(bit);
+        bv.clear(bit);
+    });
+    EXPECT_EQ(visited, (std::vector<std::size_t>{3, 64, 65, 129}));
+    EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, OrWithAndNotWith)
+{
+    const std::size_t bits = 150;
+    BitVector seen(bits), diff(bits);
+    for (std::size_t i : {1u, 70u, 149u})
+        seen.set(i);
+    for (std::size_t i : {1u, 2u, 70u, 148u})
+        diff.set(i);
+
+    // The battery bookkeeping pattern: fresh = diff ANDNOT seen,
+    // then seen |= diff.
+    BitVector fresh = diff;
+    fresh.andNotWith(seen);
+    EXPECT_EQ(fresh.setBits(), (std::vector<std::size_t>{2, 148}));
+
+    seen.orWith(diff);
+    EXPECT_EQ(seen.setBits(),
+              (std::vector<std::size_t>{1, 2, 70, 148, 149}));
+
+    // Tail bits past size() stay zero through bulk ops.
+    EXPECT_EQ(seen.count(), 5u);
+}
+
+TEST(Arena, AllocatesAlignedAndResets)
+{
+    Arena arena;
+    std::uint64_t *words = arena.allocate<std::uint64_t>(100);
+    ASSERT_NE(words, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(words) %
+                  alignof(std::uint64_t),
+              0u);
+    for (std::size_t i = 0; i < 100; ++i)
+        words[i] = i;
+
+    std::uint32_t *mixed = arena.allocate<std::uint32_t>(7);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(mixed) %
+                  alignof(std::uint32_t),
+              0u);
+    // Earlier allocation is untouched by later ones.
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(words[i], i);
+
+    EXPECT_GE(arena.usedBytes(), 100 * sizeof(std::uint64_t));
+    arena.reset();
+    EXPECT_EQ(arena.usedBytes(), 0u);
+    EXPECT_GT(arena.capacityBytes(), 0u);
+}
+
+TEST(Arena, ResetReusesAndCoalescesChunks)
+{
+    Arena arena(64); // small initial chunk: force growth
+    for (int i = 0; i < 10; ++i)
+        arena.allocate<std::uint64_t>(64); // 512 B each: new chunks
+    std::size_t grown = arena.capacityBytes();
+    EXPECT_GE(grown, 10 * 512u);
+
+    // After reset the arena serves the same demand from one chunk
+    // without growing further.
+    arena.reset();
+    std::size_t after_reset = arena.capacityBytes();
+    EXPECT_GE(after_reset, 10 * 512u);
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 10; ++i)
+            arena.allocate<std::uint64_t>(64);
+        EXPECT_EQ(arena.capacityBytes(), after_reset)
+            << "round " << round;
+        arena.reset();
+    }
+}
+
+TEST(Arena, ZeroCountAllocationIsSafe)
+{
+    Arena arena;
+    // n_words can legitimately be zero (empty spans are valid kernel
+    // inputs); the arena must not crash or grow unboundedly.
+    for (int i = 0; i < 100; ++i)
+        (void)arena.allocate<std::uint64_t>(0);
+    EXPECT_EQ(arena.usedBytes(), 0u);
 }
 
 /** Property: BitVector agrees with a std::set reference model under

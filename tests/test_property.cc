@@ -8,14 +8,21 @@
  */
 
 #include <algorithm>
+#include <bit>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/bitvector.hh"
+#include "common/flat_set.hh"
 #include "common/random.hh"
+#include "common/simd.hh"
 #include "core/pril.hh"
+#include "failure/content.hh"
+#include "failure/model.hh"
+#include "failure/tester.hh"
 
 using namespace memcon;
 
@@ -176,6 +183,330 @@ TEST(Property, PrilMatchesNaiveReferenceModel)
         EXPECT_EQ(pril.bufferDrops(), naive.bufferDrops())
             << "quantum " << quantum;
     }
+}
+
+// --------------------------------------------------------------------
+// SIMD kernel cross-checks (DESIGN.md §19): every kernel of every
+// compiled set against naive loops, on randomized word counts that
+// include 0, 1, and non-lane-multiple tails.
+// --------------------------------------------------------------------
+
+TEST(Property, SimdKernelsMatchNaiveReference)
+{
+    std::size_t set_count = 0;
+    const simd::KernelSet *const *sets =
+        simd::compiledKernelSets(&set_count);
+    ASSERT_GE(set_count, 1u);
+
+    Rng rng(0x51D0ULL);
+    // Sizes straddling the AVX2 lane width (4 words) and its
+    // unrolled blocks, plus the degenerate spans.
+    const std::size_t sizes[] = {0, 1, 2, 3, 4, 5, 7, 8,
+                                 9, 15, 16, 17, 31, 33, 100, 257};
+
+    for (std::size_t n : sizes) {
+        std::vector<std::uint64_t> a(n), b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = rng.next();
+            // Mix identical, sparse-diff, and dense-diff words so
+            // equal/firstMismatch see both early and late exits.
+            switch (rng.uniformInt(3)) {
+            case 0: b[i] = a[i]; break;
+            case 1: b[i] = a[i] ^ (std::uint64_t{1} << rng.uniformInt(64)); break;
+            default: b[i] = rng.next(); break;
+            }
+        }
+
+        // Naive references.
+        bool ref_equal = std::equal(a.begin(), a.end(), b.begin());
+        std::size_t ref_mismatch = simd::npos;
+        for (std::size_t i = 0; i < n; ++i)
+            if (a[i] != b[i]) {
+                ref_mismatch = i;
+                break;
+            }
+        std::uint64_t ref_xorpop = 0, ref_pop = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            ref_xorpop += std::popcount(a[i] ^ b[i]);
+            ref_pop += std::popcount(a[i]);
+        }
+        std::vector<std::size_t> ref_bits;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t bit = 0; bit < 64; ++bit)
+                if (a[i] >> bit & 1)
+                    ref_bits.push_back(i * 64 + bit);
+
+        for (std::size_t s = 0; s < set_count; ++s) {
+            const simd::KernelSet &k = *sets[s];
+            SCOPED_TRACE(std::string(k.name) + " n=" +
+                         std::to_string(n));
+            EXPECT_EQ(k.equal(a.data(), b.data(), n), ref_equal);
+            EXPECT_EQ(k.firstMismatch(a.data(), b.data(), n),
+                      ref_mismatch);
+            EXPECT_EQ(k.xorPopcount(a.data(), b.data(), n), ref_xorpop);
+            EXPECT_EQ(k.popcountWords(a.data(), n), ref_pop);
+
+            std::vector<std::uint64_t> dst = b;
+            k.orWords(dst.data(), a.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(dst[i], b[i] | a[i]) << i;
+
+            dst = b;
+            k.andNotWords(dst.data(), a.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(dst[i], b[i] & ~a[i]) << i;
+
+            std::vector<std::size_t> bits;
+            k.visitSetBits(
+                a.data(), n,
+                [](std::size_t bit, void *ctx) {
+                    static_cast<std::vector<std::size_t> *>(ctx)
+                        ->push_back(bit);
+                },
+                &bits);
+            EXPECT_EQ(bits, ref_bits);
+        }
+    }
+}
+
+TEST(Property, SimdKernelsOnAllZeroAndAllOneSpans)
+{
+    // The AVX2 visit kernel skips all-zero four-word blocks; the
+    // all-ones span is the densest callback load. Both extremes must
+    // agree with the scalar set for every compiled set.
+    std::size_t set_count = 0;
+    const simd::KernelSet *const *sets =
+        simd::compiledKernelSets(&set_count);
+    for (std::size_t n : {std::size_t{13}, std::size_t{64}}) {
+        std::vector<std::uint64_t> zeros(n, 0);
+        std::vector<std::uint64_t> ones(n, ~std::uint64_t{0});
+        for (std::size_t s = 0; s < set_count; ++s) {
+            const simd::KernelSet &k = *sets[s];
+            SCOPED_TRACE(k.name);
+            EXPECT_EQ(k.popcountWords(zeros.data(), n), 0u);
+            EXPECT_EQ(k.popcountWords(ones.data(), n), n * 64);
+            EXPECT_TRUE(k.equal(zeros.data(), zeros.data(), n));
+            EXPECT_EQ(k.xorPopcount(zeros.data(), ones.data(), n),
+                      n * 64);
+            std::size_t visited = 0;
+            k.visitSetBits(
+                zeros.data(), n,
+                [](std::size_t, void *ctx) {
+                    ++*static_cast<std::size_t *>(ctx);
+                },
+                &visited);
+            EXPECT_EQ(visited, 0u);
+            k.visitSetBits(
+                ones.data(), n,
+                [](std::size_t, void *ctx) {
+                    ++*static_cast<std::size_t *>(ctx);
+                },
+                &visited);
+            EXPECT_EQ(visited, n * 64);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// FlatPageSet: lockstep against std::set, plus the canonical-layout
+// guarantee the slot-order fingerprint depends on.
+// --------------------------------------------------------------------
+
+TEST(Property, FlatPageSetMatchesSetReference)
+{
+    const std::size_t cap = 32;
+    FlatPageSet flat(cap);
+    std::set<std::uint64_t> ref;
+    Rng rng(0xF1A7ULL);
+
+    for (int step = 0; step < 30000; ++step) {
+        std::uint64_t key = rng.uniformInt(96); // heavy collisions
+        switch (rng.uniformInt(4)) {
+        case 0:
+            if (ref.size() < cap) {
+                EXPECT_EQ(flat.insert(key), ref.insert(key).second);
+            }
+            break;
+        case 1:
+            EXPECT_EQ(flat.erase(key), ref.erase(key) > 0);
+            break;
+        case 2:
+            EXPECT_EQ(flat.contains(key), ref.count(key) > 0);
+            break;
+        default:
+            if (rng.chance(0.01)) {
+                flat.clearAll();
+                ref.clear();
+            }
+            break;
+        }
+        EXPECT_EQ(flat.size(), ref.size());
+        EXPECT_EQ(flat.empty(), ref.empty());
+    }
+
+    // Full-membership sweep at the end.
+    for (std::uint64_t key = 0; key < 96; ++key)
+        EXPECT_EQ(flat.contains(key), ref.count(key) > 0) << key;
+}
+
+TEST(Property, FlatPageSetLayoutIsDeterministicPerOpSequence)
+{
+    // Slot layout is a pure function of the operation sequence (no
+    // address-, time-, or thread-dependent state), so two sets fed
+    // the same ops enumerate identically - the determinism the
+    // cross-thread service tests lean on. The layout is NOT canonical
+    // for the key set alone (linear probing places same-home keys in
+    // arrival order), which is why fingerprints derive ordering from
+    // the write-maps instead of forEachSlot().
+    Rng rng(0xCA10ULL);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t cap = 16;
+        FlatPageSet a(cap), b(cap);
+        std::size_t live = 0;
+        for (int step = 0; step < 400; ++step) {
+            std::uint64_t key = rng.uniformInt(64);
+            if (rng.chance(0.55)) {
+                if (live < cap) {
+                    bool fresh = a.insert(key);
+                    EXPECT_EQ(b.insert(key), fresh);
+                    live += fresh;
+                }
+            } else {
+                bool hit = a.erase(key);
+                EXPECT_EQ(b.erase(key), hit);
+                live -= hit;
+            }
+        }
+        std::vector<std::uint64_t> slots_a, slots_b;
+        a.forEachSlot(
+            [&slots_a](std::uint64_t k) { slots_a.push_back(k); });
+        b.forEachSlot(
+            [&slots_b](std::uint64_t k) { slots_b.push_back(k); });
+        EXPECT_EQ(slots_a, slots_b) << "trial " << trial;
+    }
+}
+
+TEST(Property, PrilFingerprintIsHistoryIndependent)
+{
+    // Two predictors reaching the same logical state through
+    // different write orders must fingerprint identically: the
+    // serialization depends on the state (maps + buffer membership
+    // in ascending page order), never on flat-set slot layout.
+    const std::uint64_t num_pages = 256;
+    core::PrilPredictor fwd(num_pages, 64);
+    core::PrilPredictor rev(num_pages, 64);
+    Rng rng(0x0F1EULL);
+
+    for (int quantum = 0; quantum < 20; ++quantum) {
+        // Distinct pages within the quantum (re-use across quanta
+        // still occurs, so the prev-buffer eviction path runs): the
+        // resulting logical state - maps, memberships, counters - is
+        // order-free, while the flat sets' slot layouts are not.
+        std::set<std::uint64_t> distinct;
+        while (distinct.size() < 40)
+            distinct.insert(rng.uniformInt(num_pages));
+        std::vector<std::uint64_t> writes(distinct.begin(),
+                                          distinct.end());
+        for (std::uint64_t p : writes)
+            fwd.onWrite(PageId{p});
+        for (auto it = writes.rbegin(); it != writes.rend(); ++it)
+            rev.onWrite(PageId{*it});
+        EXPECT_EQ(fwd.stateFingerprint(), rev.stateFingerprint())
+            << "quantum " << quantum;
+        EXPECT_EQ(fwd.endQuantum(), rev.endQuantum());
+    }
+}
+
+// --------------------------------------------------------------------
+// The two PrilPredictor implementations in lockstep: identical
+// observable behavior on drop-heavy random traffic.
+// --------------------------------------------------------------------
+
+TEST(Property, FlatAndReferencePrilAgree)
+{
+    const std::uint64_t num_pages = 512;
+    const std::size_t cap = 24; // small: drops occur constantly
+    core::PrilPredictor flat(num_pages, cap);
+    core::ReferencePrilPredictor ref(num_pages, cap);
+    EXPECT_EQ(flat.storageBytes(), ref.storageBytes());
+
+    Rng rng(0xD0D0ULL);
+    for (int quantum = 0; quantum < 500; ++quantum) {
+        std::uint64_t writes = rng.uniformInt(80);
+        for (std::uint64_t w = 0; w < writes; ++w) {
+            std::uint64_t page = rng.chance(0.25)
+                                     ? rng.uniformInt(8)
+                                     : rng.uniformInt(num_pages);
+            flat.onWrite(PageId{page});
+            ref.onWrite(PageId{page});
+        }
+        for (std::uint64_t p = 0; p < num_pages; p += 31)
+            EXPECT_EQ(flat.isTracked(PageId{p}), ref.isTracked(PageId{p}));
+        EXPECT_EQ(flat.endQuantum(), ref.endQuantum())
+            << "quantum " << quantum;
+        EXPECT_EQ(flat.bufferDrops(), ref.bufferDrops());
+        EXPECT_EQ(flat.peakBufferOccupancy(), ref.peakBufferOccupancy());
+    }
+    EXPECT_GT(flat.bufferDrops(), 0u)
+        << "scenario too gentle: drops never exercised";
+}
+
+// --------------------------------------------------------------------
+// Block content API: fillRow must equal the per-word wordAt loop for
+// every provider, and the block tester must agree with the sparse
+// path where both see the whole chip.
+// --------------------------------------------------------------------
+
+TEST(Property, FillRowMatchesWordAtLoop)
+{
+    const std::size_t n_words = 37; // not a lane multiple
+    std::vector<std::uint64_t> block(n_words);
+
+    std::vector<const failure::ContentProvider *> providers;
+    failure::PatternContent zero(failure::PatternKind::Solid0);
+    failure::PatternContent ones(failure::PatternKind::Solid1);
+    failure::PatternContent cb(failure::PatternKind::Checkerboard);
+    failure::PatternContent rnd(failure::PatternKind::Random, 77);
+    failure::ProgramContent prog(
+        failure::ContentPersona::byName("mcf"), 2);
+    providers.insert(providers.end(),
+                     {&zero, &ones, &cb, &rnd, &prog});
+
+    for (const failure::ContentProvider *p : providers) {
+        for (std::uint64_t row : {0ull, 1ull, 513ull, 16383ull}) {
+            p->fillRow(row, block.data(), n_words);
+            for (std::size_t w = 0; w < n_words; ++w)
+                // The sanctioned cross-check of the block contract.
+                // lint:allow(content-wordat)
+                EXPECT_EQ(block[w], p->wordAt(row, w))
+                    << "row " << row << " word " << w;
+        }
+    }
+}
+
+TEST(Property, BlockTesterMatchesSparseTesterWithoutSpares)
+{
+    // With no redundant columns every failure is logically visible,
+    // so the block path's row verdicts must match the sparse path's
+    // exactly, and its failing-bit count must equal the number of
+    // distinct failing cells.
+    failure::FailureModelParams params;
+    params.seed = 99;
+    params.redundantColumns = 0;
+    params.remappedColumns = 0;
+    failure::FailureModel model(params, 1 << 10, 1 << 12);
+    failure::DramTester tester(model);
+    failure::ProgramContent content(
+        failure::ContentPersona::byName("libquantum"), 1);
+
+    failure::TestResult sparse = tester.testWithContent(content, 328.0);
+    failure::TestResult block =
+        tester.testWithContentBlock(content, 328.0);
+    EXPECT_EQ(block.rowsTested, sparse.rowsTested);
+    EXPECT_EQ(block.rowsFailing, sparse.rowsFailing);
+    EXPECT_EQ(block.failingBits, sparse.failures.size());
+    EXPECT_GT(block.failingBits, 0u)
+        << "model produced no failures; the comparison is vacuous";
 }
 
 TEST(Property, PrilCandidatesHadExactlyOneWriteTwoQuantaAgo)

@@ -391,6 +391,43 @@ TEST(MemcondService, DigestIsBitIdenticalAcrossThreadCounts)
     EXPECT_EQ(one.stageHistory().size(), 12u);
 }
 
+TEST(MemcondService, TenantFingerprintsMatchAcrossThreadCounts)
+{
+    // Regression for the PRIL flat-set migration (DESIGN.md §19):
+    // per-tenant mechanism fingerprints - which serialize PRIL state
+    // including write-buffer membership - must not depend on the
+    // worker thread count. Each tenant's event sequence is identical
+    // either way; the fingerprint serialization must be a function of
+    // that state alone.
+    Memcond one(smallConfig(9, 1), fourTenants());
+    one.run();
+    ServiceSnapshot snap_one = one.snapshotState();
+
+    Memcond eight(smallConfig(9, 8), fourTenants());
+    eight.run();
+    ServiceSnapshot snap_eight = eight.snapshotState();
+
+    ASSERT_EQ(snap_one.tenants.size(), snap_eight.tenants.size());
+    for (std::size_t i = 0; i < snap_one.tenants.size(); ++i)
+        EXPECT_EQ(snap_one.tenants[i].fingerprint,
+                  snap_eight.tenants[i].fingerprint)
+            << "tenant " << snap_one.tenants[i].name;
+
+    // The stronger form: an 8-thread service restores a snapshot the
+    // 1-thread service wrote. replaySnapshot() refuses the resume
+    // unless every rebuilt tenant fingerprint matches the snapshot
+    // bit-for-bit, so a clean run(true) IS the assertion.
+    std::string path = scratch("snap_xthread.txt");
+    saveServiceSnapshot(path, snap_one);
+    MemcondConfig cfg8 = smallConfig(9, 8);
+    cfg8.snapshotPath = path;
+    Memcond resumed(cfg8, fourTenants());
+    resumed.run(true);
+    EXPECT_TRUE(resumed.resumed());
+    EXPECT_EQ(resumed.digest(), one.digest());
+    std::remove(path.c_str());
+}
+
 TEST(MemcondService, AccountingIdentityAndLadderUnderOverload)
 {
     Memcond svc(smallConfig(5, 2, 16), fourTenants());

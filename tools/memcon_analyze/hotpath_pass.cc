@@ -1,0 +1,54 @@
+#include "hotpath_pass.hh"
+
+namespace memcon::analyze
+{
+namespace
+{
+
+/** The providers and the sanctioned default-fillRow loop live here. */
+bool
+isContentFile(const std::string &path)
+{
+    static const char *const tails[] = {"failure/content.hh",
+                                        "failure/content.cc"};
+    for (const char *t : tails) {
+        const std::string tail = t;
+        if (path.size() >= tail.size() &&
+            path.compare(path.size() - tail.size(), tail.size(),
+                         tail) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Violation>
+hotpathPass(const SourceFile &file)
+{
+    std::vector<Violation> raw;
+    if (isContentFile(file.path))
+        return raw;
+
+    const std::vector<Token> &tokens = file.tokens;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (tokens[i].text != "wordAt")
+            continue;
+        // Only a member call fires: `x.wordAt(` / `p->wordAt(`.
+        // A declaration (`std::uint64_t wordAt(...) override`) or an
+        // unrelated identifier never has the accessor prefix.
+        if (!isMemberAccess(tokens, i))
+            continue;
+        if (tok(tokens, i + 1) != "(")
+            continue;
+        raw.push_back(
+            {file.path, tokens[i].line, "content-wordat",
+             "per-word wordAt() call through ContentProvider; use "
+             "the block fillRow() API so providers amortize the "
+             "virtual dispatch (the default fillRow loop in "
+             "failure/content.cc is the sanctioned exception)"});
+    }
+    return raw;
+}
+
+} // namespace memcon::analyze

@@ -20,7 +20,7 @@ struct RuleInfo
 {
     std::string name;     //!< as accepted by lint:allow(<name>)
     std::string pass;     //!< determinism | markers | concurrency |
-                          //!< layering | units
+                          //!< layering | units | hotpath
     std::string severity; //!< all rules are "error" today; the field
                           //!< exists so a future advisory tier does
                           //!< not need a schema change
