@@ -64,10 +64,11 @@ usage(const char *argv0, int exit_code)
         "  --validate PATH       check a BENCH_*.json or checkpoint for\n"
         "                        torn/corrupt content and exit\n"
         "  --help                this text\n"
-        "exit codes: 0 ok, 1 fatal, 2 usage, %d invalid artifact,\n"
+        "exit codes: 0 ok, 1 fatal, %d usage, %d invalid artifact,\n"
         "            %d interrupted (checkpoint flushed, resumable),\n"
         "            %d watchdog gave up on a hung task\n",
-        argv0, kExitInvalidArtifact, kExitInterrupted, kExitWatchdog);
+        argv0, kExitUsage, kExitInvalidArtifact, kExitInterrupted,
+        kExitWatchdog);
     std::exit(exit_code);
 }
 
@@ -235,7 +236,7 @@ parseSweepArgs(int argc, char **argv)
             usage(argv[0], 0);
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg);
-            usage(argv[0], 2);
+            usage(argv[0], kExitUsage);
         }
     }
     return opts;

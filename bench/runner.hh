@@ -57,6 +57,7 @@ namespace memcon::bench
  * §15). 0 is success and 1 the generic fatal(); the supervisor layer
  * adds:
  */
+inline constexpr int kExitUsage = 2;            //!< bad CLI arguments
 inline constexpr int kExitInvalidArtifact = 3;  //!< --validate failed
 inline constexpr int kExitInterrupted = 75;     //!< signal; resumable
 

@@ -70,6 +70,7 @@ struct ShardOutcome
     std::uint64_t wheelPops = 0;
     std::uint64_t testsDeferredBudget = 0;
     std::uint64_t peakLiveStreams = 0;
+    std::uint64_t acts = 0; // memcon:shard_local - row activations
     std::size_t trackerStorageBytes = 0;
 
     /** Closing per-page state, local (ascending-global) order.
@@ -121,8 +122,10 @@ finalize(const MemconConfig &cfg, std::vector<ShardOutcome> outs,
         res.peakLiveStreams =
             std::max(res.peakLiveStreams, o.peakLiveStreams);
         res.trackerStorageBytes += o.trackerStorageBytes;
+        res.acts += o.acts;
         res.shards.push_back({o.hiMs.size(), o.writes, o.testsRun,
-                              o.bufferDrops, o.trackerStorageBytes});
+                              o.bufferDrops, o.trackerStorageBytes,
+                              o.acts});
     }
 
     const dram::AddressMap &map = cfg.addressMap;
@@ -213,6 +216,8 @@ runReference(const MemconConfig &cfg,
                          return a.time < b.time;
                      });
     out.writes = events.size();
+    // Every write opens its row once, silent or not.
+    out.acts = events.size();
 
     CostModelConfig cm_cfg;
     cm_cfg.timings = cfg.timings;
@@ -279,6 +284,7 @@ runReference(const MemconConfig &cfg,
         PageState &ps = state[page];
         panic_if(ps.atLoRef, "tested page already at LO-REF");
         ++out.testsRun;
+        out.acts += 2; // read pass + restoring verify pass
         ps.lastTestAt = tq;
 
         bool fails = test_fails(page, ps.writeCount, tq);
@@ -346,6 +352,7 @@ runReference(const MemconConfig &cfg,
                 }
                 --budget;
                 ++out.scrubTests;
+                out.acts += 2;
                 if (test_fails(p, ps.writeCount, tq)) {
                     ++out.scrubDemotions;
                     accrue(p, tq);
@@ -610,6 +617,7 @@ runStreamingShard(const MemconConfig &cfg, std::vector<Stream> streams,
                         std::int64_t epoch) {
         panic_if(st.atLoRef.test(page), "tested page already at LO-REF");
         ++out.testsRun;
+        out.acts += 2; // read pass + restoring verify pass
         st.lastTestAt[page] = tq;
         st.pendingTest.set(page);
 
@@ -700,6 +708,7 @@ runStreamingShard(const MemconConfig &cfg, std::vector<Stream> streams,
                 std::uint32_t p = scrub_due[i].page;
                 --budget;
                 ++out.scrubTests;
+                out.acts += 2;
                 if (test_fails(p, st.writeCount[p], tq)) {
                     ++out.scrubDemotions;
                     accrue(p, tq);
@@ -736,6 +745,7 @@ runStreamingShard(const MemconConfig &cfg, std::vector<Stream> streams,
 
         const auto ev = merge.pop();
         ++out.writes;
+        ++out.acts; // the row opens even for a silent write
         const std::uint32_t page = ev.source;
 
         // Silent-write detection (footnote 9): a write that stores

@@ -126,6 +126,17 @@ struct MemconResult
         std::uint64_t testsRun = 0;
         std::uint64_t bufferDrops = 0;
         std::size_t trackerStorageBytes = 0;
+
+        /**
+         * Analytic row activations this shard issued: one per write
+         * event (silent or not - the row still opens to store the
+         * value) and two per content test, PRIL and scrub alike (the
+         * read pass plus the restoring verify pass). This is the
+         * activation pressure a disturb model sees from the engine's
+         * own behavior; the shard-equivalence suite pins the per-shard
+         * sum equal to the flat run's total under every sharding.
+         */
+        std::uint64_t acts = 0;
     };
 
     /** Closing state of one page (capturePageEndState only). */
@@ -165,6 +176,14 @@ struct MemconResult
     /** Re-scrub activity (scrubPeriodMs > 0). */
     std::uint64_t scrubTests = 0;
     std::uint64_t scrubDemotions = 0;
+
+    /**
+     * Total analytic row activations (sum of ShardBreakdown::acts).
+     * Deterministic across shardings by construction - every term is
+     * an exact integer tied to an event or test the equivalence suite
+     * already pins. Outside the golden digest surface.
+     */
+    std::uint64_t acts = 0;
 
     double testTimeNs = 0.0;
     double refreshTimeMemconNs = 0.0;

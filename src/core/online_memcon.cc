@@ -39,6 +39,8 @@ OnlineMemcon::OnlineMemcon(const dram::Geometry &geometry,
       engine(config.testEngine), loRows(geometry.totalRows()),
       everWritten(geometry.totalRows()),
       resilience(config.resilience, geometry.totalRows(), statGroup),
+      guard(config.disturbGuard, &cfg.addressMap, geometry.totalRows(),
+            statGroup),
       nextQuantumEnd(config.quantum), nextRetarget(config.retargetPeriod)
 {
     fatal_if(cfg.quantum == Tick{}, "quantum must be positive");
@@ -69,6 +71,10 @@ OnlineMemcon::installObserver(sim::ControllerConfig &cfg,
                                 dram::EccStatus status, Tick now) {
         if (slot)
             slot->observeEccEvent(addr, status, now);
+    };
+    cfg.activateObserver = [&slot](std::uint64_t addr, Tick now) {
+        if (slot)
+            slot->observeActivate(addr, now);
     };
 }
 
@@ -138,6 +144,58 @@ OnlineMemcon::observeEccEvent(std::uint64_t addr,
     case EccAction::Fallback:
         enterFallback(now);
         break;
+    }
+}
+
+void
+OnlineMemcon::observeActivate(std::uint64_t addr, Tick now)
+{
+    if (!cfg.disturbGuard.enabled)
+        return;
+    if (resilience.inFallback())
+        return; // blanket HI-REF already bounds every victim's window
+    RowId row = rowOfAddr(addr);
+    auto crossing = guard.onActivate(row, now);
+    if (!crossing)
+        return;
+    for (RowId victim : crossing->victims)
+        victimRefreshQueue.push_back(victim);
+    using EccAction = ResilienceManager::EccAction;
+    for (RowId victim : crossing->escalations) {
+        switch (resilience.onDisturbEscalation(
+            victim, loRows.test(victim.value()), now)) {
+        case EccAction::DemoteAndRetest:
+        case EccAction::DemoteAndPin:
+            // Per-victim refreshes are not keeping up: the row must
+            // not sit at LO-REF while it is being hammered.
+            abortTestOn(victim);
+            demoteRow(victim, "demote.disturb");
+            break;
+        default:
+            break;
+        }
+    }
+    if (crossing->bankDegraded)
+        degradeBank(crossing->bank, now);
+}
+
+void
+OnlineMemcon::degradeBank(std::uint64_t bank, Tick now)
+{
+    (void)now;
+    // Sustained hammering defeats per-victim refresh: the whole bank
+    // falls back to HI-REF (its LO rows are demoted, promotions into
+    // it are blocked) until the guard's hold expires quietly.
+    std::vector<RowId> &recover = bankRecovery[bank];
+    std::vector<RowId> demoted;
+    loRows.visitSetBits([&](std::size_t row) {
+        if (cfg.addressMap.shardOf(row) == bank)
+            demoted.push_back(RowId{row});
+    });
+    for (RowId row : demoted) {
+        abortTestOn(row);
+        demoteRow(row, "demote.bankDegrade");
+        recover.push_back(row);
     }
 }
 
@@ -278,6 +336,34 @@ OnlineMemcon::pumpTestTraffic(Tick now)
 }
 
 void
+OnlineMemcon::pumpVictimRefreshes(Tick now)
+{
+    // A victim refresh is one out-of-band row activation: modeled as
+    // a single test-priority read, so it pays for controller
+    // bandwidth exactly like scrub traffic does. Bounded per tick for
+    // the same CPU-work reason as pumpTestTraffic.
+    unsigned budget = 4;
+    while (budget > 0 && !victimRefreshQueue.empty()) {
+        RowId victim = victimRefreshQueue.front();
+        dram::Coordinates c = geom.rowFromFlatIndex(victim);
+        c.column = 0;
+        sim::Request req;
+        req.isTest = true;
+        req.coreId = -1;
+        req.addr = geom.compose(c);
+        req.type = sim::Request::Type::Read;
+        if (!mc.enqueue(std::move(req), now))
+            return; // queue at the test admission limit; retry next tick
+        victimRefreshQueue.pop_front();
+        ++victimRefreshCount;
+        statGroup.inc("disturb.victimRefresh");
+        if (cfg.victimRefresher)
+            cfg.victimRefresher(victim, now);
+        --budget;
+    }
+}
+
+void
 OnlineMemcon::completeDueTests(Tick now)
 {
     unsigned total_requests =
@@ -310,12 +396,22 @@ OnlineMemcon::completeDueTests(Tick now)
                 statGroup.inc("scrub.failed");
                 demoteRow(row, "demote.scrub");
             }
-        } else if (outcome == TestOutcome::Pass &&
+        } else if (outcome == TestOutcome::Pass && cfg.loRefEnabled &&
                    !resilience.isPinned(row) &&
                    !loRows.test(row.value())) {
-            loRows.set(row.value());
-            ++loCount;
-            ++loPerShard[cfg.addressMap.shardOf(row.value())];
+            if (cfg.disturbGuard.enabled &&
+                guard.bankDegraded(row, now)) {
+                // The bank is under sustained hammering: the verdict
+                // is sound but LO-REF is not safe there right now.
+                // Re-certify once the bank recovers.
+                statGroup.inc("disturb.promotionBlocked");
+                bankRecovery[cfg.addressMap.shardOf(row.value())]
+                    .push_back(row);
+            } else {
+                loRows.set(row.value());
+                ++loCount;
+                ++loPerShard[cfg.addressMap.shardOf(row.value())];
+            }
         }
         it = activeTests.erase(it);
     }
@@ -374,6 +470,21 @@ OnlineMemcon::stateFingerprint() const
     mix(0x55AA55AAull);
     for (RowId row : recoveryQueue)
         mix(row.value());
+    if (cfg.disturbGuard.enabled) {
+        // Mixed only when the guard is on, so fingerprints of
+        // configurations that existed before the disturb subsystem
+        // stay byte-identical.
+        mix(0xD157A4B5ull);
+        mix(victimRefreshCount);
+        mix(guard.fingerprint());
+        for (RowId row : victimRefreshQueue)
+            mix(row.value());
+        for (const auto &[bank, rows] : bankRecovery) {
+            mix(bank);
+            for (RowId row : rows)
+                mix(row.value());
+        }
+    }
     return c;
 }
 
@@ -468,6 +579,22 @@ OnlineMemcon::tick(Tick now)
             for (RowId row :
                  resilience.nextScrubRows(now, loRows, under_test))
                 scrubQueue.push_back(row);
+        }
+        if (cfg.disturbGuard.enabled) {
+            // Banks whose degradation hold expired quietly re-arm:
+            // their demoted rows re-earn LO through ordinary tests.
+            if (guard.anyBankDegraded()) {
+                for (std::uint64_t bank : guard.recoveredBanks(now)) {
+                    auto it = bankRecovery.find(bank);
+                    if (it == bankRecovery.end())
+                        continue;
+                    for (RowId row : it->second)
+                        pendingCandidates.push_back(row);
+                    bankRecovery.erase(it);
+                }
+            }
+            if (!victimRefreshQueue.empty())
+                pumpVictimRefreshes(now);
         }
         startCandidateTests(now);
         startScrubTests(now);

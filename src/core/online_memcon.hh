@@ -28,7 +28,13 @@
  *    (resilience.hh): corrected errors on LO-REF rows demote and
  *    re-test with backoff, uncorrectable errors trigger a
  *    panic-fallback to blanket HI-REF, and idle LO-REF rows are
- *    periodically re-scrubbed through the same test slots.
+ *    periodically re-scrubbed through the same test slots,
+ *  - the controller's activate observer feeds every ACT into a
+ *    read-disturb guard (DisturbGuard): an aggressor row crossing its
+ *    alert threshold gets its neighbors refreshed out of band through
+ *    the same request machinery, chronically hammered victims fall
+ *    into the demote/backoff/pin ladder, and a bank under sustained
+ *    hammering degrades to blanket HI-REF until the pressure stops.
  *
  * Because cycle simulation covers milliseconds while PRIL's natural
  * quantum is ~1 s, the quantum and in-test idle period are
@@ -42,6 +48,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <unordered_set>
 #include <vector>
 
@@ -84,6 +91,25 @@ struct OnlineMemconConfig
     /** Graceful-degradation knobs (corrected-error demotion, panic
      * fallback, idle-row re-scrub). */
     ResilienceConfig resilience;
+
+    /**
+     * Kill switch for LO-REF promotion: when false, passing tests
+     * still run and count but never relax the row's refresh - the
+     * all-HI baseline arm the disturb ablation compares against.
+     */
+    bool loRefEnabled = true;
+
+    /** Read-disturb guard knobs (aggressor ACT watching, neighbor
+     * victim refresh, per-bank HI-REF degradation). Off by default -
+     * the ACT path then costs one branch. */
+    DisturbGuardConfig disturbGuard;
+
+    /**
+     * Invoked for every victim refresh the guard issues, after its
+     * request is accepted; the failure-model side hooks this to reset
+     * the victim's disturbance counter.
+     */
+    std::function<void(RowId victim, Tick now)> victimRefresher;
 
     /**
      * Bank decomposition of the module's flat row space, for per-bank
@@ -129,6 +155,10 @@ class OnlineMemcon
     void observeEccEvent(std::uint64_t addr, dram::EccStatus status,
                          Tick now);
 
+    /** Report a row activation (wired to the controller's activate
+     * observer); feeds the read-disturb guard. */
+    void observeActivate(std::uint64_t addr, Tick now);
+
     /** Advance; call once per DRAM tick after controller.tick(). */
     void tick(Tick now);
 
@@ -153,6 +183,11 @@ class OnlineMemcon
 
     /** Rows permanently pinned at HI-REF by the resilience layer. */
     std::uint64_t pinnedRows() const { return resilience.pinnedRows(); }
+
+    /** @return true if the resilience layer pinned this row. A pinned
+     * row is never LO-REF (the partition invariant test_disturb's
+     * property suite holds the closed loop to). */
+    bool isPinned(RowId row) const { return resilience.isPinned(row); }
 
     // --- overload-governor hooks (memcond service mode) ---
 
@@ -195,6 +230,12 @@ class OnlineMemcon
     std::uint64_t writesObserved() const { return writeCount; }
     std::uint64_t demotions() const { return demotionCount; }
 
+    /** Victim refreshes the disturb guard has issued. */
+    std::uint64_t victimRefreshes() const { return victimRefreshCount; }
+
+    /** The read-disturb guard (aggressor counters, bank states). */
+    const DisturbGuard &disturbGuard() const { return guard; }
+
     /** Resilience event counters (ecc.*, demote.*, scrub.*,
      * fallback.*, retest.*, pinned). */
     const StatGroup &stats() const { return statGroup; }
@@ -213,10 +254,12 @@ class OnlineMemcon
     void startCandidateTests(Tick now);
     void startScrubTests(Tick now);
     void pumpTestTraffic(Tick now);
+    void pumpVictimRefreshes(Tick now);
     void completeDueTests(Tick now);
     void demoteRow(RowId row, const char *cause);
     void abortTestOn(RowId row);
     void enterFallback(Tick now);
+    void degradeBank(std::uint64_t bank, Tick now);
     RowId rowOfAddr(std::uint64_t addr) const;
 
     dram::Geometry geom;
@@ -251,13 +294,24 @@ class OnlineMemcon
      * when the fallback exits. */
     std::deque<RowId> recoveryQueue;
 
+    /** Victim rows awaiting their out-of-band refresh (the disturb
+     * guard's analogue of the scrub queue). */
+    std::deque<RowId> victimRefreshQueue;
+
+    /** Rows a bank degradation demoted (or blocked from promotion),
+     * keyed by bank; re-certified when the bank recovers. Ordered so
+     * iteration is deterministic. */
+    std::map<std::uint64_t, std::vector<RowId>> bankRecovery;
+
     StatGroup statGroup{"memcon"};
     ResilienceManager resilience;
+    DisturbGuard guard;
 
     Tick nextQuantumEnd;
     Tick nextRetarget;
     std::uint64_t writeCount = 0;
     std::uint64_t demotionCount = 0;
+    std::uint64_t victimRefreshCount = 0;
 };
 
 } // namespace memcon::core

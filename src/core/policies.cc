@@ -1,5 +1,7 @@
 #include "core/policies.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace memcon::core
@@ -47,6 +49,25 @@ memconPolicy(double measured_reduction)
     RefreshPolicy p;
     p.name = "MEMCON";
     p.reduction = measured_reduction;
+    return p;
+}
+
+RefreshPolicy
+disturbHardenedPolicy(double measured_reduction,
+                      double victim_refresh_overhead,
+                      double degraded_bank_fraction)
+{
+    fatal_if(measured_reduction < 0.0 || measured_reduction >= 1.0,
+             "reduction must lie in [0, 1)");
+    fatal_if(victim_refresh_overhead < 0.0,
+             "victim-refresh overhead must be non-negative");
+    fatal_if(degraded_bank_fraction < 0.0 || degraded_bank_fraction > 1.0,
+             "degraded-bank fraction must lie in [0, 1]");
+    RefreshPolicy p;
+    p.name = "MEMCON+victim-refresh";
+    double net = measured_reduction * (1.0 - degraded_bank_fraction) -
+                 victim_refresh_overhead;
+    p.reduction = std::max(0.0, net);
     return p;
 }
 

@@ -1,6 +1,8 @@
 #include "core/resilience.hh"
 
 #include "common/logging.hh"
+#include "common/ordered.hh"
+#include "common/random.hh"
 
 namespace memcon::core
 {
@@ -40,20 +42,37 @@ ResilienceManager::onEccEvent(RowId row,
         stats.inc("ecc.corrected");
         if (!cfg.enabled || !lo_ref || pinned.test(row.value()))
             return EccAction::None;
-        unsigned episodes = ++correctedEpisodes[row];
-        if (episodes > cfg.maxCorrectedRetries) {
-            pinned.set(row.value());
-            stats.inc("pinned");
-            return EccAction::DemoteAndPin;
-        }
-        // Exponential backoff: a row that keeps producing corrected
-        // errors is re-tested less and less eagerly.
-        Tick backoff{cfg.retestBackoff.value() << (episodes - 1)};
-        retestQueue.emplace(now + backoff, row);
-        stats.inc("retest.scheduled");
-        return EccAction::DemoteAndRetest;
+        return ladderStep(row, now);
     }
     return EccAction::None;
+}
+
+ResilienceManager::EccAction
+ResilienceManager::ladderStep(RowId row, Tick now)
+{
+    unsigned episodes = ++correctedEpisodes[row];
+    if (episodes > cfg.maxCorrectedRetries) {
+        pinned.set(row.value());
+        stats.inc("pinned");
+        return EccAction::DemoteAndPin;
+    }
+    // Exponential backoff: a row that keeps producing corrected
+    // errors is re-tested less and less eagerly.
+    Tick backoff{cfg.retestBackoff.value() << (episodes - 1)};
+    retestQueue.emplace(now + backoff, row);
+    stats.inc("retest.scheduled");
+    return EccAction::DemoteAndRetest;
+}
+
+ResilienceManager::EccAction
+ResilienceManager::onDisturbEscalation(RowId row, bool lo_ref, Tick now)
+{
+    panic_if(row.value() >= rows, "row %llu out of range",
+             static_cast<unsigned long long>(row.value()));
+    stats.inc("disturb.escalations");
+    if (!cfg.enabled || !lo_ref || pinned.test(row.value()))
+        return EccAction::None;
+    return ladderStep(row, now);
 }
 
 std::vector<RowId>
@@ -117,6 +136,126 @@ ResilienceManager::nextScrubRows(
     }
     stats.inc("scrub.scheduled", picked.size());
     return picked;
+}
+
+DisturbGuard::DisturbGuard(const DisturbGuardConfig &config,
+                           const dram::AddressMap *map,
+                           std::uint64_t num_rows, StatGroup &stat_group)
+    : cfg(config), addressMap(map), rows(num_rows), stats(stat_group),
+      banks(map ? map->numShards() : 1)
+{
+    fatal_if(addressMap == nullptr, "disturb guard needs an address map");
+    if (!cfg.enabled)
+        return;
+    fatal_if(cfg.actAlertThreshold == 0,
+             "ACT alert threshold must be positive");
+    fatal_if(cfg.victimRadius == 0, "victim radius must be positive");
+    fatal_if(cfg.maxVictimRefreshes == 0,
+             "victim refresh limit must be positive");
+    fatal_if(cfg.bankCrossingLimit == 0,
+             "bank crossing limit must be positive");
+    fatal_if(cfg.crossingWindow == Tick{},
+             "crossing window must be positive");
+    fatal_if(cfg.bankDegradeHold == Tick{},
+             "bank degrade hold must be positive");
+}
+
+std::optional<DisturbGuard::Crossing>
+DisturbGuard::onActivate(RowId row, Tick now)
+{
+    if (!cfg.enabled)
+        return std::nullopt;
+    panic_if(row.value() >= rows, "row %llu out of range",
+             static_cast<unsigned long long>(row.value()));
+    std::uint64_t &acts = aggressorActs[row];
+    if (++acts < cfg.actAlertThreshold)
+        return std::nullopt;
+    acts = 0;
+    ++crossingCount;
+    stats.inc("disturb.crossings");
+
+    Crossing crossing;
+    crossing.aggressor = row;
+    crossing.bank = addressMap->shardOf(row.value());
+    for (unsigned dist = 1; dist <= cfg.victimRadius; ++dist) {
+        for (int sign : {-1, 1}) {
+            auto victim = addressMap->rowNeighbor(
+                row.value(), sign * static_cast<int>(dist), rows);
+            if (!victim)
+                continue;
+            crossing.victims.push_back(RowId{*victim});
+            unsigned episodes = ++victimEpisodes[RowId{*victim}];
+            if (episodes % cfg.maxVictimRefreshes == 0)
+                crossing.escalations.push_back(RowId{*victim});
+        }
+    }
+
+    BankState &bank = banks[crossing.bank];
+    if (now - bank.windowStart >= cfg.crossingWindow) {
+        bank.windowStart = now;
+        bank.crossingsInWindow = 0;
+    }
+    ++bank.crossingsInWindow;
+    if (bank.degraded) {
+        // Hysteresis: hammering a degraded bank keeps it degraded.
+        bank.degradedUntil = now + cfg.bankDegradeHold;
+    } else if (bank.crossingsInWindow >= cfg.bankCrossingLimit) {
+        bank.degraded = true;
+        bank.degradedUntil = now + cfg.bankDegradeHold;
+        crossing.bankDegraded = true;
+        ++degradedCount;
+        stats.inc("disturb.bankDegrades");
+    }
+    return crossing;
+}
+
+bool
+DisturbGuard::bankDegraded(RowId row, Tick now) const
+{
+    const BankState &bank = banks[addressMap->shardOf(row.value())];
+    return bank.degraded && now < bank.degradedUntil;
+}
+
+std::vector<std::uint64_t>
+DisturbGuard::degradedBanks(Tick now) const
+{
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 0; i < banks.size(); ++i)
+        if (banks[i].degraded && now < banks[i].degradedUntil)
+            out.push_back(i);
+    return out;
+}
+
+std::vector<std::uint64_t>
+DisturbGuard::recoveredBanks(Tick now)
+{
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 0; i < banks.size(); ++i) {
+        BankState &bank = banks[i];
+        if (bank.degraded && now >= bank.degradedUntil) {
+            bank.degraded = false;
+            --degradedCount;
+            stats.inc("disturb.bankRecoveries");
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+DisturbGuard::fingerprint() const
+{
+    // Hash maps in key order so the digest is iteration-order free.
+    std::uint64_t fp = hashMix64(crossingCount);
+    for (const auto &[row, acts] : ordered::sortedItems(aggressorActs))
+        fp = hashMix64(fp ^ hashMix64(row.value() * 2 + 1) ^ acts);
+    for (const auto &[row, episodes] : ordered::sortedItems(victimEpisodes))
+        fp = hashMix64(fp ^ hashMix64(row.value() * 2) ^ episodes);
+    for (const BankState &bank : banks) {
+        fp = hashMix64(fp ^ bank.crossingsInWindow ^
+                       (bank.degraded ? bank.degradedUntil.value() : 0));
+    }
+    return fp;
 }
 
 } // namespace memcon::core

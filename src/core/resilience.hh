@@ -31,6 +31,14 @@
  * set, the retest/backoff queue, the scrub cursor, the fallback
  * timer); OnlineMemcon owns the actuation (demotion, slot draining,
  * controller re-targeting).
+ *
+ * The DisturbGuard below extends the same division of labor to
+ * read-disturb: it watches the controller's ACT stream for aggressor
+ * rows, asks for neighbor (victim) refreshes through the scrub
+ * machinery when an aggressor crosses its alert threshold, escalates
+ * chronically hammered victims into the demote/backoff/pin ladder
+ * above, and degrades a whole bank to HI-REF when crossings show
+ * sustained hammering the per-victim refreshes cannot keep up with.
  */
 
 #ifndef MEMCON_CORE_RESILIENCE_HH
@@ -39,6 +47,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +55,7 @@
 #include "common/stats.hh"
 #include "common/strong_id.hh"
 #include "common/units.hh"
+#include "dram/address_map.hh"
 #include "dram/ecc.hh"
 
 namespace memcon::core
@@ -106,6 +116,14 @@ class ResilienceManager
     EccAction onEccEvent(RowId row, dram::EccStatus status,
                          bool lo_ref, Tick now);
 
+    /**
+     * The DisturbGuard escalated a chronically hammered victim row:
+     * fold it into the corrected-error ladder (demote now, backoff
+     * re-test, pin once retries are exhausted), so disturb pressure
+     * and ECC health share one hysteresis.
+     */
+    EccAction onDisturbEscalation(RowId row, bool lo_ref, Tick now);
+
     /** @return true if the row is permanently held at HI-REF. */
     bool isPinned(RowId row) const { return pinned.test(row.value()); }
 
@@ -147,6 +165,10 @@ class ResilienceManager
                   const std::function<bool(RowId)> &skip);
 
   private:
+    /** One corrected-ladder episode on a row: schedule a backoff
+     * re-test, or pin once retries are exhausted. */
+    EccAction ladderStep(RowId row, Tick now);
+
     ResilienceConfig cfg;
     std::uint64_t rows;
     StatGroup &stats;
@@ -160,6 +182,133 @@ class ResilienceManager
 
     Tick nextScrub;
     std::uint64_t scrubCursor = 0;
+};
+
+struct DisturbGuardConfig
+{
+    /** Master switch; off costs nothing on the ACT path. */
+    bool enabled = false;
+
+    /**
+     * ACTs of one aggressor row before the guard refreshes the
+     * aggressor's neighbors. Set well below the weakest victim's flip
+     * threshold - the guard must fire while the victims still hold
+     * their data. The counter resets on each crossing.
+     */
+    std::uint64_t actAlertThreshold = 2048;
+
+    /**
+     * Rows on each side of a crossing aggressor to refresh (the
+     * mitigated blast radius); 2 covers the distance-2 coupling the
+     * disturb model charges.
+     */
+    unsigned victimRadius = 2;
+
+    /**
+     * Victim-refresh episodes one victim may absorb before the guard
+     * escalates it into the demote/backoff/pin ladder (a row this
+     * hammered should not sit at LO-REF; chronic cases pin). Each
+     * further multiple escalates again.
+     */
+    unsigned maxVictimRefreshes = 8;
+
+    /**
+     * Alert crossings inside one bank within `crossingWindow` before
+     * the whole bank degrades to HI-REF (sustained many-sided
+     * hammering defeats per-victim refresh; blanket HI-REF restores
+     * the 16 ms bound).
+     */
+    std::uint64_t bankCrossingLimit = 32;
+
+    /** Sliding window the per-bank crossing count decays over. */
+    Tick crossingWindow = usToTicks(500.0);
+
+    /**
+     * Quiet hold before a degraded bank re-arms LO-REF promotion;
+     * further crossings while degraded extend the hold (hysteresis -
+     * the bank only recovers after the hammering stops).
+     */
+    Tick bankDegradeHold = msToTicks(1.0);
+};
+
+/**
+ * Aggressor-side bookkeeping of the read-disturb mitigation: per-row
+ * ACT counters, per-victim escalation counts, and the per-bank
+ * degradation state machine. OnlineMemcon feeds it every controller
+ * ACT and actuates what a crossing asks for (victim refreshes through
+ * the scrub wheel, ladder escalations, bank demotion sweeps).
+ */
+class DisturbGuard
+{
+  public:
+    /** What one alert-threshold crossing asks the mechanism to do. */
+    struct Crossing
+    {
+        RowId aggressor{};
+        /** Neighbor rows to refresh, nearest first. */
+        std::vector<RowId> victims;
+        /** Victims past the episode limit: run the demote ladder. */
+        std::vector<RowId> escalations;
+        /** This crossing tripped its bank into degradation. */
+        bool bankDegraded = false;
+        std::uint64_t bank = 0;
+    };
+
+    /**
+     * @param map physical adjacency (also defines the bank of a
+     *        row); must outlive the guard.
+     */
+    DisturbGuard(const DisturbGuardConfig &config,
+                 const dram::AddressMap *map, std::uint64_t num_rows,
+                 StatGroup &stats);
+
+    const DisturbGuardConfig &config() const { return cfg; }
+
+    /**
+     * Count one ACT of `row`. Returns the crossing to actuate when
+     * the row's counter reaches the alert threshold, nullopt
+     * otherwise (the overwhelmingly common case).
+     */
+    std::optional<Crossing> onActivate(RowId row, Tick now);
+
+    /** Is the bank holding this row currently degraded to HI-REF? */
+    bool bankDegraded(RowId row, Tick now) const;
+
+    /** Shard (bank) indices currently degraded, in ascending order. */
+    std::vector<std::uint64_t> degradedBanks(Tick now) const;
+
+    /** Banks whose degradation hold expired since the last call;
+     * the caller re-arms LO-REF promotion for them. */
+    std::vector<std::uint64_t> recoveredBanks(Tick now);
+
+    /** Cheap per-tick gate: is any bank currently degraded? */
+    bool anyBankDegraded() const { return degradedCount > 0; }
+
+    /** Aggressor-counter crossings so far. */
+    std::uint64_t crossings() const { return crossingCount; }
+
+    /** Deterministic digest of the guard state (fingerprints). */
+    std::uint64_t fingerprint() const;
+
+  private:
+    struct BankState
+    {
+        std::uint64_t crossingsInWindow = 0;
+        Tick windowStart{};
+        bool degraded = false;
+        Tick degradedUntil{};
+    };
+
+    DisturbGuardConfig cfg;
+    const dram::AddressMap *addressMap;
+    std::uint64_t rows;
+    StatGroup &stats;
+
+    std::unordered_map<RowId, std::uint64_t> aggressorActs;
+    std::unordered_map<RowId, unsigned> victimEpisodes;
+    std::vector<BankState> banks;
+    std::uint64_t crossingCount = 0;
+    std::uint64_t degradedCount = 0;
 };
 
 } // namespace memcon::core

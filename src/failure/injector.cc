@@ -110,16 +110,23 @@ FaultInjector::onRead(RowId row, Tick now, bool lo_ref)
     bool retention_uncorrectable = false;
     bool retention = lo_ref && retentionFails(row, now_ms,
                                               retention_uncorrectable);
+    const unsigned disturb_single =
+        disturbModel ? disturbModel->pendingSingle(row) : 0;
+    const unsigned disturb_double =
+        disturbModel ? disturbModel->pendingDouble(row) : 0;
 
-    if (state.pendingDouble > 0 || retention_uncorrectable) {
+    if (state.pendingDouble > 0 || retention_uncorrectable ||
+        disturb_double > 0) {
         // The machine-check path retires the page: pending transient
-        // corruption goes with it.
+        // and disturb corruption goes with it.
         state.pendingSingle = 0;
         state.pendingDouble = 0;
+        if (disturbModel)
+            disturbModel->retireFlips(row);
         statGroup.inc("observed.uncorrectable");
         return dram::EccStatus::Uncorrectable;
     }
-    if (state.pendingSingle > 0 || retention) {
+    if (state.pendingSingle > 0 || retention || disturb_single > 0) {
         statGroup.inc("observed.corrected");
         return dram::EccStatus::CorrectedData;
     }
@@ -135,6 +142,8 @@ FaultInjector::onRowRestored(RowId row, Tick now)
         statGroup.inc("restoredWithPending");
     state.pendingSingle = 0;
     state.pendingDouble = 0;
+    if (disturbModel)
+        disturbModel->onRowRestored(row, now);
 }
 
 bool
@@ -145,6 +154,8 @@ FaultInjector::hasLatentFault(RowId row, Tick now,
     TimeMs now_ms = ticksToMs(now);
     advance(state, row, now_ms);
     if (state.pendingSingle > 0 || state.pendingDouble > 0)
+        return true;
+    if (disturbModel && disturbModel->hasLatentFlip(row))
         return true;
     if (!lo_ref)
         return false;

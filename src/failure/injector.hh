@@ -6,7 +6,7 @@
  * under this content at this interval?"; the online mechanism needs
  * the complementary question: "what does a *read* of this row observe
  * right now, given everything that can go wrong at once?". The
- * FaultInjector composes three fault sources into a single
+ * FaultInjector composes four fault sources into a single
  * per-(row, tick) query:
  *
  *  - the content-dependent coupling model (rows whose current data
@@ -14,11 +14,14 @@
  *  - VRT telegraph cells (a certified row whose cell dropped into its
  *    leaky state after the test - the AVATAR hazard),
  *  - transient upsets (particle strikes), a per-row Poisson process
- *    with a configurable single/double-bit split.
+ *    with a configurable single/double-bit split,
+ *  - read-disturb flips accumulated by the DisturbModel (aggressor
+ *    activations crossing a victim's threshold - RowHammer).
  *
  * Retention-based sources only bite while the row actually sits at
  * LO-REF (HI-REF is safe by construction); transients strike
- * regardless of refresh rate. Each query folds the pending faults
+ * regardless of refresh rate, and disturb flips depend on the access
+ * stream, with LO-REF widening the accumulation window. Each query folds the pending faults
  * into the SECDED verdict a controller-side decode would produce:
  * one bad bit per word is CorrectedData, two in the same word is
  * Uncorrectable.
@@ -40,6 +43,7 @@
 #include "common/units.hh"
 #include "dram/ecc.hh"
 #include "failure/content.hh"
+#include "failure/disturb.hh"
 #include "failure/model.hh"
 #include "failure/vrt.hh"
 
@@ -80,6 +84,13 @@ class FaultInjector
 
     /** Attach the VRT telegraph population (optional source). */
     void attachVrt(const VrtPopulation *vrt) { vrtPop = vrt; }
+
+    /**
+     * Attach the read-disturb model (optional source). Mutable: an
+     * Uncorrectable observation retires the model's pending flips the
+     * same way it retires pending transients.
+     */
+    void attachDisturb(DisturbModel *disturb) { disturbModel = disturb; }
 
     /** Attach the content-dependent model + the content installed in
      * the module (optional source). */
@@ -138,6 +149,7 @@ class FaultInjector
     FaultInjectorConfig cfg;
     std::uint64_t rows;
     const VrtPopulation *vrtPop = nullptr;
+    DisturbModel *disturbModel = nullptr;
     const FailureModel *contentModel = nullptr;
     const ContentProvider *installedContent = nullptr;
 

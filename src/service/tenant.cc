@@ -49,6 +49,20 @@ trafficConfig(const TenantSpec &spec, const TenantRuntimeConfig &rc,
         t.bankSet = spec.bankSet;
         t.physicalRowLimit = total;
     }
+    if (spec.hammerEnabled) {
+        // Antagonist: the aggressor stream replaces the write process.
+        // Bank, seed, and horizon come from the service runtime so the
+        // attack is deterministic per tenant and stays inside the
+        // module; a placed attacker hammers its first declared bank.
+        t.hammerEnabled = true;
+        t.hammer = spec.hammer;
+        t.hammer.horizonMs = rc.horizonMs;
+        t.hammer.seed = t.seed;
+        t.addressMap = rc.memcon.addressMap;
+        t.physicalRowLimit = rc.geometry.totalRows();
+        if (!spec.bankSet.empty())
+            t.hammer.bank = spec.bankSet.front();
+    }
     return t;
 }
 

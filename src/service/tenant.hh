@@ -76,6 +76,18 @@ struct TenantSpec
      * bit-identical to a spec without placement.
      */
     std::vector<unsigned> bankSet;
+
+    /**
+     * Antagonist mode: this tenant is a RowHammer attacker replaying
+     * the given aggressor persona instead of the benign write
+     * process (trace/hammer.hh). Its events flow through the same
+     * ingest ring, quota, and admission machinery - co-running with
+     * benign tenants is the point. The spec's bank/seed/horizon are
+     * filled in by the session from the runtime config; `hammer.kind`
+     * and `hammer.sides`/`hammer.actsPerUs` pick the attack.
+     */
+    bool hammerEnabled = false;
+    trace::HammerSpec hammer;
 };
 
 /** Service-level knobs every session shares. */

@@ -215,6 +215,9 @@ MemoryController::serviceQueue(std::deque<Request> &queue, Tick now)
     if (chan.canIssue(dram::Command::Act, c.rank, c.bank, c.row, now)) {
         chan.issue(dram::Command::Act, c.rank, c.bank, c.row, now);
         statGroup.inc("rowMiss");
+        statGroup.inc("act");
+        if (cfg.activateObserver)
+            cfg.activateObserver(req.addr, now);
         return true;
     }
     return false;

@@ -70,6 +70,14 @@ struct ControllerConfig
     std::function<void(std::uint64_t addr, Tick now)> writeObserver;
 
     /**
+     * Invoked for every row activation (ACT) the controller issues,
+     * demand and test traffic alike - the accounting read-disturb
+     * analysis hangs off. The address is the request's block address;
+     * the observer maps it to a row.
+     */
+    std::function<void(std::uint64_t addr, Tick now)> activateObserver;
+
+    /**
      * Models the ECC decode of the data a completed demand read
      * returns (fault-injection hook). Absent means every read
      * decodes clean. Test-traffic reads are not probed - their

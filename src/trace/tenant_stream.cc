@@ -43,6 +43,14 @@ TenantTrafficConfig::persona() const
 TenantWriteStream::TenantWriteStream(const TenantTrafficConfig &config)
     : cfg(config), personaState(config.persona())
 {
+    if (cfg.hammerEnabled) {
+        // Antagonist tenant: the aggressor stream replaces the write
+        // process entirely (it validates its own placement).
+        hammer = std::make_unique<HammerStream>(
+            cfg.hammer, cfg.addressMap,
+            cfg.physicalRowLimit != 0 ? cfg.physicalRowLimit : cfg.rows);
+        return;
+    }
     if (!cfg.bankSet.empty()) {
         const std::uint64_t shards = cfg.addressMap.numShards();
         const std::uint64_t banks = cfg.bankSet.size();
@@ -81,6 +89,8 @@ TenantWriteStream::TenantWriteStream(const TenantTrafficConfig &config)
 bool
 TenantWriteStream::peek(Tick *at, std::uint64_t *row)
 {
+    if (hammer)
+        return hammer->peek(at, row);
     if (merge->empty())
         return false;
     const auto &item = merge->peek();
@@ -95,6 +105,11 @@ TenantWriteStream::peek(Tick *at, std::uint64_t *row)
 void
 TenantWriteStream::pop()
 {
+    if (hammer) {
+        hammer->pop();
+        ++popped;
+        return;
+    }
     panic_if(merge->empty(), "pop() on an exhausted tenant stream");
     merge->pop();
     ++popped;
@@ -104,6 +119,11 @@ void
 TenantWriteStream::fastForward(std::uint64_t count)
 {
     panic_if(popped != 0, "fastForward() on a used stream");
+    if (hammer) {
+        hammer->fastForward(count);
+        popped = count;
+        return;
+    }
     for (std::uint64_t i = 0; i < count; ++i) {
         panic_if(merge->empty(),
                  "fastForward past the end of the tenant stream "

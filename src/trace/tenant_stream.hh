@@ -30,6 +30,7 @@
 #include "common/units.hh"
 #include "dram/address_map.hh"
 #include "trace/app_model.hh"
+#include "trace/hammer.hh"
 
 namespace memcon::trace
 {
@@ -77,6 +78,16 @@ struct TenantTrafficConfig
     double readOnlyFraction = 0.25;
     double hotFraction = 0.15;
 
+    /**
+     * Antagonist mode: when enabled, the tenant's traffic is a
+     * RowHammer aggressor stream over `hammer` (trace/hammer.hh)
+     * instead of the benign write process - same cursor, same ingest
+     * path, adversarial access pattern. The persona knobs above are
+     * ignored; `hammer.horizonMs` must cover the service horizon.
+     */
+    bool hammerEnabled = false;
+    HammerSpec hammer;
+
     /** The service persona these knobs expand into. */
     AppPersona persona() const;
 };
@@ -114,6 +125,7 @@ class TenantWriteStream
     // before the merge.
     AppPersona personaState;
     std::unique_ptr<KWayMerge<PageWriteStream>> merge;
+    std::unique_ptr<HammerStream> hammer; //!< antagonist mode only
     std::uint64_t popped = 0;
 
     /** Logical row -> physical flat row; empty when unplaced. */

@@ -21,6 +21,7 @@
  * gates would see.
  */
 
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -537,4 +538,127 @@ TEST(AnalyzeTree, RealTreeIsCleanUnderEveryPass)
         {});
     EXPECT_TRUE(r.violations.empty()) << formatText(r);
     EXPECT_GT(r.filesScanned, 100u);
+}
+
+// ---------------------------------------------------------------------
+// The suppression inventory (--list-allows)
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeAllowInventory, EnumeratesEveryMarkerWithFileLineRule)
+{
+    using memcon::analyze::AllowanceSite;
+    using memcon::analyze::listAllowances;
+
+    const Sources sources = {
+        {"b.cc",
+         "int x;\n"
+         "// lint:allow(unit-literal) - protocol constant\n"
+         "double frame_ms = 12.5;\n"
+         "// lint:allow(guarded-by) - teardown\n"
+         "int y;\n"},
+        {"a.cc",
+         "// lint:allow(unit-literal) - port number\n"
+         "double poll_ms = 3.0;\n"},
+        {"clean.cc", "int z;\n"},
+    };
+    std::vector<AllowanceSite> sites = listAllowances(sources, {});
+
+    ASSERT_EQ(sites.size(), 3u);
+    // Sorted by (file, line, rule), independent of input order.
+    EXPECT_EQ(sites[0].file, "a.cc");
+    EXPECT_EQ(sites[0].line, 1u);
+    EXPECT_EQ(sites[0].rule, "unit-literal");
+    EXPECT_EQ(sites[1].file, "b.cc");
+    EXPECT_EQ(sites[1].line, 2u);
+    EXPECT_EQ(sites[1].rule, "unit-literal");
+    EXPECT_EQ(sites[2].file, "b.cc");
+    EXPECT_EQ(sites[2].line, 4u);
+    EXPECT_EQ(sites[2].rule, "guarded-by");
+}
+
+TEST(AnalyzeAllowInventory, RuleSelectionFiltersTheInventory)
+{
+    using memcon::analyze::listAllowances;
+
+    const Sources sources = {
+        {"f.cc",
+         "// lint:allow(unit-literal) - one\n"
+         "double a_ms = 1.0;\n"
+         "// lint:allow(hotpath-wordat) - two\n"
+         "int b;\n"},
+    };
+
+    AnalyzeOptions only;
+    only.only = {"unit-literal"};
+    auto sites = listAllowances(sources, only);
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0].rule, "unit-literal");
+
+    AnalyzeOptions skip;
+    skip.skip = {"unit-literal"};
+    sites = listAllowances(sources, skip);
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0].rule, "hotpath-wordat");
+}
+
+TEST(AnalyzeAllowInventory, FormatsReportAndJson)
+{
+    using memcon::analyze::formatAllowances;
+    using memcon::analyze::formatAllowancesJson;
+    using memcon::analyze::listAllowances;
+
+    const Sources sources = {
+        {"f.cc",
+         "// lint:allow(unit-literal) - a\n"
+         "double a_ms = 1.0;\n"
+         "// lint:allow(unit-literal) - b\n"
+         "double b_ms = 2.0;\n"},
+    };
+    auto sites = listAllowances(sources, {});
+
+    const std::string text = formatAllowances(sites);
+    EXPECT_NE(text.find("f.cc:1: lint:allow(unit-literal)"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("unit-literal: 2"), std::string::npos) << text;
+    EXPECT_NE(text.find("2 allowance(s)"), std::string::npos) << text;
+
+    const std::string json = formatAllowancesJson(sites);
+    EXPECT_NE(json.find("\"file\": \"f.cc\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"total\": 2"), std::string::npos);
+
+    // The empty inventory still renders valid output.
+    EXPECT_NE(formatAllowances({}).find("0 allowance(s)"),
+              std::string::npos);
+    EXPECT_NE(formatAllowancesJson({}).find("\"total\": 0"),
+              std::string::npos);
+}
+
+TEST(AnalyzeAllowInventory, RealTreeInventoryMatchesMarkerGrep)
+{
+    // The inventory over the real tree: every site it reports must
+    // genuinely carry the marker text on that line of that file, and
+    // the committed suppressions it knows about must be present.
+    using memcon::analyze::listAllowancesInPaths;
+    using memcon::analyze::readFileText;
+
+    auto sites = listAllowancesInPaths(
+        {std::string(MEMCON_SOURCE_DIR) + "/src",
+         std::string(MEMCON_SOURCE_DIR) + "/bench",
+         std::string(MEMCON_SOURCE_DIR) + "/tools",
+         std::string(MEMCON_SOURCE_DIR) + "/examples"},
+        {});
+
+    for (const auto &site : sites) {
+        std::string text;
+        ASSERT_TRUE(readFileText(site.file, &text)) << site.file;
+        std::istringstream lines(text);
+        std::string line;
+        for (unsigned n = 0; n < site.line; ++n)
+            ASSERT_TRUE(std::getline(lines, line)) << site.file;
+        EXPECT_NE(line.find("lint:allow(" + site.rule + ")"),
+                  std::string::npos)
+            << site.file << ":" << site.line;
+    }
 }

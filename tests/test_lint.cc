@@ -149,6 +149,22 @@ TEST(Lint, UnorderedIterationFlagged)
                            "    return s;\n"
                            "}\n")
                     .empty());
+
+    // The sanctioned remedy - ordered::sortedItems()/sortedKeys()
+    // around the container - iterates in key order and is legal.
+    EXPECT_TRUE(
+        lintSource("ok.cc",
+                   decl +
+                       "int walk() {\n"
+                       "    int s = 0;\n"
+                       "    for (auto &[k, v] : "
+                       "ordered::sortedItems(table))\n"
+                       "        s += v;\n"
+                       "    for (int k : ordered::sortedKeys(table))\n"
+                       "        s += k;\n"
+                       "    return s;\n"
+                       "}\n")
+            .empty());
 }
 
 TEST(Lint, EmptyCatchFlagged)

@@ -80,9 +80,32 @@ expectSameMetrics(const MemconResult &a, const MemconResult &b,
     EXPECT_EQ(a.testTimeNs, b.testTimeNs);
     EXPECT_EQ(a.refreshTimeMemconNs, b.refreshTimeMemconNs);
     EXPECT_EQ(a.refreshTimeBaselineNs, b.refreshTimeBaselineNs);
+    EXPECT_EQ(a.acts, b.acts);
     if (same_sharding) {
         EXPECT_EQ(a.trackerStorageBytes, b.trackerStorageBytes);
     }
+}
+
+/**
+ * The per-shard ACT counters must reduce exactly to the total, and the
+ * total must satisfy the analytic identity acts = writes + 2 * (PRIL
+ * tests + scrub tests). Per shard only the write/test floor is
+ * checkable (scrubTests has no per-shard breakdown); the excess over
+ * that floor is exactly the shard's scrub activity, so it must be even.
+ */
+void
+expectActsConsistent(const MemconResult &r)
+{
+    std::uint64_t total = 0;
+    for (const MemconResult::ShardBreakdown &s : r.shards) {
+        const std::uint64_t floor = s.writes + 2 * s.testsRun;
+        EXPECT_GE(s.acts, floor);
+        EXPECT_EQ((s.acts - floor) % 2, 0u)
+            << "shard ACT excess is not a whole number of scrub tests";
+        total += s.acts;
+    }
+    EXPECT_EQ(total, r.acts);
+    EXPECT_EQ(r.acts, r.writes + 2 * (r.testsRun + r.scrubTests));
 }
 
 void
@@ -154,6 +177,7 @@ TEST(ShardEquiv, EightBankMatchesFlatExactly)
             ASSERT_EQ(r.shards.size(), 8u);
             expectSameMetrics(base, r, /*same_sharding=*/false);
             expectSamePageEnd(base, r);
+            expectActsConsistent(r);
         }
     }
 }
@@ -179,6 +203,13 @@ TEST(ShardEquiv, ShardThreadCountsAreBitIdentical)
     expectSameMetrics(r1, r8, /*same_sharding=*/true);
     expectSamePageEnd(r1, r2);
     expectSamePageEnd(r1, r8);
+    expectActsConsistent(r1);
+    expectActsConsistent(r8);
+    // Same sharding, different worker counts: the per-shard ACT rows
+    // themselves must be bit-identical, not just their sum - this is
+    // the counter the TSan job watches for cross-shard races.
+    for (std::size_t s = 0; s < r1.shards.size(); ++s)
+        EXPECT_EQ(r1.shards[s].acts, r8.shards[s].acts) << "shard " << s;
 }
 
 TEST(ShardEquiv, CampaignDigestsBitIdenticalAcross1_2_8ShardThreads)

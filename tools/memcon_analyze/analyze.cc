@@ -231,6 +231,85 @@ analyzePaths(const std::vector<std::string> &paths,
     return analyzed;
 }
 
+std::vector<AllowanceSite>
+listAllowances(
+    const std::vector<std::pair<std::string, std::string>> &sources,
+    const AnalyzeOptions &options)
+{
+    const std::set<std::string> keep(options.only.begin(),
+                                     options.only.end());
+    const std::set<std::string> drop(options.skip.begin(),
+                                     options.skip.end());
+    std::vector<AllowanceSite> sites;
+    for (const auto &[path, text] : sources) {
+        const SourceFile file = parseSource(path, text);
+        for (const Allowance &a : file.allowances) {
+            if (!keep.empty() && !keep.count(a.rule))
+                continue;
+            if (drop.count(a.rule))
+                continue;
+            sites.push_back({file.path, a.line, a.rule});
+        }
+    }
+    std::sort(sites.begin(), sites.end(),
+              [](const AllowanceSite &a, const AllowanceSite &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return sites;
+}
+
+std::vector<AllowanceSite>
+listAllowancesInPaths(const std::vector<std::string> &paths,
+                      const AnalyzeOptions &options)
+{
+    std::vector<std::pair<std::string, std::string>> sources;
+    for (const std::string &file : expandPaths(paths)) {
+        std::string text;
+        if (readFileText(file, &text))
+            sources.emplace_back(file, std::move(text));
+    }
+    return listAllowances(sources, options);
+}
+
+std::string
+formatAllowances(const std::vector<AllowanceSite> &sites)
+{
+    std::ostringstream out;
+    std::map<std::string, std::size_t> perRule;
+    for (const AllowanceSite &s : sites) {
+        out << s.file << ":" << s.line << ": lint:allow(" << s.rule
+            << ")\n";
+        ++perRule[s.rule];
+    }
+    for (const auto &[rule, count] : perRule)
+        out << "  " << rule << ": " << count << "\n";
+    out << "memcon_analyze: " << sites.size() << " allowance(s)\n";
+    return out.str();
+}
+
+std::string
+formatAllowancesJson(const std::vector<AllowanceSite> &sites)
+{
+    std::ostringstream out;
+    out << "{\n  \"allowances\": [";
+    bool first = true;
+    for (const AllowanceSite &s : sites) {
+        out << (first ? "\n" : ",\n") << "    {\"file\": \"";
+        jsonEscape(out, s.file);
+        out << "\", \"line\": " << s.line << ", \"rule\": \"";
+        jsonEscape(out, s.rule);
+        out << "\"}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "],\n  \"total\": " << sites.size()
+        << "\n}\n";
+    return out.str();
+}
+
 std::string
 formatText(const AnalyzeResult &result)
 {

@@ -60,6 +60,38 @@ analyzeSources(
 AnalyzeResult analyzePaths(const std::vector<std::string> &paths,
                            const AnalyzeOptions &options);
 
+/** One lint:allow(<rule>) marker, resolved to its file. */
+struct AllowanceSite
+{
+    std::string file;
+    unsigned line = 0;
+    std::string rule;
+};
+
+/**
+ * Enumerate every lint:allow(<rule>) marker in the given in-memory
+ * sources (the --list-allows report): the suppression inventory a
+ * reviewer audits, since every entry is a rule the codebase opted
+ * out of somewhere. Honors AnalyzeOptions::only/skip as a rule
+ * filter; sorted by (file, line, rule).
+ */
+std::vector<AllowanceSite>
+listAllowances(
+    const std::vector<std::pair<std::string, std::string>> &sources,
+    const AnalyzeOptions &options);
+
+/** Disk variant of listAllowances; unreadable files are skipped. */
+std::vector<AllowanceSite>
+listAllowancesInPaths(const std::vector<std::string> &paths,
+                      const AnalyzeOptions &options);
+
+/** "file:line: lint:allow(rule)" lines plus a per-rule tally. */
+std::string formatAllowances(const std::vector<AllowanceSite> &sites);
+
+/** Machine-readable report: {"allowances":[...],"total":N}. */
+std::string
+formatAllowancesJson(const std::vector<AllowanceSite> &sites);
+
 /** "file:line: [rule] message" lines - the problem-matcher format. */
 std::string formatText(const AnalyzeResult &result);
 

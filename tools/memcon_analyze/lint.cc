@@ -165,7 +165,19 @@ determinismPass(const SourceFile &file, const SourceFile *companion)
                 }
             }
             if (colon && close) {
+                // The sanctioned remedy - wrapping the container in
+                // ordered::sortedItems()/sortedKeys() - must not
+                // itself trip the rule.
+                bool remedied = false;
                 for (std::size_t j = colon + 1; j < close; ++j) {
+                    const std::string &u = tokens[j].text;
+                    if (u == "sortedItems" || u == "sortedKeys") {
+                        remedied = true;
+                        break;
+                    }
+                }
+                for (std::size_t j = colon + 1;
+                     !remedied && j < close; ++j) {
                     if (unordered.count(tokens[j].text)) {
                         flag(line, "unordered-iter",
                              "range-for over '" + tokens[j].text +

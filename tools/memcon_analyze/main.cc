@@ -3,10 +3,12 @@
  * CLI driver:
  *
  *   memcon_analyze [--format=text|json] [--only=r1,r2] [--skip=r1,r2]
- *                  [--list] <file-or-dir>...
+ *                  [--list] [--list-allows] <file-or-dir>...
  *
  * Runs every registered pass (see registry.hh) over the given trees
- * and prints one line per violation (or a JSON report). Exit codes:
+ * and prints one line per violation (or a JSON report); --list-allows
+ * instead inventories every lint:allow suppression with its
+ * file/line/rule. Exit codes:
  * 0 clean, 1 violations, 2 usage error. The tier-1 ctest runs this
  * over src/, bench/, tools/, and examples/; run it locally the same
  * way:
@@ -24,6 +26,11 @@
 namespace
 {
 
+/** CLI exit codes (also in the usage text and the README table):
+ * 0 clean, violations found, bad arguments. */
+constexpr int kExitViolations = 1;
+constexpr int kExitUsage = 2;
+
 void
 usage()
 {
@@ -31,9 +38,12 @@ usage()
         stderr,
         "usage: memcon_analyze [--format=text|json] [--only=r1,r2]\n"
         "                      [--skip=r1,r2] [--list] "
-        "<file-or-dir>...\n"
+        "[--list-allows]\n"
+        "                      <file-or-dir>...\n"
         "suppress a rule with: // lint:allow(<rule>)\n"
-        "list rules with: memcon_analyze --list\n");
+        "list rules with: memcon_analyze --list\n"
+        "audit suppressions with: memcon_analyze --list-allows "
+        "<paths>\n");
 }
 
 std::vector<std::string>
@@ -81,6 +91,7 @@ main(int argc, char **argv)
     std::string format = "text";
     std::vector<std::string> paths;
     bool list = false;
+    bool listAllows = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -90,7 +101,7 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "memcon_analyze: unknown format '%s'\n",
                              format.c_str());
-                return 2;
+                return kExitUsage;
             }
         } else if (arg.rfind("--only=", 0) == 0) {
             std::vector<std::string> rules =
@@ -104,12 +115,14 @@ main(int argc, char **argv)
                                 rules.end());
         } else if (arg == "--list") {
             list = true;
+        } else if (arg == "--list-allows") {
+            listAllows = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr,
                          "memcon_analyze: unknown option '%s'\n",
                          arg.c_str());
             usage();
-            return 2;
+            return kExitUsage;
         } else {
             paths.push_back(arg);
         }
@@ -124,10 +137,23 @@ main(int argc, char **argv)
     }
     if (!validateRules(options.only, "--only") ||
         !validateRules(options.skip, "--skip"))
-        return 2;
+        return kExitUsage;
     if (paths.empty()) {
         usage();
-        return 2;
+        return kExitUsage;
+    }
+
+    if (listAllows) {
+        // The suppression audit: every lint:allow in the tree, with
+        // file/line/rule. Exit 0 - an allowance is a reviewed
+        // decision, not a violation.
+        std::vector<AllowanceSite> sites =
+            listAllowancesInPaths(paths, options);
+        if (format == "json")
+            std::printf("%s", formatAllowancesJson(sites).c_str());
+        else
+            std::printf("%s", formatAllowances(sites).c_str());
+        return 0;
     }
 
     AnalyzeResult result = analyzePaths(paths, options);
@@ -142,5 +168,5 @@ main(int argc, char **argv)
             std::printf("memcon_analyze: %zu violation(s)\n",
                         result.violations.size());
     }
-    return result.violations.empty() ? 0 : 1;
+    return result.violations.empty() ? 0 : kExitViolations;
 }
